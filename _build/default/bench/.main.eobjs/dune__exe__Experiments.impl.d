@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Format List Location_sensing Params Printf Rfid_core Rfid_eval Rfid_geom Rfid_learn Rfid_model Rfid_prob Rfid_sim Scenarios Sensor_model Tables Trace Vec3 World

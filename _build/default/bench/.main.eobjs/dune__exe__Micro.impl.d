@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Rfid_core Rfid_geom Rfid_model Rfid_prob Scenarios Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/scenarios.ml: Hashtbl Location_sensing Motion_model Params Printf Rfid_baselines Rfid_core Rfid_eval Rfid_geom Rfid_learn Rfid_model Rfid_prob Rfid_sim Sensor_model Trace Vec3 World

@@ -1,0 +1,1 @@
+bench/tables.ml: Array Bytes Float Int List Printf String

@@ -1,0 +1,30 @@
+(* Experiment harness: reproduces every table and figure of the paper's
+   evaluation (see DESIGN.md section 4 and EXPERIMENTS.md).
+
+   Usage:
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe -- fig5e scalability
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --large # include the 10k-object sweep *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let large = List.mem "--large" args in
+  let args = List.filter (fun a -> a <> "--large") args in
+  if List.mem "--list" args then begin
+    Printf.printf "available experiments:\n";
+    List.iter
+      (fun (id, descr, _) -> Printf.printf "  %-22s %s\n" id descr)
+      Experiments.all;
+    Printf.printf "  %-22s %s\n" "micro" "Bechamel component benchmarks"
+  end
+  else begin
+    let want id = args = [] || List.mem id args in
+    List.iter
+      (fun (id, _, f) ->
+        if want id then
+          if id = "scalability" && large then Experiments.scalability ~large:true ()
+          else f ())
+      Experiments.all;
+    if want "micro" then Micro.print_results ()
+  end

@@ -1,0 +1,50 @@
+(* Plain-text table rendering for experiment output. *)
+
+let hr widths =
+  let parts = List.map (fun w -> String.make (w + 2) '-') widths in
+  "+" ^ String.concat "+" parts ^ "+"
+
+let render_row widths cells =
+  let pad w s =
+    let s = if String.length s > w then String.sub s 0 w else s in
+    Printf.sprintf " %-*s " w s
+  in
+  "|" ^ String.concat "|" (List.map2 pad widths cells) ^ "|"
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left (fun acc row -> Int.max acc (String.length (List.nth row c))) 0 all)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_endline (hr widths);
+  print_endline (render_row widths header);
+  print_endline (hr widths);
+  List.iter (fun row -> print_endline (render_row widths row)) rows;
+  print_endline (hr widths)
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+
+let heatmap ~title ~read_prob ~max_x ~max_y ~cols ~rows =
+  (* Render a read-rate field in the half-plane in front of a reader at
+     the origin facing +x; y spans [-max_y, max_y]. *)
+  Printf.printf "\n-- %s --\n" title;
+  let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+  for r = 0 to rows - 1 do
+    let y = max_y -. (float_of_int r /. float_of_int (rows - 1) *. 2. *. max_y) in
+    let line = Bytes.make cols ' ' in
+    for c = 0 to cols - 1 do
+      let x = float_of_int c /. float_of_int (cols - 1) *. max_x in
+      let d = sqrt ((x *. x) +. (y *. y)) in
+      let theta = if x = 0. && y = 0. then 0. else Float.abs (atan2 y x) in
+      let p = read_prob ~d ~theta in
+      let idx = Int.min 9 (int_of_float (p *. 10.)) in
+      Bytes.set line c shades.(idx)
+    done;
+    Printf.printf "  |%s|\n" (Bytes.to_string line)
+  done;
+  Printf.printf "  reader at left edge centre, facing right; %.1f ft wide, +/-%.1f ft tall\n"
+    max_x max_y

@@ -1,0 +1,290 @@
+(* rfid_clean: command-line front end.
+
+   Subcommands:
+     simulate   generate a warehouse scan and dump the raw streams
+     infer      simulate, clean with the inference engine, print events
+     calibrate  EM self-calibration on a simulated training trace
+     lab        the lab-deployment comparison (ours vs SMURF vs uniform)
+
+   The full table/figure reproduction harness is a separate executable:
+   dune exec bench/main.exe. *)
+
+open Cmdliner
+open Rfid_model
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let objects_arg =
+  Arg.(value & opt int 16 & info [ "objects"; "n" ] ~docv:"N" ~doc:"Number of tagged objects.")
+
+let rounds_arg =
+  Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"N" ~doc:"Scan rounds over the warehouse.")
+
+let read_rate_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "read-rate" ] ~docv:"R"
+        ~doc:"Read rate in the sensor's major detection range (0..1].")
+
+let particles_arg =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "particles"; "k" ] ~docv:"K" ~doc:"Particles per object.")
+
+let variant_arg =
+  let variants =
+    [
+      ("unfactorized", Rfid_core.Config.Unfactorized);
+      ("factorized", Rfid_core.Config.Factorized);
+      ("indexed", Rfid_core.Config.Factorized_indexed);
+      ("compressed", Rfid_core.Config.Factorized_compressed);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum variants) Rfid_core.Config.Factorized_indexed
+    & info [ "variant" ] ~docv:"VARIANT"
+        ~doc:
+          "Engine variant: $(b,unfactorized), $(b,factorized), $(b,indexed) \
+           (factorized + spatial index), or $(b,compressed) (+ belief \
+           compression).")
+
+let build_scenario ~objects ~rounds ~read_rate ~seed =
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:objects () in
+  let sensor = Rfid_sim.Truth_sensor.cone ~rr_major:read_rate () in
+  let trace =
+    Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+      ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+      ~start:(Rfid_sim.Warehouse.reader_start wh)
+      ~path:(Rfid_sim.Trace_gen.straight_pass wh ~rounds)
+      ~config:(Rfid_sim.Trace_gen.default_config ~sensor ())
+      (Rfid_prob.Rng.create ~seed)
+  in
+  (wh, sensor, trace)
+
+let fitted_params (sensor : Rfid_sim.Truth_sensor.t) =
+  let fitted =
+    Rfid_learn.Supervised.fit_sensor ~read_prob:sensor.Rfid_sim.Truth_sensor.read_prob
+      ~seed:99 ()
+  in
+  Params.create ~sensor:fitted ()
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate objects rounds read_rate seed out =
+  let _, _, trace = build_scenario ~objects ~rounds ~read_rate ~seed in
+  let observations = Trace.observations trace in
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Trace_io.write_observations oc observations);
+      Printf.printf "wrote %d observations (%d objects) to %s\n"
+        (List.length observations) trace.Trace.num_objects path
+  | None -> Trace_io.write_observations stdout observations
+
+let simulate_cmd =
+  let doc =
+    "Simulate a warehouse scan; dump the raw synchronized streams as CSV \
+     (replayable through the library's Trace_io module)."
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the stream to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const simulate $ objects_arg $ rounds_arg $ read_rate_arg $ seed_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* infer                                                               *)
+
+let infer objects rounds read_rate seed variant particles =
+  let wh, sensor, trace = build_scenario ~objects ~rounds ~read_rate ~seed in
+  let params = fitted_params sensor in
+  let config =
+    Rfid_core.Config.create ~variant ~num_object_particles:particles ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Rfid_eval.Runner.run_engine ~params ~config ~seed trace in
+  ignore wh;
+  List.iter (fun ev -> Format.printf "%a@." Rfid_core.Event.pp ev)
+    r.Rfid_eval.Runner.events;
+  Format.printf "@.%a | %.3f ms/reading | %.1fs total@." Rfid_eval.Metrics.pp_error
+    r.Rfid_eval.Runner.error r.Rfid_eval.Runner.ms_per_reading
+    (Unix.gettimeofday () -. t0)
+
+let infer_cmd =
+  let doc = "Simulate, clean the streams with the inference engine, print events." in
+  Cmd.v
+    (Cmd.info "infer" ~doc)
+    Term.(
+      const infer $ objects_arg $ rounds_arg $ read_rate_arg $ seed_arg $ variant_arg
+      $ particles_arg)
+
+(* ------------------------------------------------------------------ *)
+(* calibrate                                                           *)
+
+let calibrate shelf_tags em_iters seed =
+  let wh = Rfid_sim.Warehouse.layout ~objects_per_shelf:1 ~num_objects:20 () in
+  let keep =
+    if shelf_tags = 0 then []
+    else List.init shelf_tags (fun i -> i * 20 / shelf_tags)
+  in
+  let world = World.with_shelf_tags wh.Rfid_sim.Warehouse.world ~keep in
+  let truth = Rfid_sim.Truth_sensor.cone () in
+  let trace =
+    Rfid_sim.Trace_gen.run ~world ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+      ~start:(Rfid_sim.Warehouse.reader_start wh)
+      ~path:(Rfid_sim.Trace_gen.straight_pass wh ~rounds:1)
+      ~config:(Rfid_sim.Trace_gen.default_config ~sensor:truth ())
+      (Rfid_prob.Rng.create ~seed)
+  in
+  let config = Rfid_learn.Calibration.default_config () in
+  let config = { config with Rfid_learn.Calibration.em_iters } in
+  let learned =
+    Rfid_learn.Calibration.calibrate ~world ~init:Params.default ~config
+      ~observations:(Trace.observations trace)
+      ~init_reader:trace.Trace.steps.(0).Trace.true_reader
+  in
+  Format.printf "learned parameters (EM, %d iterations, %d known tags):@.%a@."
+    em_iters shelf_tags Params.pp learned;
+  Printf.printf "sensor mean-absolute-error vs true region: %.4f\n"
+    (Rfid_learn.Supervised.mean_abs_error learned.Params.sensor
+       ~read_prob:truth.Rfid_sim.Truth_sensor.read_prob ())
+
+let calibrate_cmd =
+  let doc = "EM self-calibration on a simulated 20-tag training trace." in
+  let shelf_tags =
+    Arg.(
+      value & opt int 4
+      & info [ "shelf-tags" ] ~docv:"N" ~doc:"Tags with known locations (0-20).")
+  in
+  let em_iters =
+    Arg.(value & opt int 4 & info [ "em-iters" ] ~docv:"N" ~doc:"EM iterations.")
+  in
+  Cmd.v (Cmd.info "calibrate" ~doc) Term.(const calibrate $ shelf_tags $ em_iters $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+
+let replay file objects variant particles seed =
+  let ic = open_in file in
+  let observations =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Trace_io.read_observations ic)
+  in
+  Printf.printf "# replaying %d observations from %s\n%!" (List.length observations) file;
+  (* The stream file carries no world description; reconstruct the
+     default warehouse geometry for the declared object count (the same
+     convention `simulate` used to produce it). *)
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:objects () in
+  let sensor = Rfid_sim.Truth_sensor.cone () in
+  let params = fitted_params sensor in
+  let config = Rfid_core.Config.create ~variant ~num_object_particles:particles () in
+  let init_reader =
+    match observations with
+    | o :: _ ->
+        Reader_state.make ~loc:o.Types.o_reported_loc ~heading:0.
+    | [] -> Rfid_sim.Warehouse.reader_start wh
+  in
+  let engine =
+    Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world ~params ~config
+      ~init_reader ~num_objects:objects ~seed ()
+  in
+  let events = Rfid_core.Engine.run engine observations in
+  Trace_io.write_events stdout
+    (List.map
+       (fun (ev : Rfid_core.Event.t) ->
+         (ev.Rfid_core.Event.ev_epoch, ev.Rfid_core.Event.ev_obj, ev.Rfid_core.Event.ev_loc))
+       events)
+
+let replay_cmd =
+  let doc =
+    "Replay a recorded observation stream (see $(b,simulate --out)) through the \
+     engine; print cleaned events as CSV."
+  in
+  let file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "in"; "i" ] ~docv:"FILE" ~doc:"Observation stream to replay.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(const replay $ file $ objects_arg $ variant_arg $ particles_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lab                                                                 *)
+
+let lab timeout_ms large seed =
+  let shelf_size = if large then Rfid_sim.Lab.Large else Rfid_sim.Lab.Small in
+  let rig = Rfid_sim.Lab.deployment ~timeout_ms ~shelf_size () in
+  let heading_model = Rfid_core.Config.Known_heading Rfid_sim.Lab.heading in
+  let train = Rfid_sim.Lab.scan rig ~seed:(seed + 1) in
+  let cal = Rfid_learn.Calibration.default_config ~heading_model () in
+  let cal = { cal with Rfid_learn.Calibration.em_iters = 3 } in
+  let learned =
+    Rfid_learn.Calibration.calibrate ~world:rig.Rfid_sim.Lab.world
+      ~init:Params.default ~config:cal
+      ~observations:(Trace.observations train)
+      ~init_reader:train.Trace.steps.(0).Trace.true_reader
+  in
+  let trace = Rfid_sim.Lab.scan rig ~seed in
+  let config =
+    Rfid_core.Config.create ~variant:Rfid_core.Config.Factorized_indexed
+      ~num_reader_particles:150 ~num_object_particles:300 ~heading_model ()
+  in
+  let ours = Rfid_eval.Runner.run_engine ~params:learned ~config ~seed trace in
+  let range = Float.min 8. (Sensor_model.detection_range learned.Params.sensor) in
+  let obs = Trace.observations trace in
+  let smurf =
+    Rfid_baselines.Smurf.run ~world:rig.Rfid_sim.Lab.world
+      ~config:(Rfid_baselines.Smurf.default_config ~heading_of:Rfid_sim.Lab.heading
+           ~read_range:range ())
+      ~seed obs
+  in
+  let uniform =
+    Rfid_baselines.Uniform.run ~world:rig.Rfid_sim.Lab.world
+      ~config:(Rfid_baselines.Uniform.default_config ~heading_of:Rfid_sim.Lab.heading
+           ~read_range:range ())
+      ~seed obs
+  in
+  let line label events =
+    let e = Rfid_eval.Metrics.inference_error events trace in
+    Printf.printf "%-18s X=%.2f Y=%.2f XY=%.2f ft\n" label e.Rfid_eval.Metrics.mean_x
+      e.Rfid_eval.Metrics.mean_y e.Rfid_eval.Metrics.mean_xy
+  in
+  Printf.printf "lab deployment: timeout %d ms, %s shelf\n" timeout_ms
+    (if large then "large" else "small");
+  line "our system" ours.Rfid_eval.Runner.events;
+  line "SMURF (improved)" smurf;
+  line "uniform" uniform
+
+let lab_cmd =
+  let doc = "Run the lab-deployment comparison (Fig. 6(b) of the paper)." in
+  let timeout =
+    Arg.(
+      value & opt int 500
+      & info [ "timeout" ] ~docv:"MS" ~doc:"Reader timeout: 250, 500 or 750 ms.")
+  in
+  let large =
+    Arg.(value & flag & info [ "large-shelf" ] ~doc:"Use the 2.6 ft imagined shelf.")
+  in
+  Cmd.v (Cmd.info "lab" ~doc) Term.(const lab $ timeout $ large $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "probabilistic cleaning of mobile RFID streams (Tran et al., ICDE 2009)" in
+  let info = Cmd.info "rfid_clean" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; infer_cmd; replay_cmd; calibrate_cmd; lab_cmd ]))

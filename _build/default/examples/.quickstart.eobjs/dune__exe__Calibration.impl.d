@@ -1,0 +1,1 @@
+examples/calibration.ml: Array Float Format Int Params Printf Rfid_learn Rfid_model Rfid_prob Rfid_sim Sensor_model Trace Unix

@@ -1,0 +1,1 @@
+examples/containment.ml: Array Format List Params Printf Rfid_core Rfid_geom Rfid_learn Rfid_model Rfid_prob Rfid_sim Rfid_stream Trace World

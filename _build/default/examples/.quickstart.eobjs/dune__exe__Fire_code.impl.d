@@ -1,0 +1,1 @@
+examples/fire_code.ml: Array Box2 Format List Printf Rfid_core Rfid_geom Rfid_learn Rfid_model Rfid_prob Rfid_sim Rfid_stream Vec3

@@ -1,0 +1,1 @@
+examples/handheld.ml: Array Format List Location_sensing Motion_model Params Printf Reader_state Rfid_core Rfid_eval Rfid_geom Rfid_learn Rfid_model Rfid_prob Rfid_sim Trace Types Vec3 World

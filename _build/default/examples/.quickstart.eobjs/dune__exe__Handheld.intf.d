@@ -1,0 +1,1 @@
+examples/handheld.mli:

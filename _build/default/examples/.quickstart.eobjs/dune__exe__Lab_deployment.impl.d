@@ -1,0 +1,1 @@
+examples/lab_deployment.ml: Array Float Format List Params Printf Rfid_baselines Rfid_core Rfid_eval Rfid_learn Rfid_model Rfid_sim Sensor_model Trace World

@@ -1,0 +1,1 @@
+examples/lab_deployment.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Rfid_core Rfid_eval Rfid_learn Rfid_model Rfid_prob Rfid_sim

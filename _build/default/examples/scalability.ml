@@ -1,0 +1,43 @@
+(* A taste of the §V-D scalability results: per-reading processing cost
+   of the engine variants as the warehouse grows. The full sweep
+   (Fig. 5(i)/(j)) lives in bench/main.exe.
+
+   Run with:  dune exec examples/scalability.exe *)
+
+let () =
+  let cone = Rfid_sim.Truth_sensor.cone () in
+  let sensor =
+    Rfid_learn.Supervised.fit_sensor ~read_prob:cone.Rfid_sim.Truth_sensor.read_prob
+      ~seed:2 ()
+  in
+  let params = Rfid_model.Params.create ~sensor () in
+  Printf.printf "%8s  %-20s %12s %10s %10s\n" "#objects" "variant" "ms/reading"
+    "XY err" "max scope";
+  List.iter
+    (fun n ->
+      let wh = Rfid_sim.Warehouse.layout ~num_objects:n () in
+      let trace =
+        Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+          ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+          ~start:(Rfid_sim.Warehouse.reader_start wh)
+          ~path:(Rfid_sim.Trace_gen.straight_pass ~speed:0.2 wh ~rounds:2)
+          ~config:(Rfid_sim.Trace_gen.default_config ())
+          (Rfid_prob.Rng.create ~seed:31)
+      in
+      List.iter
+        (fun (label, variant) ->
+          let config =
+            Rfid_core.Config.create ~variant ~num_reader_particles:100
+              ~num_object_particles:200 ()
+          in
+          let r = Rfid_eval.Runner.run_engine ~params ~config ~seed:4 trace in
+          Printf.printf "%8d  %-20s %12.3f %10.3f %10d\n%!" n label
+            r.Rfid_eval.Runner.ms_per_reading
+            r.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy
+            r.Rfid_eval.Runner.max_objects_processed)
+        [
+          ("factorized", Rfid_core.Config.Factorized);
+          ("factorized+index", Rfid_core.Config.Factorized_indexed);
+          ("f+index+compress", Rfid_core.Config.Factorized_compressed);
+        ])
+    [ 25; 100; 400 ]

@@ -1,0 +1,1 @@
+lib/baselines/smurf.ml: Array Box2 Float Hashtbl Int List Option Rfid_core Rfid_geom Rfid_model Rfid_prob Types Vec3 World

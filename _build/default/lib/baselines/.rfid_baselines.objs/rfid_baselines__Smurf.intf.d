@@ -1,0 +1,1 @@
+lib/baselines/smurf.mli: Rfid_core Rfid_geom Rfid_model Rfid_prob

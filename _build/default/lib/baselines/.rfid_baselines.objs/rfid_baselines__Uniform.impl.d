@@ -1,0 +1,1 @@
+lib/baselines/uniform.ml: Hashtbl List Option Rfid_core Rfid_geom Rfid_model Rfid_prob Smurf Types

@@ -1,0 +1,1 @@
+lib/baselines/uniform.mli: Rfid_core Rfid_model

@@ -1,0 +1,1 @@
+lib/core/basic_filter.ml: Array Common Config Hashtbl List Location_sensing Object_model Params Reader_state Rfid_geom Rfid_model Rfid_prob Sensor_model Types Vec3 World

@@ -1,0 +1,1 @@
+lib/core/basic_filter.mli: Config Rfid_geom Rfid_model Rfid_prob

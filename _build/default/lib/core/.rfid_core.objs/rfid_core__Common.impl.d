@@ -1,0 +1,1 @@
+lib/core/common.ml: Cone Config Float Location_sensing Motion_model Rfid_geom Rfid_model Rfid_prob Sensor_model Vec3 World

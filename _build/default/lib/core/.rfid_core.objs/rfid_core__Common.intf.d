@@ -1,0 +1,1 @@
+lib/core/common.mli: Config Rfid_geom Rfid_model Rfid_prob

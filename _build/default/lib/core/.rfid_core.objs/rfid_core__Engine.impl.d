@@ -1,0 +1,1 @@
+lib/core/engine.ml: Basic_filter Config Event Factored_filter Hashtbl List Queue Rfid_model Rfid_prob

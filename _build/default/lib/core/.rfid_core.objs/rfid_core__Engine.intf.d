@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Event Rfid_geom Rfid_model Rfid_prob

@@ -1,0 +1,1 @@
+lib/core/event.ml: Array Float Format Rfid_geom Rfid_model Rfid_prob

@@ -1,0 +1,1 @@
+lib/core/event.mli: Format Rfid_geom Rfid_model Rfid_prob

@@ -1,0 +1,221 @@
+open Rfid_geom
+open Rfid_model
+
+type particle = {
+  mutable reader : Reader_state.t;
+  locs : Vec3.t array;
+  mutable log_w : float;
+}
+
+type t = {
+  world : World.t;
+  params : Params.t;
+  config : Config.t;
+  rng : Rfid_prob.Rng.t;
+  num_objects : int;
+  mutable particles : particle array;
+  cache : Common.Sensor_cache.t;
+  shelf_tags : (Types.tag * Vec3.t) array;
+  mutable last_reported : Vec3.t option;
+  mutable epoch : int;
+  last_read : int array;  (* -1 = never *)
+  last_read_reader : Vec3.t array;
+  mutable newly_seen : int list;
+}
+
+let create ~world ~params ~config ~init_reader ~num_objects ~rng =
+  if num_objects < 0 then invalid_arg "Basic_filter.create: negative num_objects";
+  let j = config.Config.num_reader_particles in
+  let particles =
+    Array.init j (fun _ ->
+        let loc =
+          Common.jitter init_reader.Reader_state.loc
+            ~sigma:params.Params.sensing.Location_sensing.sigma rng
+        in
+        {
+          reader = Reader_state.make ~loc ~heading:init_reader.Reader_state.heading;
+          locs = Array.init num_objects (fun _ -> World.sample_on_shelves world rng);
+          log_w = 0.;
+        })
+  in
+  {
+    world;
+    params;
+    config;
+    rng;
+    num_objects;
+    particles;
+    cache =
+      Common.Sensor_cache.create ~threshold:config.Config.detection_threshold
+        ~max_range:config.Config.max_sensing_range
+        params.Params.sensor;
+    shelf_tags = Array.of_list (World.shelf_tags world);
+    last_reported = None;
+    epoch = -1;
+    last_read = Array.make num_objects (-1);
+    last_read_reader = Array.make num_objects Vec3.zero;
+    newly_seen = [];
+  }
+
+let reinit_object t p obj =
+  p.locs.(obj) <-
+    Common.sample_initial_location t.cache
+      ~overestimate:t.config.Config.init_overestimate ~world:t.world
+      ~reader_loc:p.reader.Reader_state.loc ~heading:p.reader.Reader_state.heading t.rng
+
+let step t (obs : Types.observation) =
+  if obs.Types.o_epoch <= t.epoch then
+    invalid_arg "Basic_filter.step: observations out of epoch order";
+  let e = obs.Types.o_epoch in
+  let reported = obs.Types.o_reported_loc in
+  t.newly_seen <- [];
+  (* Split readings. *)
+  let obj_read = Array.make t.num_objects false in
+  let shelf_read = Hashtbl.create 8 in
+  List.iter
+    (fun tag ->
+      match tag with
+      | Types.Object_tag i -> if i >= 0 && i < t.num_objects then obj_read.(i) <- true
+      | Types.Shelf_tag i -> Hashtbl.replace shelf_read i ())
+    obs.Types.o_read_tags;
+  (* Proposal: move readers and objects. *)
+  let delta =
+    Common.proposal_delta t.config.Config.proposal ~motion:t.params.Params.motion
+      ~last_reported:t.last_reported ~reported
+  in
+  let motion = t.params.Params.motion in
+  let sigma =
+    match t.config.Config.proposal_noise_override with
+    | Some s -> s
+    | None ->
+        Common.proposal_sigma t.config.Config.proposal ~motion
+          ~sensing:t.params.Params.sensing
+  in
+  Array.iter
+    (fun p ->
+      let loc =
+        match t.config.Config.proposal with
+        | Config.From_reported_location -> Common.jitter reported ~sigma t.rng
+        | Config.From_velocity | Config.From_reported_displacement ->
+            Common.jitter (Vec3.add p.reader.Reader_state.loc delta) ~sigma t.rng
+      in
+      let heading =
+        Common.propose_heading t.config.Config.heading_model ~motion ~epoch:e
+          ~current:p.reader.Reader_state.heading t.rng
+      in
+      p.reader <- Reader_state.make ~loc ~heading;
+      (* Move hypotheses only where evidence can judge them — see the
+         matching comment in Factored_filter. *)
+      for i = 0 to t.num_objects - 1 do
+        if obj_read.(i) then
+          p.locs.(i) <-
+            Object_model.sample_next t.params.Params.objects t.world t.rng p.locs.(i)
+      done)
+    t.particles;
+  (* Detection-driven (re)initialization of object hypotheses. *)
+  for i = 0 to t.num_objects - 1 do
+    if obj_read.(i) then begin
+      if t.last_read.(i) < 0 then
+        Array.iter (fun p -> reinit_object t p i) t.particles
+      else begin
+        let d = Vec3.dist reported t.last_read_reader.(i) in
+        if d >= t.config.Config.reinit_far then
+          Array.iter (fun p -> reinit_object t p i) t.particles
+        else if d >= t.config.Config.reinit_near then
+          (* Keep half the hypotheses, spread the other half at the new
+             location (§IV-A). *)
+          Array.iter
+            (fun p -> if Rfid_prob.Rng.bool t.rng then reinit_object t p i)
+            t.particles
+      end
+    end
+  done;
+  (* Weighting. *)
+  let sensor = t.params.Params.sensor in
+  Array.iter
+    (fun p ->
+      let reader_loc = p.reader.Reader_state.loc in
+      let heading = p.reader.Reader_state.heading in
+      let lw = ref (Location_sensing.log_pdf t.params.Params.sensing ~true_loc:reader_loc ~reported) in
+      Array.iter
+        (fun (tag, tag_loc) ->
+          let read =
+            match tag with Types.Shelf_tag i -> Hashtbl.mem shelf_read i | _ -> false
+          in
+          let l =
+            Sensor_model.log_prob sensor ~reader_loc ~reader_heading:heading ~tag_loc
+              ~read
+          in
+          let l = if read then l else t.config.Config.shelf_miss_weight *. l in
+          lw := !lw +. l)
+        t.shelf_tags;
+      for i = 0 to t.num_objects - 1 do
+        (* Objects never read are still latent but carry no evidence
+           coupling beyond the miss term; include it — this is the full
+           joint model. *)
+        lw :=
+          !lw
+          +. Sensor_model.log_prob sensor ~reader_loc ~reader_heading:heading
+               ~tag_loc:p.locs.(i) ~read:obj_read.(i)
+      done;
+      p.log_w <- p.log_w +. !lw)
+    t.particles;
+  (* Normalize in log space, resample on degeneracy. *)
+  let lws = Array.map (fun p -> p.log_w) t.particles in
+  let w = Rfid_prob.Stats.normalize_log_weights lws in
+  let j = Array.length t.particles in
+  if Rfid_prob.Stats.effective_sample_size w < t.config.Config.resample_ratio *. float_of_int j
+  then begin
+    let idx = Common.resample t.config.Config.resample_scheme t.rng w ~n:j in
+    t.particles <-
+      Array.map
+        (fun k ->
+          let src = t.particles.(k) in
+          { reader = src.reader; locs = Array.copy src.locs; log_w = 0. })
+        idx
+  end
+  else
+    (* Keep weights centred to avoid underflow. *)
+    Array.iter (fun p -> p.log_w <- p.log_w -. Rfid_prob.Stats.log_sum_exp lws) t.particles;
+  (* Bookkeeping for scope tracking. *)
+  for i = 0 to t.num_objects - 1 do
+    if obj_read.(i) then begin
+      if t.last_read.(i) < 0 || e - t.last_read.(i) > t.config.Config.out_of_scope_after
+      then t.newly_seen <- i :: t.newly_seen;
+      t.last_read.(i) <- e;
+      t.last_read_reader.(i) <- reported
+    end
+  done;
+  t.last_reported <- Some reported;
+  t.epoch <- e
+
+let weights t =
+  Rfid_prob.Stats.normalize_log_weights (Array.map (fun p -> p.log_w) t.particles)
+
+let estimate t obj =
+  if obj < 0 || obj >= t.num_objects || t.last_read.(obj) < 0 then None
+  else begin
+    let w = weights t in
+    let pts = Array.map (fun p -> Vec3.to_array p.locs.(obj)) t.particles in
+    let g = Rfid_prob.Gaussian.fit ~w pts in
+    Some (Vec3.of_array (Rfid_prob.Gaussian.mean g), Rfid_prob.Gaussian.cov g)
+  end
+
+let reader_estimate t =
+  let w = weights t in
+  let acc = ref Vec3.zero in
+  Array.iteri
+    (fun i p -> acc := Vec3.add !acc (Vec3.scale w.(i) p.reader.Reader_state.loc))
+    t.particles;
+  !acc
+
+let newly_seen t = t.newly_seen
+
+let known_objects t =
+  let out = ref [] in
+  for i = t.num_objects - 1 downto 0 do
+    if t.last_read.(i) >= 0 then out := i :: !out
+  done;
+  !out
+
+let epoch t = t.epoch

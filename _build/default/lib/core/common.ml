@@ -1,0 +1,65 @@
+open Rfid_geom
+open Rfid_model
+
+module Sensor_cache = struct
+  type t = { range : float; half_angle : float }
+
+  let create ~threshold ~max_range sensor =
+    let range = Float.min max_range (Sensor_model.detection_range ~threshold sensor) in
+    let half_angle =
+      Sensor_model.detection_half_angle ~threshold sensor ~d:(Float.max 0.1 (range /. 2.))
+    in
+    { range; half_angle }
+end
+
+let init_cone (cache : Sensor_cache.t) ~overestimate ~reader_loc ~heading =
+  let range = Float.max 0.5 (overestimate *. cache.Sensor_cache.range) in
+  let half_angle =
+    Float.min Float.pi (Float.max 0.2 (overestimate *. cache.Sensor_cache.half_angle))
+  in
+  Cone.make ~apex:reader_loc ~heading ~half_angle ~range
+
+let sample_initial_location cache ~overestimate ~world ~reader_loc ~heading rng =
+  let cone = init_cone cache ~overestimate ~reader_loc ~heading in
+  let p = Cone.sample cone rng in
+  if World.contains world p then p else World.clamp_to_shelves world p
+
+let propose_heading model ~motion ~epoch ~current rng =
+  match model with
+  | Config.Known_heading f -> f epoch
+  | Config.Track_heading { jump_prob } ->
+      if Rfid_prob.Rng.bernoulli rng ~p:jump_prob then
+        Rfid_prob.Rng.uniform rng ~lo:(-.Float.pi) ~hi:Float.pi
+      else
+        current
+        +. motion.Motion_model.heading_drift
+        +. Rfid_prob.Rng.gaussian rng ~sigma:motion.Motion_model.heading_sigma ()
+
+let proposal_delta proposal ~motion ~last_reported ~reported =
+  match proposal with
+  | Config.From_velocity -> motion.Motion_model.velocity
+  | Config.From_reported_displacement | Config.From_reported_location -> (
+      match last_reported with
+      | Some prev -> Vec3.sub reported prev
+      | None -> motion.Motion_model.velocity)
+
+let proposal_sigma proposal ~motion ~sensing =
+  match proposal with
+  | Config.From_velocity -> motion.Motion_model.sigma
+  | Config.From_reported_displacement | Config.From_reported_location ->
+      let m = motion.Motion_model.sigma in
+      let s = sensing.Location_sensing.sigma in
+      let axis m s = sqrt ((m *. m) +. (2. *. s *. s)) in
+      Vec3.make (axis m.Vec3.x s.Vec3.x) (axis m.Vec3.y s.Vec3.y) (axis m.Vec3.z s.Vec3.z)
+
+let jitter p ~sigma rng =
+  Vec3.make
+    (p.Vec3.x +. Rfid_prob.Rng.gaussian rng ~sigma:sigma.Vec3.x ())
+    (p.Vec3.y +. Rfid_prob.Rng.gaussian rng ~sigma:sigma.Vec3.y ())
+    (p.Vec3.z +. Rfid_prob.Rng.gaussian rng ~sigma:sigma.Vec3.z ())
+
+let resample scheme rng w ~n =
+  match scheme with
+  | Config.Systematic -> Rfid_prob.Resample.systematic rng w ~n
+  | Config.Multinomial -> Rfid_prob.Resample.multinomial rng w ~n
+  | Config.Residual -> Rfid_prob.Resample.residual rng w ~n

@@ -1,0 +1,71 @@
+(** Internals shared by the unfactorized and factorized filters:
+    cached sensing-region geometry, sensor-model-based particle
+    initialization (§IV-A), and the reader proposal distribution. *)
+
+module Sensor_cache : sig
+  type t = { range : float; half_angle : float }
+  (** Detection range (head-on) and half-angle (at mid-range) of a
+      sensor model at a given threshold — computed once, since the
+      bisection behind them is too slow for per-particle use. *)
+
+  val create : threshold:float -> max_range:float -> Rfid_model.Sensor_model.t -> t
+end
+
+val init_cone :
+  Sensor_cache.t ->
+  overestimate:float ->
+  reader_loc:Rfid_geom.Vec3.t ->
+  heading:float ->
+  Rfid_geom.Cone.t
+(** The initialization cone: sensing geometry widened by
+    [overestimate]. *)
+
+val sample_initial_location :
+  Sensor_cache.t ->
+  overestimate:float ->
+  world:Rfid_model.World.t ->
+  reader_loc:Rfid_geom.Vec3.t ->
+  heading:float ->
+  Rfid_prob.Rng.t ->
+  Rfid_geom.Vec3.t
+(** Draw an object-location hypothesis for a just-detected tag: uniform
+    over the initialization cone, clamped onto the shelf area. *)
+
+val propose_heading :
+  Config.heading_model ->
+  motion:Rfid_model.Motion_model.t ->
+  epoch:Rfid_model.Types.epoch ->
+  current:float ->
+  Rfid_prob.Rng.t ->
+  float
+(** Next-heading proposal per the configured heading model. *)
+
+val proposal_delta :
+  Config.proposal ->
+  motion:Rfid_model.Motion_model.t ->
+  last_reported:Rfid_geom.Vec3.t option ->
+  reported:Rfid_geom.Vec3.t ->
+  Rfid_geom.Vec3.t
+(** Mean displacement of the reader-location proposal for this epoch:
+    the model's average velocity, or the reported displacement when
+    configured (and available). *)
+
+val proposal_sigma :
+  Config.proposal ->
+  motion:Rfid_model.Motion_model.t ->
+  sensing:Rfid_model.Location_sensing.t ->
+  Rfid_geom.Vec3.t
+(** Per-axis noise of the reader proposal. With [From_velocity] this is
+    the motion model's sigma. With [From_reported_displacement], the
+    displacement is a {e control input} measured through the location
+    sensor, so its noise is the motion noise plus the differenced report
+    noise: sqrt(sigma_m^2 + 2 sigma_s^2) per axis. Using only sigma_m
+    there would make the filter chase the report noise instead of
+    smoothing it. *)
+
+val jitter : Rfid_geom.Vec3.t -> sigma:Rfid_geom.Vec3.t -> Rfid_prob.Rng.t -> Rfid_geom.Vec3.t
+(** Add independent per-axis Gaussian noise to a point. *)
+
+val resample :
+  Config.resample_scheme -> Rfid_prob.Rng.t -> float array -> n:int -> int array
+(** Dispatch to the configured {!Rfid_prob.Resample} scheme. *)

@@ -1,0 +1,85 @@
+type variant = Unfactorized | Factorized | Factorized_indexed | Factorized_compressed
+type resample_scheme = Systematic | Multinomial | Residual
+type proposal = From_velocity | From_reported_displacement | From_reported_location
+
+type heading_model =
+  | Known_heading of (Rfid_model.Types.epoch -> float)
+  | Track_heading of { jump_prob : float }
+
+type t = {
+  variant : variant;
+  num_reader_particles : int;
+  num_object_particles : int;
+  resample_ratio : float;
+  proposal : proposal;
+  heading_model : heading_model;
+  init_overestimate : float;
+  reinit_near : float;
+  reinit_far : float;
+  out_of_scope_after : int;
+  report_delay : int;
+  compress_after : int;
+  decompress_particles : int;
+  compress_max_nll : float option;
+  index_min_displacement : float;
+  detection_threshold : float;
+  case4_margin : float;
+  max_sensing_range : float;
+  resample_scheme : resample_scheme;
+  proposal_noise_override : Rfid_geom.Vec3.t option;
+  shelf_miss_weight : float;
+}
+
+let create ?(variant = Factorized_indexed) ?(num_reader_particles = 100)
+    ?(num_object_particles = 200) ?(resample_ratio = 0.5)
+    ?(proposal = From_reported_displacement)
+    ?(heading_model = Known_heading (fun _ -> 0.)) ?(init_overestimate = 1.25)
+    ?(reinit_near = 1.0) ?(reinit_far = 6.0) ?(out_of_scope_after = 15)
+    ?(report_delay = 60) ?(compress_after = 20) ?(decompress_particles = 10)
+    ?(compress_max_nll = None) ?(index_min_displacement = 0.5)
+    ?(detection_threshold = 0.02) ?(case4_margin = 1.0) ?(max_sensing_range = 12.) ?(shelf_miss_weight = 0.25) ?(resample_scheme = Systematic) ?(proposal_noise_override = None) () =
+  if num_reader_particles <= 0 || num_object_particles <= 0 then
+    invalid_arg "Config.create: particle counts must be positive";
+  if not (resample_ratio > 0. && resample_ratio <= 1.) then
+    invalid_arg "Config.create: resample_ratio must be in (0, 1]";
+  if init_overestimate <= 0. then
+    invalid_arg "Config.create: init_overestimate must be positive";
+  if reinit_near < 0. || reinit_far < reinit_near then
+    invalid_arg "Config.create: need 0 <= reinit_near <= reinit_far";
+  if out_of_scope_after <= 0 || report_delay < 0 || compress_after <= 0 then
+    invalid_arg "Config.create: scope/report/compress horizons must be positive";
+  if decompress_particles <= 0 then
+    invalid_arg "Config.create: decompress_particles must be positive";
+  if index_min_displacement < 0. || case4_margin < 0. then
+    invalid_arg "Config.create: negative index parameters";
+  if max_sensing_range <= 0. then
+    invalid_arg "Config.create: max_sensing_range must be positive";
+  if not (shelf_miss_weight >= 0. && shelf_miss_weight <= 1.) then
+    invalid_arg "Config.create: shelf_miss_weight must be in [0, 1]";
+  if not (detection_threshold > 0. && detection_threshold < 1.) then
+    invalid_arg "Config.create: detection_threshold must be in (0, 1)";
+  {
+    variant;
+    num_reader_particles;
+    num_object_particles;
+    resample_ratio;
+    proposal;
+    heading_model;
+    init_overestimate;
+    reinit_near;
+    reinit_far;
+    out_of_scope_after;
+    report_delay;
+    compress_after;
+    decompress_particles;
+    compress_max_nll;
+    index_min_displacement;
+    detection_threshold;
+    case4_margin;
+    max_sensing_range;
+    shelf_miss_weight;
+    resample_scheme;
+    proposal_noise_override;
+  }
+
+let default = create ()

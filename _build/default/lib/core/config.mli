@@ -1,0 +1,132 @@
+(** Engine configuration: particle budgets, the scalability variant
+    (§IV), proposal choices, and the report policy. *)
+
+type variant =
+  | Unfactorized
+      (** basic particle filter of §IV-A: joint particles over the
+          reader and every object *)
+  | Factorized  (** §IV-B: reader particles + per-object particle lists *)
+  | Factorized_indexed  (** §IV-B + the spatial index of §IV-C *)
+  | Factorized_compressed  (** §IV-B + §IV-C + belief compression (§IV-D) *)
+
+type resample_scheme = Systematic | Multinomial | Residual
+
+type proposal =
+  | From_velocity
+      (** propose reader motion from the learned average velocity
+          (the paper's model verbatim) *)
+  | From_reported_displacement
+      (** condition the motion proposal on the displacement between
+          consecutive reported locations — treats the location stream as
+          a control input, which handles turns; systematic bias cancels
+          in the difference *)
+  | From_reported_location
+      (** place reader hypotheses directly at the reported location —
+          "the reported location is the true location". This is the
+          paper's "motion model Off" strawman (Fig. 5(g)); it eats any
+          systematic reporting error whole. *)
+
+type heading_model =
+  | Known_heading of (Rfid_model.Types.epoch -> float)
+      (** reader orientation supplied externally (e.g. the application
+          commanded the robot's heading) *)
+  | Track_heading of { jump_prob : float }
+      (** orientation tracked as hidden state: random-walk proposal with
+          an occasional uniform re-draw so large turns remain reachable;
+          shelf-tag evidence pins it down *)
+
+type t = {
+  variant : variant;
+  num_reader_particles : int;  (** J, reader-location hypotheses *)
+  num_object_particles : int;  (** K, per-object location hypotheses *)
+  resample_ratio : float;  (** resample when ESS < ratio * n (0.5) *)
+  proposal : proposal;
+  heading_model : heading_model;
+  init_overestimate : float;
+      (** widening factor of the sensor-model-based initialization cone *)
+  reinit_near : float;
+      (** reader-displacement (ft) below which a re-detection reuses the
+          existing particles unchanged *)
+  reinit_far : float;
+      (** reader-displacement (ft) beyond which a re-detection discards
+          all old particles; in between, half are kept and half re-drawn
+          at the new location (§IV-A) *)
+  out_of_scope_after : int;
+      (** epochs without a reading after which an object has left the
+          reader's scope *)
+  report_delay : int;
+      (** epochs after entering scope at which a location event is
+          emitted (the paper's experiments use 60 s) *)
+  compress_after : int;
+      (** epochs without a reading after which a
+          [Factorized_compressed] engine compresses the object's belief *)
+  decompress_particles : int;
+      (** particle count when re-expanding a compressed belief (§V-D
+          uses 10) *)
+  compress_max_nll : float option;
+      (** optional quality gate: skip compression when the Gaussian's
+          average negative log-likelihood over the particles exceeds
+          this bound (the KL-threshold policy of §IV-D) *)
+  index_min_displacement : float;
+      (** consolidate index insertions until the reader has moved this
+          far (ft), to keep the R-tree compact *)
+  detection_threshold : float;
+      (** read-probability level treated as the sensing-region edge *)
+  case4_margin : float;
+      (** inflation (ft) of the Case-2 probe box, absorbing reader
+          particle spread *)
+  max_sensing_range : float;
+      (** hard cap (ft) on the detection range derived from the sensor
+          model — guards cones and index boxes against calibrated models
+          whose distance decay is unidentifiable from the training
+          geometry *)
+  resample_scheme : resample_scheme;
+      (** resampling scheme for both reader and object particles
+          (default [Systematic]; the others exist for ablation) *)
+  proposal_noise_override : Rfid_geom.Vec3.t option;
+      (** explicit per-axis reader-proposal noise, replacing the value
+          derived from the model parameters — used by calibration, whose
+          E-step deliberately inflates the {e weighting} sigma without
+          wanting a wilder proposal (default [None]) *)
+  shelf_miss_weight : float;
+      (** tempering factor in [0, 1] on the log-likelihood of shelf-tag
+          {e misses} in reader weighting. Reads are the reliable reader
+          evidence (Fig. 2(c)); misses mostly carry information through
+          the sensor model's soft boundary, exactly where a fitted
+          logistic deviates most from the true region, so full-strength
+          miss evidence lets model mismatch drag the reader posterior.
+          1 = the literal Eq. 5; default 0.25. *)
+}
+
+val default : t
+(** [Factorized_indexed], J = 100, K = 200, systematic resampling at
+    ESS ratio 0.5, displacement proposal, known heading 0, report delay
+    60 epochs. *)
+
+val create :
+  ?variant:variant ->
+  ?num_reader_particles:int ->
+  ?num_object_particles:int ->
+  ?resample_ratio:float ->
+  ?proposal:proposal ->
+  ?heading_model:heading_model ->
+  ?init_overestimate:float ->
+  ?reinit_near:float ->
+  ?reinit_far:float ->
+  ?out_of_scope_after:int ->
+  ?report_delay:int ->
+  ?compress_after:int ->
+  ?decompress_particles:int ->
+  ?compress_max_nll:float option ->
+  ?index_min_displacement:float ->
+  ?detection_threshold:float ->
+  ?case4_margin:float ->
+  ?max_sensing_range:float ->
+  ?shelf_miss_weight:float ->
+  ?resample_scheme:resample_scheme ->
+  ?proposal_noise_override:Rfid_geom.Vec3.t option ->
+  unit ->
+  t
+(** {!default} with overrides. @raise Invalid_argument on non-positive
+    particle counts, a resample ratio outside (0, 1], or negative
+    thresholds. *)

@@ -1,0 +1,109 @@
+type filter =
+  | Basic of Basic_filter.t * int (* declared object count *)
+  | Factored of Factored_filter.t
+
+type t = {
+  filter : filter;
+  cfg : Config.t;
+  (* Pending location reports: (due epoch, object); due epochs are
+     pushed in nondecreasing order because the delay is constant. *)
+  pending : (int * int) Queue.t;
+  scheduled : (int, unit) Hashtbl.t;  (* objects with a pending report *)
+}
+
+let create ~world ~params ~config ~init_reader ?num_objects ?(seed = 0) () =
+  let rng = Rfid_prob.Rng.create ~seed in
+  let filter =
+    match config.Config.variant with
+    | Config.Unfactorized -> (
+        match num_objects with
+        | Some n ->
+            Basic (Basic_filter.create ~world ~params ~config ~init_reader ~num_objects:n ~rng, n)
+        | None -> invalid_arg "Engine.create: Unfactorized variant requires num_objects")
+    | Config.Factorized | Config.Factorized_indexed | Config.Factorized_compressed ->
+        Factored (Factored_filter.create ~world ~params ~config ~init_reader ~rng)
+  in
+  { filter; cfg = config; pending = Queue.create (); scheduled = Hashtbl.create 64 }
+
+let filter_step t obs =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.step f obs
+  | Factored f -> Factored_filter.step f obs
+
+let estimate t obj =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.estimate f obj
+  | Factored f -> Factored_filter.estimate f obj
+
+let reader_estimate t =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.reader_estimate f
+  | Factored f -> Factored_filter.reader_estimate f
+
+let newly_seen t =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.newly_seen f
+  | Factored f -> Factored_filter.newly_seen f
+
+let known_objects t =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.known_objects f
+  | Factored f -> Factored_filter.known_objects f
+
+let epoch t =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.epoch f
+  | Factored f -> Factored_filter.epoch f
+
+let objects_processed_last_step t =
+  match t.filter with
+  | Basic (_, n) -> n
+  | Factored f -> Factored_filter.objects_processed_last_step f
+
+let config t = t.cfg
+
+let emit t ~at obj =
+  Hashtbl.remove t.scheduled obj;
+  match estimate t obj with
+  | Some (loc, cov) -> Some (Event.make ~epoch:at ~obj ~loc ~cov ())
+  | None -> None
+
+let step t obs =
+  filter_step t obs;
+  let e = obs.Rfid_model.Types.o_epoch in
+  (* Schedule a report for each object that just entered scope, unless
+     one is already pending from this encounter. *)
+  List.iter
+    (fun obj ->
+      if not (Hashtbl.mem t.scheduled obj) then begin
+        Hashtbl.replace t.scheduled obj ();
+        Queue.push (e + t.cfg.Config.report_delay, obj) t.pending
+      end)
+    (newly_seen t);
+  let events = ref [] in
+  let rec drain () =
+    match Queue.peek_opt t.pending with
+    | Some (due, obj) when due <= e ->
+        ignore (Queue.pop t.pending);
+        (match emit t ~at:e obj with Some ev -> events := ev :: !events | None -> ());
+        drain ()
+    | Some _ | None -> ()
+  in
+  drain ();
+  List.rev !events
+
+let flush t =
+  let e = epoch t in
+  let events = ref [] in
+  Queue.iter
+    (fun (_, obj) ->
+      if Hashtbl.mem t.scheduled obj then
+        match emit t ~at:e obj with Some ev -> events := ev :: !events | None -> ())
+    t.pending;
+  Queue.clear t.pending;
+  Hashtbl.reset t.scheduled;
+  List.rev !events
+
+let run t stream =
+  let events = List.concat_map (fun obs -> step t obs) stream in
+  events @ flush t

@@ -1,0 +1,52 @@
+(** The streaming inference engine: consumes synchronized observations
+    and produces the clean location-event stream (§II-A's output).
+
+    [Engine] wraps one of the filter implementations selected by
+    {!Config.variant} and adds the report policy: the paper's systems
+    emit an event for an object a fixed delay after it enters the
+    reader's scope during the current scan ("within x seconds after an
+    object was read"), so downstream queries see one stable location per
+    object per encounter instead of a fluctuating estimate. [flush]
+    emits events for encounters still pending at stream end (e.g. "upon
+    completion of a full area scan"). *)
+
+type t
+
+val create :
+  world:Rfid_model.World.t ->
+  params:Rfid_model.Params.t ->
+  config:Config.t ->
+  init_reader:Rfid_model.Reader_state.t ->
+  ?num_objects:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** [num_objects] is required by the [Unfactorized] variant (its joint
+    particles hold a location per object) and ignored otherwise.
+    [seed] (default 0) makes the engine deterministic.
+    @raise Invalid_argument if the variant is [Unfactorized] and
+    [num_objects] is missing. *)
+
+val step : t -> Rfid_model.Types.observation -> Event.t list
+(** Feed one epoch; returns the events whose report delay expired at
+    this epoch. @raise Invalid_argument on out-of-order epochs. *)
+
+val run : t -> Rfid_model.Types.observation list -> Event.t list
+(** [step] over a whole stream, then {!flush}; returns all events in
+    emission order. *)
+
+val flush : t -> Event.t list
+(** Emit events for all pending encounters (end-of-scan policy). *)
+
+val estimate : t -> int -> (Rfid_geom.Vec3.t * Rfid_prob.Linalg.mat) option
+(** Current posterior mean/covariance of an object's location. *)
+
+val reader_estimate : t -> Rfid_geom.Vec3.t
+val known_objects : t -> int list
+val epoch : t -> Rfid_model.Types.epoch
+
+val objects_processed_last_step : t -> int
+(** Factored variants: objects touched by the last step; for
+    [Unfactorized] this is the declared object count. *)
+
+val config : t -> Config.t

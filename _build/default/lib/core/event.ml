@@ -1,0 +1,29 @@
+type t = {
+  ev_epoch : Rfid_model.Types.epoch;
+  ev_obj : int;
+  ev_loc : Rfid_geom.Vec3.t;
+  ev_cov : Rfid_prob.Linalg.mat option;
+}
+
+let make ~epoch ~obj ~loc ?cov () =
+  { ev_epoch = epoch; ev_obj = obj; ev_loc = loc; ev_cov = cov }
+
+let std_dev_xy t =
+  match t.ev_cov with
+  | None -> None
+  | Some c -> Some (sqrt (Float.max 0. ((c.(0).(0) +. c.(1).(1)) /. 2.)))
+
+let confidence_ellipse t ~level =
+  match t.ev_cov with
+  | None -> None
+  | Some cov ->
+      let loc = Rfid_geom.Vec3.to_array t.ev_loc in
+      let g = Rfid_prob.Gaussian.create ~mean:loc ~cov in
+      Some (Rfid_prob.Gaussian.confidence_ellipse_xy g ~level)
+
+let pp ppf t =
+  Format.fprintf ppf "@[t=%d obj=%d loc=%a%t@]" t.ev_epoch t.ev_obj Rfid_geom.Vec3.pp
+    t.ev_loc (fun ppf ->
+      match std_dev_xy t with
+      | Some s -> Format.fprintf ppf " (sd_xy=%.3f)" s
+      | None -> ())

@@ -1,0 +1,589 @@
+open Rfid_geom
+open Rfid_model
+module Int_set = Set.Make (Int)
+
+type reader_particle = { mutable state : Reader_state.t; mutable log_w : float }
+
+type obj_particle = {
+  mutable loc : Vec3.t;
+  mutable reader_idx : int;
+  mutable log_w : float;
+}
+
+type belief = Active of obj_particle array | Compressed of Rfid_prob.Gaussian.t
+
+type obj_state = {
+  obj_id : int;
+  mutable belief : belief;
+  mutable reader_gen : int;  (* generation of the reader pointers in [belief] *)
+  mutable last_read : int;
+  mutable last_read_reader : Vec3.t;
+}
+
+(* Past sensing regions: boxes in an R-tree, each carrying the objects
+   that had particles there when the box was inserted (Fig. 4(b)/(c)). *)
+type obj_index = {
+  rtree : Int_set.t Rtree.t;
+  mutable pending_objs : Int_set.t;
+  mutable pending_box : Box2.t option;
+  mutable last_insert_loc : Vec3.t option;
+}
+
+type t = {
+  world : World.t;
+  params : Params.t;
+  config : Config.t;
+  rng : Rfid_prob.Rng.t;
+  mutable readers : reader_particle array;
+  mutable reader_gen : int;
+  objects : (int, obj_state) Hashtbl.t;
+  cache : Common.Sensor_cache.t;
+  shelf_rtree : (int * Vec3.t) Rtree.t;
+  index : obj_index option;
+  compress : bool;
+  compress_queue : (int * int) Queue.t;  (* (deadline epoch, obj id) *)
+  mutable last_reported : Vec3.t option;
+  mutable epoch : int;
+  mutable newly_seen : int list;
+  mutable processed_last : int;
+}
+
+let create ~world ~params ~config ~init_reader ~rng =
+  let use_index, compress =
+    match config.Config.variant with
+    | Config.Unfactorized ->
+        invalid_arg "Factored_filter.create: use Basic_filter for Unfactorized"
+    | Config.Factorized -> (false, false)
+    | Config.Factorized_indexed -> (true, false)
+    | Config.Factorized_compressed -> (true, true)
+  in
+  let readers =
+    Array.init config.Config.num_reader_particles (fun _ ->
+        let loc =
+          Common.jitter init_reader.Reader_state.loc
+            ~sigma:params.Params.sensing.Location_sensing.sigma rng
+        in
+        {
+          state = Reader_state.make ~loc ~heading:init_reader.Reader_state.heading;
+          log_w = 0.;
+        })
+  in
+  let shelf_rtree = Rtree.create () in
+  List.iter
+    (fun (tag, loc) ->
+      match tag with
+      | Types.Shelf_tag id ->
+          Rtree.insert shelf_rtree
+            (Box2.of_center loc ~half_width:0.01 ~half_height:0.01)
+            (id, loc)
+      | Types.Object_tag _ -> ())
+    (World.shelf_tags world);
+  {
+    world;
+    params;
+    config;
+    rng;
+    readers;
+    reader_gen = 0;
+    objects = Hashtbl.create 64;
+    cache =
+      Common.Sensor_cache.create ~threshold:config.Config.detection_threshold
+        ~max_range:config.Config.max_sensing_range
+        params.Params.sensor;
+    shelf_rtree;
+    index =
+      (if use_index then
+         Some
+           {
+             rtree = Rtree.create ();
+             pending_objs = Int_set.empty;
+             pending_box = None;
+             last_insert_loc = None;
+           }
+       else None);
+    compress;
+    compress_queue = Queue.create ();
+    last_reported = None;
+    epoch = -1;
+    newly_seen = [];
+    processed_last = 0;
+  }
+
+let num_readers t = Array.length t.readers
+
+let reader_weights t =
+  Rfid_prob.Stats.normalize_log_weights
+    (Array.map (fun (r : reader_particle) -> r.log_w) t.readers)
+
+(* Draw a reader-particle index proportionally to current weights. *)
+let sample_reader_idx t rw = Rfid_prob.Rng.categorical t.rng rw
+
+let obj_weights parts =
+  Rfid_prob.Stats.normalize_log_weights (Array.map (fun p -> p.log_w) parts)
+
+let fresh_particle t rw ~reader_loc_of =
+  let idx = sample_reader_idx t rw in
+  let reader = reader_loc_of idx in
+  let loc =
+    Common.sample_initial_location t.cache
+      ~overestimate:t.config.Config.init_overestimate ~world:t.world
+      ~reader_loc:reader.Reader_state.loc ~heading:reader.Reader_state.heading t.rng
+  in
+  { loc; reader_idx = idx; log_w = 0. }
+
+let init_object_particles t rw n =
+  Array.init n (fun _ -> fresh_particle t rw ~reader_loc_of:(fun i -> t.readers.(i).state))
+
+let decompress t rw g =
+  Array.init t.config.Config.decompress_particles (fun _ ->
+      let p = Vec3.of_array (Rfid_prob.Gaussian.sample g t.rng) in
+      let p = if World.contains t.world p then p else World.clamp_to_shelves t.world p in
+      { loc = p; reader_idx = sample_reader_idx t rw; log_w = 0. })
+
+(* The probe/insertion box for the sensing region around a reader
+   location: heading-independent square of side 2 * detection range,
+   inflated by the configured margin for reader-particle spread. *)
+let sensing_box t loc =
+  let r = t.cache.Common.Sensor_cache.range +. t.config.Config.case4_margin in
+  Box2.of_center loc ~half_width:r ~half_height:r
+
+let shelf_evidence_tags t reported shelf_read =
+  (* Shelf tags that matter this epoch: those read, plus unread ones
+     near enough that their miss carries weight (the Case-4 rounding
+     applied to shelf tags). *)
+  let box = sensing_box t reported in
+  let near = Rtree.query t.shelf_rtree box in
+  let read_ids = Hashtbl.fold (fun id () acc -> Int_set.add id acc) shelf_read Int_set.empty in
+  let near_ids = List.fold_left (fun acc (id, _) -> Int_set.add id acc) Int_set.empty near in
+  let missing = Int_set.diff read_ids near_ids in
+  let extra =
+    (* A read shelf tag outside the probe box (possible with heavy
+       location noise) still contributes evidence; find it by id. *)
+    Int_set.fold
+      (fun id acc ->
+        match World.shelf_tag_location t.world id with
+        | loc -> (id, loc) :: acc
+        | exception Not_found -> acc)
+      missing []
+  in
+  near @ extra
+
+let weight_readers t reported shelf_read =
+  let tags = shelf_evidence_tags t reported shelf_read in
+  let sensing = t.params.Params.sensing in
+  let sensor = t.params.Params.sensor in
+  Array.iter
+    (fun r ->
+      let reader_loc = r.state.Reader_state.loc in
+      let heading = r.state.Reader_state.heading in
+      let lw = ref (Location_sensing.log_pdf sensing ~true_loc:reader_loc ~reported) in
+      List.iter
+        (fun (id, tag_loc) ->
+          let read = Hashtbl.mem shelf_read id in
+          let l =
+            Sensor_model.log_prob sensor ~reader_loc ~reader_heading:heading ~tag_loc
+              ~read
+          in
+          (* Miss evidence is tempered: it flows through the sensor
+             model's soft boundary, where a fitted logistic deviates
+             most from the true region (see Config.shelf_miss_weight). *)
+          let l = if read then l else t.config.Config.shelf_miss_weight *. l in
+          lw := !lw +. l)
+        tags;
+      r.log_w <- r.log_w +. !lw)
+    t.readers;
+  (* Centre to avoid drift to -inf over long streams. *)
+  let m =
+    Array.fold_left
+      (fun acc (r : reader_particle) -> Float.max acc r.log_w)
+      neg_infinity t.readers
+  in
+  if Float.is_finite m then
+    Array.iter (fun (r : reader_particle) -> r.log_w <- r.log_w -. m) t.readers
+
+let propose_readers t e reported =
+  let motion = t.params.Params.motion in
+  let delta =
+    Common.proposal_delta t.config.Config.proposal ~motion
+      ~last_reported:t.last_reported ~reported
+  in
+  let sigma =
+    match t.config.Config.proposal_noise_override with
+    | Some s -> s
+    | None ->
+        Common.proposal_sigma t.config.Config.proposal ~motion
+          ~sensing:t.params.Params.sensing
+  in
+  Array.iter
+    (fun r ->
+      let loc =
+        match t.config.Config.proposal with
+        | Config.From_reported_location -> Common.jitter reported ~sigma t.rng
+        | Config.From_velocity | Config.From_reported_displacement ->
+            Common.jitter (Vec3.add r.state.Reader_state.loc delta) ~sigma t.rng
+      in
+      let heading =
+        Common.propose_heading t.config.Config.heading_model ~motion ~epoch:e
+          ~current:r.state.Reader_state.heading t.rng
+      in
+      r.state <- Reader_state.make ~loc ~heading)
+    t.readers
+
+(* Objects to process this epoch beyond those read now (Case 2): with an
+   index, the union of object sets of past sensing boxes overlapping the
+   current one; without, every known object. *)
+let case2_objects t reported ~case1 =
+  match t.index with
+  | None ->
+      Hashtbl.fold
+        (fun id _ acc -> if Int_set.mem id case1 then acc else Int_set.add id acc)
+        t.objects Int_set.empty
+  | Some idx ->
+      let probe = sensing_box t reported in
+      let hits = Rtree.query idx.rtree probe in
+      List.fold_left
+        (fun acc set -> Int_set.union acc (Int_set.diff set case1))
+        Int_set.empty hits
+
+let refresh_pointers t rw (obj : obj_state) =
+  if obj.reader_gen <> t.reader_gen then begin
+    (match obj.belief with
+    | Active parts ->
+        Array.iter (fun p -> p.reader_idx <- sample_reader_idx t rw) parts
+    | Compressed _ -> ());
+    obj.reader_gen <- t.reader_gen
+  end
+
+let propose_and_weight_object t (obj : obj_state) ~read =
+  match obj.belief with
+  | Compressed _ -> ()
+  | Active parts ->
+      let sensor = t.params.Params.sensor in
+      let obj_model = t.params.Params.objects in
+      Array.iter
+        (fun p ->
+          (* The move-hypothesis transition (uniform over all shelves,
+             probability alpha) is injected only on epochs that carry a
+             reading of this tag: a hypothesis born on a miss-only epoch
+             lands far from the reader, where misses are certain anyway,
+             so nothing can ever refute it — and one such runaway
+             particle drags the posterior mean by (warehouse size / K).
+             Evidence-bearing epochs crush wrong move hypotheses
+             immediately, which is all the diversity the model needs. *)
+          if read then p.loc <- Object_model.sample_next obj_model t.world t.rng p.loc;
+          let reader = t.readers.(p.reader_idx).state in
+          p.log_w <-
+            p.log_w
+            +. Sensor_model.log_prob sensor ~reader_loc:reader.Reader_state.loc
+                 ~reader_heading:reader.Reader_state.heading ~tag_loc:p.loc ~read)
+        parts;
+      let m = Array.fold_left (fun acc p -> Float.max acc p.log_w) neg_infinity parts in
+      if Float.is_finite m then Array.iter (fun p -> p.log_w <- p.log_w -. m) parts;
+      (* Per-object resampling, pointer-preserving (§IV-B). *)
+      let w = obj_weights parts in
+      let k = Array.length parts in
+      if
+        Rfid_prob.Stats.effective_sample_size w
+        < t.config.Config.resample_ratio *. float_of_int k
+      then begin
+        let idx = Common.resample t.config.Config.resample_scheme t.rng w ~n:k in
+        let fresh =
+          Array.map
+            (fun i ->
+              let src = parts.(i) in
+              { loc = src.loc; reader_idx = src.reader_idx; log_w = 0. })
+            idx
+        in
+        obj.belief <- Active fresh
+      end
+
+(* Reader resampling instrumented to favor readers associated with good
+   object particles: each in-scope object contributes, per reader, the
+   mean normalized weight of its particles pointing there. *)
+let maybe_resample_readers t scope =
+  let j = num_readers t in
+  let rw = reader_weights t in
+  if
+    Rfid_prob.Stats.effective_sample_size rw
+    >= t.config.Config.resample_ratio *. float_of_int j
+  then ()
+  else begin
+    let adj = Array.make j 0. in
+    let consider (obj : obj_state) =
+      match obj.belief with
+      | Compressed _ -> ()
+      | Active parts when obj.reader_gen = t.reader_gen ->
+          let w = obj_weights parts in
+          let sum = Array.make j 0. and cnt = Array.make j 0 in
+          Array.iteri
+            (fun i p ->
+              sum.(p.reader_idx) <- sum.(p.reader_idx) +. w.(i);
+              cnt.(p.reader_idx) <- cnt.(p.reader_idx) + 1)
+            parts;
+          let means =
+            Array.init j (fun r ->
+                if cnt.(r) = 0 then None else Some (sum.(r) /. float_of_int cnt.(r)))
+          in
+          let avg =
+            let s = ref 0. and n = ref 0 in
+            Array.iter
+              (function
+                | Some m ->
+                    s := !s +. m;
+                    incr n
+                | None -> ())
+              means;
+            if !n = 0 then 0. else !s /. float_of_int !n
+          in
+          if avg > 0. then
+            Array.iteri
+              (fun r m ->
+                match m with
+                | Some m -> adj.(r) <- adj.(r) +. log (Float.max 1e-12 (m /. avg))
+                | None -> ())
+              means
+      | Active _ -> ()
+    in
+    Int_set.iter
+      (fun id -> match Hashtbl.find_opt t.objects id with Some o -> consider o | None -> ())
+      scope;
+    let combined = Array.mapi (fun i w -> log (Float.max 1e-300 w) +. adj.(i)) rw in
+    let w = Rfid_prob.Stats.normalize_log_weights combined in
+    let idx = Common.resample t.config.Config.resample_scheme t.rng w ~n:j in
+    let old = t.readers in
+    t.readers <-
+      Array.map (fun i -> { state = old.(i).state; log_w = 0. }) idx;
+    (* Pointer remap: copies of a surviving reader are tracked so object
+       particles can follow one of them; orphans re-draw uniformly. *)
+    let copies = Array.make j [] in
+    Array.iteri (fun new_i old_i -> copies.(old_i) <- new_i :: copies.(old_i)) idx;
+    t.reader_gen <- t.reader_gen + 1;
+    let remap (obj : obj_state) =
+      match obj.belief with
+      | Compressed _ -> ()
+      | Active parts when obj.reader_gen = t.reader_gen - 1 ->
+          Array.iter
+            (fun p ->
+              match copies.(p.reader_idx) with
+              | [] -> p.reader_idx <- Rfid_prob.Rng.int t.rng j
+              | [ one ] -> p.reader_idx <- one
+              | many ->
+                  let k = Rfid_prob.Rng.int t.rng (List.length many) in
+                  p.reader_idx <- List.nth many k)
+            parts;
+          obj.reader_gen <- t.reader_gen
+      | Active _ -> ()
+    in
+    Int_set.iter
+      (fun id -> match Hashtbl.find_opt t.objects id with Some o -> remap o | None -> ())
+      scope
+  end
+
+let update_index t reported scope =
+  match t.index with
+  | None -> ()
+  | Some idx ->
+      let box = sensing_box t reported in
+      idx.pending_objs <- Int_set.union idx.pending_objs scope;
+      idx.pending_box <-
+        Some (match idx.pending_box with None -> box | Some b -> Box2.union b box);
+      let should_flush =
+        match idx.last_insert_loc with
+        | None -> true
+        | Some prev -> Vec3.dist_xy prev reported >= t.config.Config.index_min_displacement
+      in
+      if should_flush then begin
+        (match idx.pending_box with
+        | Some b when not (Int_set.is_empty idx.pending_objs) ->
+            (* Fig. 4(b): a box's object set is the objects with at
+               least one particle inside it — not the whole processed
+               scope, which would snowball transitively through future
+               Case-2 probes until every box contained every object. *)
+            let has_particle_in id =
+              match Hashtbl.find_opt t.objects id with
+              | None -> false
+              | Some { belief = Compressed g; _ } ->
+                  Box2.contains_point b (Vec3.of_array (Rfid_prob.Gaussian.mean g))
+              | Some { belief = Active parts; _ } ->
+                  Array.exists (fun p -> Box2.contains_point b p.loc) parts
+            in
+            let inside = Int_set.filter has_particle_in idx.pending_objs in
+            if not (Int_set.is_empty inside) then Rtree.insert idx.rtree b inside
+        | Some _ | None -> ());
+        idx.pending_objs <- Int_set.empty;
+        idx.pending_box <- None;
+        idx.last_insert_loc <- Some reported
+      end
+
+let compress_object t (obj : obj_state) =
+  match obj.belief with
+  | Compressed _ -> ()
+  | Active parts when Array.length parts = 0 -> ()
+  | Active parts ->
+      let w = obj_weights parts in
+      let pts = Array.map (fun p -> Vec3.to_array p.loc) parts in
+      let g = Rfid_prob.Gaussian.fit ~w pts in
+      let ok =
+        match t.config.Config.compress_max_nll with
+        | None -> true
+        | Some bound -> Rfid_prob.Gaussian.avg_nll ~w g pts <= bound
+      in
+      if ok then obj.belief <- Compressed g
+
+let run_compression t e =
+  if t.compress then begin
+    let rec drain () =
+      match Queue.peek_opt t.compress_queue with
+      | Some (deadline, obj_id) when deadline <= e ->
+          ignore (Queue.pop t.compress_queue);
+          (match Hashtbl.find_opt t.objects obj_id with
+          | Some obj when e - obj.last_read >= t.config.Config.compress_after ->
+              compress_object t obj
+          | Some _ | None -> ());
+          drain ()
+      | Some _ | None -> ()
+    in
+    drain ()
+  end
+
+let step t (obs : Types.observation) =
+  if obs.Types.o_epoch <= t.epoch then
+    invalid_arg "Factored_filter.step: observations out of epoch order";
+  let e = obs.Types.o_epoch in
+  let reported = obs.Types.o_reported_loc in
+  t.newly_seen <- [];
+  let shelf_read = Hashtbl.create 8 in
+  let case1 =
+    List.fold_left
+      (fun acc tag ->
+        match tag with
+        | Types.Object_tag i -> Int_set.add i acc
+        | Types.Shelf_tag i ->
+            Hashtbl.replace shelf_read i ();
+            acc)
+      Int_set.empty obs.Types.o_read_tags
+  in
+  (* 1–2. Reader proposal and weighting (Eq. 5 reader factor). *)
+  propose_readers t e reported;
+  weight_readers t reported shelf_read;
+  let rw = reader_weights t in
+  (* 3. Scope. *)
+  let case2 = case2_objects t reported ~case1 in
+  let scope = Int_set.union case1 case2 in
+  t.processed_last <- Int_set.cardinal scope;
+  (* 4. Detection-driven creation / decompression / re-initialization. *)
+  Int_set.iter
+    (fun id ->
+      match Hashtbl.find_opt t.objects id with
+      | None ->
+          let parts = init_object_particles t rw t.config.Config.num_object_particles in
+          Hashtbl.replace t.objects id
+            {
+              obj_id = id;
+              belief = Active parts;
+              reader_gen = t.reader_gen;
+              last_read = e;
+              last_read_reader = reported;
+            };
+          t.newly_seen <- id :: t.newly_seen
+      | Some obj ->
+          (match obj.belief with
+          | Compressed g ->
+              obj.belief <- Active (decompress t rw g);
+              obj.reader_gen <- t.reader_gen
+          | Active parts ->
+              let d = Vec3.dist reported obj.last_read_reader in
+              if d >= t.config.Config.reinit_far then begin
+                obj.belief <-
+                  Active (init_object_particles t rw (Array.length parts));
+                obj.reader_gen <- t.reader_gen
+              end
+              else if d >= t.config.Config.reinit_near then begin
+                (* Keep half, move half to the new location (§IV-A). *)
+                refresh_pointers t rw obj;
+                Array.iteri
+                  (fun i p ->
+                    if i mod 2 = 0 then begin
+                      let np =
+                        fresh_particle t rw ~reader_loc_of:(fun i -> t.readers.(i).state)
+                      in
+                      p.loc <- np.loc;
+                      p.reader_idx <- np.reader_idx;
+                      p.log_w <- 0.
+                    end)
+                  parts
+              end);
+          if e - obj.last_read > t.config.Config.out_of_scope_after then
+            t.newly_seen <- id :: t.newly_seen)
+    case1;
+  (* 5. Object proposal + weighting over the scope. *)
+  Int_set.iter
+    (fun id ->
+      match Hashtbl.find_opt t.objects id with
+      | None -> ()
+      | Some obj ->
+          refresh_pointers t rw obj;
+          propose_and_weight_object t obj ~read:(Int_set.mem id case1))
+    scope;
+  (* 6. Reader resampling (rare; ESS-triggered). *)
+  maybe_resample_readers t scope;
+  (* 7. Spatial index bookkeeping. *)
+  update_index t reported scope;
+  (* 8–9. Compression and scope bookkeeping. *)
+  Int_set.iter
+    (fun id ->
+      match Hashtbl.find_opt t.objects id with
+      | None -> ()
+      | Some obj ->
+          obj.last_read <- e;
+          obj.last_read_reader <- reported;
+          if t.compress then
+            Queue.push (e + t.config.Config.compress_after, id) t.compress_queue)
+    case1;
+  run_compression t e;
+  t.last_reported <- Some reported;
+  t.epoch <- e
+
+let estimate t obj_id =
+  match Hashtbl.find_opt t.objects obj_id with
+  | None -> None
+  | Some obj -> (
+      match obj.belief with
+      | Compressed g ->
+          Some (Vec3.of_array (Rfid_prob.Gaussian.mean g), Rfid_prob.Gaussian.cov g)
+      | Active parts ->
+          let w = obj_weights parts in
+          let pts = Array.map (fun p -> Vec3.to_array p.loc) parts in
+          let g = Rfid_prob.Gaussian.fit ~w pts in
+          Some (Vec3.of_array (Rfid_prob.Gaussian.mean g), Rfid_prob.Gaussian.cov g))
+
+let reader_estimate t =
+  let rw = reader_weights t in
+  let acc = ref Vec3.zero in
+  Array.iteri
+    (fun i r -> acc := Vec3.add !acc (Vec3.scale rw.(i) r.state.Reader_state.loc))
+    t.readers;
+  !acc
+
+let newly_seen t = t.newly_seen
+let known_objects t = Hashtbl.fold (fun id _ acc -> id :: acc) t.objects []
+let epoch t = t.epoch
+let objects_processed_last_step t = t.processed_last
+
+let is_compressed t obj_id =
+  match Hashtbl.find_opt t.objects obj_id with
+  | Some { belief = Compressed _; _ } -> true
+  | Some { belief = Active _; _ } | None -> false
+
+let num_index_boxes t = match t.index with None -> 0 | Some idx -> Rtree.size idx.rtree
+
+let iter_reader_particles t f =
+  let rw = reader_weights t in
+  Array.iteri (fun i r -> f r.state rw.(i)) t.readers
+
+let iter_object_particles t obj_id f =
+  match Hashtbl.find_opt t.objects obj_id with
+  | None | Some { belief = Compressed _; _ } -> ()
+  | Some { belief = Active parts; _ } ->
+      let w = obj_weights parts in
+      Array.iteri (fun i p -> f p.loc w.(i) t.readers.(p.reader_idx).state) parts

@@ -1,0 +1,81 @@
+(** The factorized particle filter (§IV-B), optionally augmented with
+    the spatial index (§IV-C) and belief compression (§IV-D).
+
+    Instead of joint particles, the filter keeps J weighted {e reader
+    particles} and, per object, K weighted {e object particles}, each
+    holding a location hypothesis plus a pointer to the reader particle
+    it was weighted against — Fig. 3(b)/(c) of the paper. Because the
+    model and the proposal factorize identically (Eq. 5), the factored
+    weight updates are equivalent to the unfactored ones while
+    representing an exponentially larger joint particle set in linear
+    space.
+
+    With [Factorized_indexed] or [Factorized_compressed] variants, an
+    R-tree over past sensing-region bounding boxes limits each epoch's
+    work to the objects of Cases 1 and 2 (read now, or previously read
+    near the current reader position); Case 4 objects' near-zero read
+    probability is rounded to zero, Case 3 objects are invisible by
+    construction (Fig. 4). With [Factorized_compressed], an object's
+    particle cloud is collapsed to its moment-matched Gaussian once the
+    object has been out of scope for a while, and re-expanded into a
+    small particle set when the tag is read again.
+
+    Objects are discovered from the stream; nothing about the object
+    universe is declared up front. *)
+
+type t
+
+val create :
+  world:Rfid_model.World.t ->
+  params:Rfid_model.Params.t ->
+  config:Config.t ->
+  init_reader:Rfid_model.Reader_state.t ->
+  rng:Rfid_prob.Rng.t ->
+  t
+(** The [config.variant] field selects plain [Factorized] (all known
+    objects processed every epoch), [Factorized_indexed], or
+    [Factorized_compressed]. [Unfactorized] is rejected.
+    @raise Invalid_argument on [Unfactorized]. *)
+
+val step : t -> Rfid_model.Types.observation -> unit
+(** Advance one epoch. @raise Invalid_argument if observations arrive
+    out of epoch order. *)
+
+val estimate : t -> int -> (Rfid_geom.Vec3.t * Rfid_prob.Linalg.mat) option
+(** Posterior mean and covariance of an object's location ([None] if the
+    object was never read). Works on both particle and compressed
+    representations. *)
+
+val reader_estimate : t -> Rfid_geom.Vec3.t
+val newly_seen : t -> int list
+val known_objects : t -> int list
+val epoch : t -> Rfid_model.Types.epoch
+
+(** {1 Introspection (tests, benches)} *)
+
+val objects_processed_last_step : t -> int
+(** How many objects the last {!step} actually touched — the quantity
+    the spatial index is designed to shrink. *)
+
+val is_compressed : t -> int -> bool
+(** Whether the object's belief currently lives in compressed (Gaussian)
+    form. *)
+
+val num_index_boxes : t -> int
+(** Sensing-region boxes currently held by the spatial index (0 without
+    an index). *)
+
+val iter_reader_particles :
+  t -> (Rfid_model.Reader_state.t -> float -> unit) -> unit
+(** Visit every reader particle with its normalized weight — the E-step
+    of EM calibration and white-box tests read the posterior this
+    way. *)
+
+val iter_object_particles :
+  t ->
+  int ->
+  (Rfid_geom.Vec3.t -> float -> Rfid_model.Reader_state.t -> unit) ->
+  unit
+(** Visit an object's particles as (location, normalized weight,
+    associated reader hypothesis). No-op for unknown or compressed
+    objects. *)

@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Float Format Hashtbl Int List Rfid_core Rfid_geom Rfid_model Vec3

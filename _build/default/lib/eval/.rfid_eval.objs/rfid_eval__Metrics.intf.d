@@ -1,0 +1,1 @@
+lib/eval/metrics.mli: Format Rfid_core Rfid_model

@@ -1,0 +1,1 @@
+lib/eval/runner.ml: Array Gc Int List Metrics Rfid_core Rfid_model Sys Unix

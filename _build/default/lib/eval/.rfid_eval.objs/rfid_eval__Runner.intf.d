@@ -1,0 +1,1 @@
+lib/eval/runner.mli: Metrics Rfid_core Rfid_model

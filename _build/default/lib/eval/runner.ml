@@ -1,0 +1,63 @@
+type result = {
+  events : Rfid_core.Event.t list;
+  error : Metrics.error;
+  total_readings : int;
+  elapsed_s : float;
+  ms_per_reading : float;
+  max_objects_processed : int;
+  live_heap_mb : float;
+}
+
+let run_engine ?(params = Rfid_model.Params.default) ~config ?init_reader ?(seed = 0)
+    (trace : Rfid_model.Trace.t) =
+  let init_reader =
+    match init_reader with
+    | Some r -> r
+    | None ->
+        if Array.length trace.Rfid_model.Trace.steps = 0 then
+          invalid_arg "Runner.run_engine: empty trace and no init_reader"
+        else trace.Rfid_model.Trace.steps.(0).Rfid_model.Trace.true_reader
+  in
+  let engine =
+    Rfid_core.Engine.create ~world:trace.Rfid_model.Trace.world ~params ~config
+      ~init_reader ~num_objects:trace.Rfid_model.Trace.num_objects ~seed ()
+  in
+  let observations = Rfid_model.Trace.observations trace in
+  let total_readings =
+    List.fold_left
+      (fun acc (o : Rfid_model.Types.observation) ->
+        acc + List.length o.Rfid_model.Types.o_read_tags)
+      0 observations
+  in
+  Gc.full_major ();
+  let baseline_words = (Gc.stat ()).Gc.live_words in
+  let t0 = Unix.gettimeofday () in
+  let max_scope = ref 0 in
+  let events =
+    List.concat_map
+      (fun obs ->
+        let evs = Rfid_core.Engine.step engine obs in
+        max_scope :=
+          Int.max !max_scope (Rfid_core.Engine.objects_processed_last_step engine);
+        evs)
+      observations
+  in
+  let events = events @ Rfid_core.Engine.flush engine in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Gc.full_major ();
+  let live_heap_mb =
+    float_of_int (Int.max 0 ((Gc.stat ()).Gc.live_words - baseline_words))
+    *. float_of_int (Sys.word_size / 8)
+    /. 1_048_576.
+  in
+  let error = Metrics.inference_error events trace in
+  {
+    events;
+    error;
+    total_readings;
+    elapsed_s;
+    ms_per_reading =
+      (if total_readings = 0 then 0. else 1000. *. elapsed_s /. float_of_int total_readings);
+    max_objects_processed = !max_scope;
+    live_heap_mb;
+  }

@@ -1,0 +1,30 @@
+(** Experiment driver: run an engine over a trace and measure accuracy
+    and cost — the loop every bench and example shares. *)
+
+type result = {
+  events : Rfid_core.Event.t list;
+  error : Metrics.error;
+  total_readings : int;  (** tag readings processed (the throughput unit of §V) *)
+  elapsed_s : float;  (** wall-clock inference time, seconds *)
+  ms_per_reading : float;
+  max_objects_processed : int;  (** peak per-epoch scope size *)
+  live_heap_mb : float;
+      (** growth of major-heap live words over the run (MB), i.e. the
+          engine's footprint (events included, the input trace excluded)
+          — the §V-D memory claim is about exactly this: compression
+          keeps idle objects' beliefs at 9 floats instead of K
+          particles *)
+}
+
+val run_engine :
+  ?params:Rfid_model.Params.t ->
+  config:Rfid_core.Config.t ->
+  ?init_reader:Rfid_model.Reader_state.t ->
+  ?seed:int ->
+  Rfid_model.Trace.t ->
+  result
+(** Build an engine on the trace's world and stream every observation
+    through it. [params] defaults to {!Rfid_model.Params.default};
+    [init_reader] defaults to the trace's first true reader state (the
+    paper assumes R_1 known). The [Unfactorized] variant receives the
+    trace's object count automatically. *)

@@ -1,0 +1,1 @@
+lib/geom/box2.ml: Float Format List Vec3

@@ -1,0 +1,1 @@
+lib/geom/box2.mli: Format Vec3

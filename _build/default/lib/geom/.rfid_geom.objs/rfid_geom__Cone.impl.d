@@ -1,0 +1,1 @@
+lib/geom/cone.ml: Box2 Float List Rfid_prob Vec3

@@ -1,0 +1,1 @@
+lib/geom/cone.mli: Box2 Rfid_prob Vec3

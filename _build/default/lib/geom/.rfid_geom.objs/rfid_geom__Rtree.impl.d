@@ -1,0 +1,1 @@
+lib/geom/rtree.ml: Array Box2 Int List

@@ -1,0 +1,1 @@
+lib/geom/vec3.mli: Format

@@ -1,0 +1,153 @@
+type 'a node = Leaf of (Box2.t * 'a) list | Inner of (Box2.t * 'a node) list
+
+type 'a t = {
+  mutable root : 'a node;
+  mutable count : int;
+  max_entries : int;
+  min_entries : int;
+}
+
+let create ?(max_entries = 8) () =
+  if max_entries < 4 then invalid_arg "Rtree.create: max_entries must be >= 4";
+  {
+    root = Leaf [];
+    count = 0;
+    max_entries;
+    min_entries = Int.max 1 (max_entries / 3);
+  }
+
+let mbr_of_entries box_of = function
+  | [] -> invalid_arg "Rtree: empty node"
+  | e :: rest -> List.fold_left (fun acc x -> Box2.union acc (box_of x)) (box_of e) rest
+
+let node_mbr = function
+  | Leaf entries -> mbr_of_entries fst entries
+  | Inner entries -> mbr_of_entries fst entries
+
+(* Quadratic split (Guttman 1984): seed with the pair wasting the most
+   area, then greedily assign remaining entries to the group whose mbr
+   grows least, forcing assignment when a group must absorb the rest to
+   reach minimum fill. *)
+let quadratic_split ~min_entries entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let box i = fst arr.(i) in
+  let seed_a = ref 0 and seed_b = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let dead =
+        Box2.area (Box2.union (box i) (box j)) -. Box2.area (box i) -. Box2.area (box j)
+      in
+      if dead > !worst then begin
+        worst := dead;
+        seed_a := i;
+        seed_b := j
+      end
+    done
+  done;
+  let group_a = ref [ arr.(!seed_a) ] and group_b = ref [ arr.(!seed_b) ] in
+  let mbr_a = ref (box !seed_a) and mbr_b = ref (box !seed_b) in
+  let remaining = ref [] in
+  for i = n - 1 downto 0 do
+    if i <> !seed_a && i <> !seed_b then remaining := arr.(i) :: !remaining
+  done;
+  let assign_a e =
+    group_a := e :: !group_a;
+    mbr_a := Box2.union !mbr_a (fst e)
+  and assign_b e =
+    group_b := e :: !group_b;
+    mbr_b := Box2.union !mbr_b (fst e)
+  in
+  let rec distribute = function
+    | [] -> ()
+    | rest when List.length !group_a + List.length rest <= min_entries ->
+        List.iter assign_a rest
+    | rest when List.length !group_b + List.length rest <= min_entries ->
+        List.iter assign_b rest
+    | e :: rest ->
+        let grow_a = Box2.enlargement !mbr_a (fst e)
+        and grow_b = Box2.enlargement !mbr_b (fst e) in
+        if
+          grow_a < grow_b
+          || (grow_a = grow_b && Box2.area !mbr_a <= Box2.area !mbr_b)
+        then assign_a e
+        else assign_b e;
+        distribute rest
+  in
+  distribute !remaining;
+  (!group_a, !group_b)
+
+let choose_child children box =
+  (* Least enlargement, ties by least area. Returns the chosen entry and
+     the others. *)
+  let best = ref None in
+  List.iteri
+    (fun i (cbox, _) ->
+      let grow = Box2.enlargement cbox box in
+      let a = Box2.area cbox in
+      match !best with
+      | None -> best := Some (i, grow, a)
+      | Some (_, g, ba) when grow < g || (grow = g && a < ba) -> best := Some (i, grow, a)
+      | Some _ -> ())
+    children;
+  match !best with
+  | None -> invalid_arg "Rtree: choose_child on empty node"
+  | Some (i, _, _) -> i
+
+let rec insert_node t node box value =
+  match node with
+  | Leaf entries ->
+      let entries = (box, value) :: entries in
+      if List.length entries <= t.max_entries then `One (Leaf entries)
+      else begin
+        let a, b = quadratic_split ~min_entries:t.min_entries entries in
+        `Split (Leaf a, Leaf b)
+      end
+  | Inner children ->
+      let idx = choose_child children box in
+      let updated =
+        List.mapi
+          (fun i (cbox, child) ->
+            if i = idx then
+              match insert_node t child box value with
+              | `One child' -> [ (Box2.union cbox box, child') ]
+              | `Split (l, r) -> [ (node_mbr l, l); (node_mbr r, r) ]
+            else [ (cbox, child) ])
+          children
+        |> List.concat
+      in
+      if List.length updated <= t.max_entries then `One (Inner updated)
+      else begin
+        let a, b = quadratic_split ~min_entries:t.min_entries updated in
+        `Split (Inner a, Inner b)
+      end
+
+let insert t box value =
+  (match insert_node t t.root box value with
+  | `One root -> t.root <- root
+  | `Split (l, r) -> t.root <- Inner [ (node_mbr l, l); (node_mbr r, r) ]);
+  t.count <- t.count + 1
+
+let iter_overlapping t probe f =
+  let rec walk = function
+    | Leaf entries ->
+        List.iter (fun (box, v) -> if Box2.intersects box probe then f box v) entries
+    | Inner children ->
+        List.iter (fun (box, child) -> if Box2.intersects box probe then walk child) children
+  in
+  if t.count > 0 then walk t.root
+
+let query t probe =
+  let acc = ref [] in
+  iter_overlapping t probe (fun _ v -> acc := v :: !acc);
+  !acc
+
+let size t = t.count
+
+let depth t =
+  let rec go = function Leaf _ -> 1 | Inner ((_, c) :: _) -> 1 + go c | Inner [] -> 1 in
+  go t.root
+
+let clear t =
+  t.root <- Leaf [];
+  t.count <- 0

@@ -1,0 +1,33 @@
+(** A simplified R*-tree over XY bounding boxes.
+
+    §IV-C of the paper indexes the bounding boxes of past sensing
+    regions with "a standard spatial index (a simplified R*-tree)"; this
+    is that structure. It is a classic Guttman R-tree with quadratic
+    node split and the R*-style least-enlargement / least-area insertion
+    heuristic (forced reinsertion is omitted — hence "simplified", as in
+    the paper).
+
+    Values are never removed in the engine (old sensing regions stay
+    queryable for the lifetime of a scan), so only [insert] and [query]
+    are needed; [clear] supports starting a new scan round. *)
+
+type 'a t
+
+val create : ?max_entries:int -> unit -> 'a t
+(** [max_entries] is the node capacity M (default 8); the minimum fill
+    is M/3 as in Guttman's experiments. @raise Invalid_argument if
+    [max_entries < 4]. *)
+
+val insert : 'a t -> Box2.t -> 'a -> unit
+
+val query : 'a t -> Box2.t -> 'a list
+(** All values whose box intersects the probe box, in unspecified
+    order. *)
+
+val iter_overlapping : 'a t -> Box2.t -> (Box2.t -> 'a -> unit) -> unit
+(** Like {!query} but streaming box/value pairs without building a
+    list. *)
+
+val size : 'a t -> int
+val depth : 'a t -> int
+val clear : 'a t -> unit

@@ -1,0 +1,36 @@
+(** 3-D points/vectors in feet. Object and reader locations throughout
+    the library are [Vec3.t]; the warehouse simulator keeps z = 0 (the
+    paper assumes all tags at the same height), but the model and engine
+    are fully 3-D. *)
+
+type t = { x : float; y : float; z : float }
+
+val make : float -> float -> float -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val dot : t -> t -> float
+val norm : t -> float
+val norm_sq : t -> float
+val dist : t -> t -> float
+val dist_sq : t -> t -> float
+
+val dist_xy : t -> t -> float
+(** Distance projected onto the XY plane (the paper's reported error
+    metric is "inference error in XY plane"). *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b u] is [a + u (b - a)]. *)
+
+val to_array : t -> float array
+(** [[| x; y; z |]] — bridge to {!Rfid_prob.Gaussian}. *)
+
+val of_array : float array -> t
+(** @raise Invalid_argument unless length is 3. *)
+
+val xy_angle : t -> float
+(** [atan2 y x] of the vector — heading in the XY plane, radians. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

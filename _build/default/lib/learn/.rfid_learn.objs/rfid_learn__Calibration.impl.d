@@ -1,0 +1,1 @@
+lib/learn/calibration.ml: Array Float Int List Location_sensing Motion_model Params Reader_state Rfid_core Rfid_geom Rfid_model Rfid_prob Sensor_model Supervised Types Vec3 World

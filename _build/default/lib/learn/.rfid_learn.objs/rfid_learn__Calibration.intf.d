@@ -1,0 +1,1 @@
+lib/learn/calibration.mli: Rfid_core Rfid_geom Rfid_model

@@ -1,0 +1,1 @@
+lib/learn/supervised.ml: Array Float Option Rfid_model Rfid_prob Sensor_model

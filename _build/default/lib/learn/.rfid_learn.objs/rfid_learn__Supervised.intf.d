@@ -1,0 +1,1 @@
+lib/learn/supervised.mli: Rfid_model

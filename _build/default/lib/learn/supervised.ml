@@ -1,0 +1,49 @@
+open Rfid_model
+
+let fit_from_pairs ?(l2 = 1e-4) ?init ?w ~geometries ~outcomes () =
+  let n = Array.length geometries in
+  if n = 0 then invalid_arg "Supervised.fit_from_pairs: empty data";
+  if Array.length outcomes <> n then
+    invalid_arg "Supervised.fit_from_pairs: shape mismatch";
+  let x = Array.map (fun (d, theta) -> Sensor_model.features ~d ~theta) geometries in
+  let init = Option.map Sensor_model.to_coef init in
+  (* Decay coefficients constrained non-positive — the paper's stated
+     expectation, and the guard against extrapolation artifacts where
+     the trace geometry leaves (d, theta) regions unobserved. *)
+  let m =
+    Rfid_prob.Logistic.fit ~l2 ?init ~nonpositive:[ 1; 2; 3; 4 ] ~x ~y:outcomes ?w
+      ~dim:5 ()
+  in
+  Sensor_model.of_coef m.Rfid_prob.Logistic.coef
+
+let fit_sensor ?(samples = 20000) ?(l2 = 1e-4) ?(max_distance = 6.) ~read_prob ~seed () =
+  if samples <= 0 then invalid_arg "Supervised.fit_sensor: samples must be positive";
+  if max_distance <= 0. then
+    invalid_arg "Supervised.fit_sensor: max_distance must be positive";
+  let rng = Rfid_prob.Rng.create ~seed in
+  let geometries =
+    Array.init samples (fun _ ->
+        ( Rfid_prob.Rng.uniform rng ~lo:0. ~hi:max_distance,
+          Rfid_prob.Rng.uniform rng ~lo:0. ~hi:Float.pi ))
+  in
+  let outcomes =
+    Array.map
+      (fun (d, theta) -> Rfid_prob.Rng.bernoulli rng ~p:(read_prob ~d ~theta))
+      geometries
+  in
+  fit_from_pairs ~l2 ~geometries ~outcomes ()
+
+let mean_abs_error model ~read_prob ?(max_distance = 6.) ?(grid = 40) () =
+  if grid <= 1 then invalid_arg "Supervised.mean_abs_error: grid too small";
+  let acc = ref 0. and n = ref 0 in
+  for i = 0 to grid - 1 do
+    for j = 0 to grid - 1 do
+      let d = float_of_int i /. float_of_int (grid - 1) *. max_distance in
+      let theta = float_of_int j /. float_of_int (grid - 1) *. Float.pi in
+      let p_true = read_prob ~d ~theta in
+      let p_model = Sensor_model.read_prob_at model ~d ~theta in
+      acc := !acc +. Float.abs (p_true -. p_model);
+      incr n
+    done
+  done;
+  !acc /. float_of_int !n

@@ -1,0 +1,47 @@
+(** Supervised sensor-model fitting: given direct access to a read-rate
+    function (a lab bench where tag and reader positions are both
+    known — the "manual calibration" setting the paper contrasts with,
+    or a simulator's ground truth), fit the logistic sensor model by
+    maximum likelihood over sampled interrogations.
+
+    Two uses: (1) the "true sensor model" reference curve of
+    Fig. 5(e) — the best logistic approximation of the simulator's
+    actual cone; (2) a unit-testable oracle for EM (EM from noisy
+    streams should approach the supervised fit). *)
+
+val fit_sensor :
+  ?samples:int ->
+  ?l2:float ->
+  ?max_distance:float ->
+  read_prob:(d:float -> theta:float -> float) ->
+  seed:int ->
+  unit ->
+  Rfid_model.Sensor_model.t
+(** Draw [samples] (default 20000) geometries uniformly over
+    distance ∈ [0, max_distance] (default 6 ft) × angle ∈ [0, pi],
+    label each by a Bernoulli draw from [read_prob], and fit.
+    @raise Invalid_argument if [samples <= 0] or
+    [max_distance <= 0]. *)
+
+val fit_from_pairs :
+  ?l2:float ->
+  ?init:Rfid_model.Sensor_model.t ->
+  ?w:float array ->
+  geometries:(float * float) array ->
+  outcomes:bool array ->
+  unit ->
+  Rfid_model.Sensor_model.t
+(** Weighted logistic fit from explicit ((distance, angle), read?)
+    pairs — the M-step primitive of {!Calibration}.
+    @raise Invalid_argument on shape mismatch or empty data. *)
+
+val mean_abs_error :
+  Rfid_model.Sensor_model.t ->
+  read_prob:(d:float -> theta:float -> float) ->
+  ?max_distance:float ->
+  ?grid:int ->
+  unit ->
+  float
+(** Mean absolute difference of read probabilities over a
+    distance × angle grid — how well a fitted model matches a reference
+    region (used to compare learned vs true models, Fig. 5(b)/(c)). *)

@@ -1,0 +1,1 @@
+lib/model/generative.ml: Array List Location_sensing Motion_model Object_model Params Reader_state Rfid_prob Sensor_model Trace Types World

@@ -1,0 +1,1 @@
+lib/model/generative.mli: Params Reader_state Rfid_prob Trace World

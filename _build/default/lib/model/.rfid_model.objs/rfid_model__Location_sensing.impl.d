@@ -1,0 +1,1 @@
+lib/model/location_sensing.ml: Rfid_geom Rfid_prob Rng Vec3

@@ -1,0 +1,1 @@
+lib/model/location_sensing.mli: Rfid_geom Rfid_prob

@@ -1,0 +1,1 @@
+lib/model/motion_model.ml: Reader_state Rfid_geom Rfid_prob Rng Vec3

@@ -1,0 +1,1 @@
+lib/model/motion_model.mli: Reader_state Rfid_geom Rfid_prob

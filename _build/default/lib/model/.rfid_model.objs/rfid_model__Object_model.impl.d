@@ -1,0 +1,1 @@
+lib/model/object_model.ml: Rfid_prob World

@@ -1,0 +1,1 @@
+lib/model/object_model.mli: Rfid_geom Rfid_prob World

@@ -1,0 +1,1 @@
+lib/model/params.ml: Format Location_sensing Motion_model Object_model Rfid_geom Sensor_model

@@ -1,0 +1,1 @@
+lib/model/params.mli: Format Location_sensing Motion_model Object_model Sensor_model

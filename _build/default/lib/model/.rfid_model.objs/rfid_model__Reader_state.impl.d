@@ -1,0 +1,1 @@
+lib/model/reader_state.ml: Float Format Rfid_geom

@@ -1,0 +1,1 @@
+lib/model/reader_state.mli: Format Rfid_geom

@@ -1,0 +1,1 @@
+lib/model/sensor_model.ml: Box2 Cone Float Format Rfid_geom Rfid_prob Vec3

@@ -1,0 +1,1 @@
+lib/model/sensor_model.mli: Format Rfid_geom

@@ -1,0 +1,1 @@
+lib/model/trace.ml: Array Reader_state Rfid_geom Types World

@@ -1,0 +1,1 @@
+lib/model/trace.mli: Reader_state Rfid_geom Types World

@@ -1,0 +1,1 @@
+lib/model/trace_io.ml: Buffer List Printf Rfid_geom String Types

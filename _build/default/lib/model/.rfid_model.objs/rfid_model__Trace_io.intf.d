@@ -1,0 +1,1 @@
+lib/model/trace_io.mli: Rfid_geom Types

@@ -1,0 +1,1 @@
+lib/model/types.ml: Format Int List Map Printf Rfid_geom Set

@@ -1,0 +1,1 @@
+lib/model/world.ml: Array Box2 Float Int List Rfid_geom Rfid_prob Types Vec3

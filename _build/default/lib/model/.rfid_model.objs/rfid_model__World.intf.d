@@ -1,0 +1,1 @@
+lib/model/world.mli: Rfid_geom Rfid_prob Types

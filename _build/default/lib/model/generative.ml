@@ -1,0 +1,52 @@
+let run ~world ~params ~init_reader ~num_objects ~epochs rng =
+  if num_objects < 0 then invalid_arg "Generative.run: negative num_objects";
+  if epochs < 0 then invalid_arg "Generative.run: negative epochs";
+  let { Params.sensor; motion; sensing; objects = obj_model } = params in
+  let locs = ref (Array.init num_objects (fun _ -> World.sample_on_shelves world rng)) in
+  let reader = ref init_reader in
+  let steps =
+    Array.init epochs (fun e ->
+        if e > 0 then reader := Motion_model.sample_next motion rng !reader;
+        let true_loc = (!reader).Reader_state.loc in
+        let heading = (!reader).Reader_state.heading in
+        let reported = Location_sensing.sample_report sensing rng true_loc in
+        (* Copy-on-write: object moves are rare (probability alpha), so
+           consecutive epochs usually share the snapshot. *)
+        for i = 0 to num_objects - 1 do
+          let next = Object_model.sample_next obj_model world rng !locs.(i) in
+          if not (next == !locs.(i)) then begin
+            let fresh = Array.copy !locs in
+            fresh.(i) <- next;
+            locs := fresh
+          end
+        done;
+        let sense tag_loc =
+          let p =
+            Sensor_model.read_prob sensor ~reader_loc:true_loc ~reader_heading:heading
+              ~tag_loc
+          in
+          Rfid_prob.Rng.bernoulli rng ~p
+        in
+        let object_reads = ref [] in
+        for i = num_objects - 1 downto 0 do
+          if sense !locs.(i) then object_reads := Types.Object_tag i :: !object_reads
+        done;
+        let shelf_reads =
+          World.shelf_tags world
+          |> List.filter_map (fun (tag, loc) -> if sense loc then Some tag else None)
+        in
+        let obs =
+          {
+            Types.o_epoch = e;
+            o_reported_loc = reported;
+            o_read_tags = !object_reads @ shelf_reads;
+          }
+        in
+        {
+          Trace.epoch = e;
+          true_reader = !reader;
+          true_object_locs = !locs;
+          observation = obs;
+        })
+  in
+  { Trace.world; num_objects; steps }

@@ -1,0 +1,21 @@
+(** Forward sampling of the joint model — the five-step generative
+    process of §III-B. Given a world, parameters and an initial reader
+    state, produces a ground-truth-annotated {!Trace.t}: the hidden
+    trajectory (true reader states and object locations) together with
+    the evidence streams a mobile reader would emit. Used by tests
+    (model self-consistency) and as a model-faithful workload
+    generator. *)
+
+val run :
+  world:World.t ->
+  params:Params.t ->
+  init_reader:Reader_state.t ->
+  num_objects:int ->
+  epochs:int ->
+  Rfid_prob.Rng.t ->
+  Trace.t
+(** Sample object locations O_1 uniformly over the shelves, then for
+    each epoch: (1) advance the reader by the motion model, (2) report a
+    noisy reader location, (3) advance object locations, (4) sense each
+    object tag, (5) sense each shelf tag.
+    @raise Invalid_argument if [num_objects < 0] or [epochs < 0]. *)

@@ -1,0 +1,34 @@
+open Rfid_geom
+
+type t = { bias : Vec3.t; sigma : Vec3.t }
+
+let create ?(bias = Vec3.zero) ?(sigma = Vec3.make 0.01 0.01 0.01) () =
+  if sigma.Vec3.x < 0. || sigma.Vec3.y < 0. || sigma.Vec3.z < 0. then
+    invalid_arg "Location_sensing.create: negative sigma";
+  { bias; sigma }
+
+let default = create ()
+
+let sample_report t rng true_loc =
+  let open Rfid_prob in
+  Vec3.add (Vec3.add true_loc t.bias)
+    (Vec3.make
+       (Rng.gaussian rng ~sigma:t.sigma.Vec3.x ())
+       (Rng.gaussian rng ~sigma:t.sigma.Vec3.y ())
+       (Rng.gaussian rng ~sigma:t.sigma.Vec3.z ()))
+
+(* A zero sigma on an axis means that axis is not observed (e.g. a 2-D
+   positioning system reporting a constant z): it contributes nothing,
+   rather than collapsing every particle's weight to -infinity. *)
+let gauss_log_pdf ~sigma x =
+  if sigma = 0. then 0.
+  else
+    Rfid_prob.Gaussian.Univariate.log_pdf
+      (Rfid_prob.Gaussian.Univariate.create ~mu:0. ~sigma)
+      x
+
+let log_pdf t ~true_loc ~reported =
+  let d = Vec3.sub reported (Vec3.add true_loc t.bias) in
+  gauss_log_pdf ~sigma:t.sigma.Vec3.x d.Vec3.x
+  +. gauss_log_pdf ~sigma:t.sigma.Vec3.y d.Vec3.y
+  +. gauss_log_pdf ~sigma:t.sigma.Vec3.z d.Vec3.z

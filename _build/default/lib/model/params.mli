@@ -1,0 +1,23 @@
+(** The complete parameter vector of the joint model of §III-B: sensor
+    coefficients, reader motion, reader location sensing, and object
+    dynamics. This is what calibration (§III-C) estimates and what every
+    inference engine consumes. *)
+
+type t = {
+  sensor : Sensor_model.t;
+  motion : Motion_model.t;
+  sensing : Location_sensing.t;
+  objects : Object_model.t;
+}
+
+val default : t
+
+val create :
+  ?sensor:Sensor_model.t ->
+  ?motion:Motion_model.t ->
+  ?sensing:Location_sensing.t ->
+  ?objects:Object_model.t ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

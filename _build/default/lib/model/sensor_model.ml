@@ -1,0 +1,110 @@
+open Rfid_geom
+
+type t = { a0 : float; a1 : float; a2 : float; b1 : float; b2 : float }
+
+(* sigmoid(3 - 0.4 d - 0.25 d^2 - 1.2 th - 1.5 th^2):
+   ~95% at contact, 50% near d = 2.7 ft head-on, and the half-power
+   angle shrinks with distance — a cone-like region. *)
+let default = { a0 = 3.0; a1 = -0.4; a2 = -0.25; b1 = -1.2; b2 = -1.5 }
+
+let features ~d ~theta =
+  let theta = Float.abs theta in
+  [| 1.; d; d *. d; theta; theta *. theta |]
+
+let of_coef = function
+  | [| a0; a1; a2; b1; b2 |] -> { a0; a1; a2; b1; b2 }
+  | _ -> invalid_arg "Sensor_model.of_coef: expected 5 coefficients"
+
+let to_coef { a0; a1; a2; b1; b2 } = [| a0; a1; a2; b1; b2 |]
+
+let logit t ~d ~theta =
+  let theta = Float.abs theta in
+  t.a0 +. (t.a1 *. d) +. (t.a2 *. d *. d) +. (t.b1 *. theta) +. (t.b2 *. theta *. theta)
+
+let read_prob_at t ~d ~theta = Rfid_prob.Logistic.sigmoid (logit t ~d ~theta)
+
+(* Wrap an angle into (-pi, pi]. *)
+let wrap a =
+  let two_pi = 2. *. Float.pi in
+  let a = Float.rem a two_pi in
+  if a > Float.pi then a -. two_pi else if a <= -.Float.pi then a +. two_pi else a
+
+let geometry ~reader_loc ~reader_heading ~tag_loc =
+  let delta = Vec3.sub tag_loc reader_loc in
+  let d = Vec3.norm delta in
+  let theta =
+    if delta.Vec3.x = 0. && delta.Vec3.y = 0. then 0.
+    else Float.abs (wrap (Vec3.xy_angle delta -. reader_heading))
+  in
+  (d, theta)
+
+let read_prob t ~reader_loc ~reader_heading ~tag_loc =
+  let d, theta = geometry ~reader_loc ~reader_heading ~tag_loc in
+  read_prob_at t ~d ~theta
+
+let log_prob t ~reader_loc ~reader_heading ~tag_loc ~read =
+  let d, theta = geometry ~reader_loc ~reader_heading ~tag_loc in
+  let z = logit t ~d ~theta in
+  if read then Rfid_prob.Logistic.log_sigmoid z else Rfid_prob.Logistic.log_sigmoid (-.z)
+
+let max_search_range = 100.
+
+let detection_range ?(threshold = 0.02) t =
+  if read_prob_at t ~d:0. ~theta:0. < threshold then 0.
+  else begin
+    (* First head-on crossing below the threshold. A fitted model can
+       have a non-monotone logit (e.g. a slightly positive quadratic
+       term from noisy calibration data); scanning outward from 0 keeps
+       the range physical — the region past a rebound is an artifact of
+       extrapolating the polynomial, not a real detection zone. *)
+    let step = 0.25 in
+    let rec find_bracket d =
+      if d >= max_search_range then max_search_range
+      else if read_prob_at t ~d:(d +. step) ~theta:0. < threshold then d +. step
+      else find_bracket (d +. step)
+    in
+    let hi = find_bracket 0. in
+    if hi >= max_search_range then max_search_range
+    else begin
+      let lo = Float.max 0. (hi -. step) in
+      let rec bisect lo hi k =
+        if k = 0 then hi
+        else begin
+          let mid = (lo +. hi) /. 2. in
+          if read_prob_at t ~d:mid ~theta:0. < threshold then bisect lo mid (k - 1)
+          else bisect mid hi (k - 1)
+        end
+      in
+      bisect lo hi 40
+    end
+  end
+
+let detection_half_angle ?(threshold = 0.02) t ~d =
+  if read_prob_at t ~d ~theta:Float.pi >= threshold then Float.pi
+  else if read_prob_at t ~d ~theta:0. < threshold then 0.
+  else begin
+    let rec bisect lo hi k =
+      if k = 0 then hi
+      else begin
+        let mid = (lo +. hi) /. 2. in
+        if read_prob_at t ~d ~theta:mid < threshold then bisect lo mid (k - 1)
+        else bisect mid hi (k - 1)
+      end
+    in
+    bisect 0. Float.pi 40
+  end
+
+let sensing_region_box ?threshold t ~reader_loc =
+  let r = detection_range ?threshold t in
+  Box2.of_center reader_loc ~half_width:r ~half_height:r
+
+let initialization_cone ?(overestimate = 1.25) t ~reader_loc ~reader_heading =
+  let range = Float.max 0.5 (overestimate *. detection_range t) in
+  let half_angle =
+    Float.min Float.pi (Float.max 0.2 (overestimate *. detection_half_angle t ~d:(range /. 2.)))
+  in
+  Cone.make ~apex:reader_loc ~heading:reader_heading ~half_angle ~range
+
+let pp ppf t =
+  Format.fprintf ppf "sigmoid(%.3f %+.3f d %+.3f d^2 %+.3f th %+.3f th^2)" t.a0 t.a1
+    t.a2 t.b1 t.b2

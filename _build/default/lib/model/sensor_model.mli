@@ -1,0 +1,90 @@
+(** The parametric RFID sensor model of §III-A (Eq. 1).
+
+    The probability that a tag at distance [d] and angle [theta] from
+    the reader responds in one interrogation round is the logistic of a
+    polynomial:
+
+    {v p(read | d, theta) = sigmoid(a0 + a1 d + a2 d^2 + b1 theta + b2 theta^2) v}
+
+    (equivalently, the paper writes [p(read = 0)] as the complementary
+    logistic). The decay coefficients are expected negative; they are
+    real-valued parameters learned from data during calibration rather
+    than hand-measured per deployment. The same model (same
+    coefficients) serves object tags and shelf tags. *)
+
+type t = {
+  a0 : float;  (** intercept *)
+  a1 : float;  (** distance, linear *)
+  a2 : float;  (** distance, quadratic *)
+  b1 : float;  (** angle, linear *)
+  b2 : float;  (** angle, quadratic *)
+}
+
+val default : t
+(** A plausible hand-set conical model (≈95% read rate at contact,
+    decaying to ~50% around 3 ft head-on, narrower off-axis) used as an
+    EM starting point and in quickstart examples. *)
+
+val features : d:float -> theta:float -> float array
+(** [[| 1; d; d^2; theta; theta^2 |]] with [theta] taken as its absolute
+    value — the model is symmetric in angle. *)
+
+val of_coef : float array -> t
+(** @raise Invalid_argument unless length 5 ([a0 a1 a2 b1 b2]). *)
+
+val to_coef : t -> float array
+
+val read_prob_at : t -> d:float -> theta:float -> float
+(** Read probability at a given distance (ft) and unsigned angle
+    (radians). *)
+
+val geometry :
+  reader_loc:Rfid_geom.Vec3.t ->
+  reader_heading:float ->
+  tag_loc:Rfid_geom.Vec3.t ->
+  float * float
+(** [(d, theta)]: Euclidean 3-D distance and unsigned XY-plane angle
+    between the reader's heading and the tag — the quantities Eq. 1 is
+    evaluated at. *)
+
+val read_prob :
+  t -> reader_loc:Rfid_geom.Vec3.t -> reader_heading:float -> tag_loc:Rfid_geom.Vec3.t -> float
+
+val log_prob :
+  t ->
+  reader_loc:Rfid_geom.Vec3.t ->
+  reader_heading:float ->
+  tag_loc:Rfid_geom.Vec3.t ->
+  read:bool ->
+  float
+(** Log-likelihood of one sensing outcome — the factored particle weight
+    of Eq. 5, computed stably in log space. *)
+
+val detection_range : ?threshold:float -> t -> float
+(** Head-on distance at which the read probability falls below
+    [threshold] (default 0.02): the radius used for sensing-region
+    bounding boxes and the initialization cone. Found by bisection on
+    [0, 100] ft; returns 100 if the probability never falls below the
+    threshold (pathological coefficients). *)
+
+val detection_half_angle : ?threshold:float -> t -> d:float -> float
+(** Unsigned angle at which the read probability at distance [d] falls
+    below [threshold] (default 0.02); [pi] when it never does. *)
+
+val sensing_region_box : ?threshold:float -> t -> reader_loc:Rfid_geom.Vec3.t -> Rfid_geom.Box2.t
+(** Conservative bounding box of the sensing region around a reader
+    location, heading-independent (the reader may face anywhere):
+    a square of side [2 * detection_range]. *)
+
+val initialization_cone :
+  ?overestimate:float ->
+  t ->
+  reader_loc:Rfid_geom.Vec3.t ->
+  reader_heading:float ->
+  Rfid_geom.Cone.t
+(** Cone for sensor-model-based particle initialization (§IV-A): range
+    and half-angle are the detection range/half-angle scaled by
+    [overestimate] (default 1.25, "chosen to be an overestimate of the
+    true range"). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+let header = "# rfid_streams observations v1"
+
+let tag_to_token = Types.tag_to_string
+
+let tag_of_token line_no tok =
+  match String.index_opt tok ':' with
+  | Some i -> (
+      let kind = String.sub tok 0 i in
+      let id =
+        match int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1)) with
+        | Some id -> id
+        | None -> failwith (Printf.sprintf "Trace_io: line %d: bad tag id in %S" line_no tok)
+      in
+      match kind with
+      | "obj" -> Types.Object_tag id
+      | "shelf" -> Types.Shelf_tag id
+      | _ -> failwith (Printf.sprintf "Trace_io: line %d: unknown tag kind %S" line_no tok))
+  | None -> failwith (Printf.sprintf "Trace_io: line %d: malformed tag %S" line_no tok)
+
+let write_observations oc observations =
+  output_string oc (header ^ "\n");
+  output_string oc "epoch,reported_x,reported_y,reported_z,tags\n";
+  List.iter
+    (fun (o : Types.observation) ->
+      let l = o.Types.o_reported_loc in
+      Printf.fprintf oc "%d,%.6f,%.6f,%.6f,%s\n" o.Types.o_epoch l.Rfid_geom.Vec3.x
+        l.Rfid_geom.Vec3.y l.Rfid_geom.Vec3.z
+        (String.concat ";" (List.map tag_to_token o.Types.o_read_tags)))
+    observations
+
+let parse_line line_no line =
+  match String.split_on_char ',' line with
+  | [ epoch; x; y; z; tags ] -> (
+      let num what s =
+        match float_of_string_opt s with
+        | Some v -> v
+        | None ->
+            failwith (Printf.sprintf "Trace_io: line %d: bad %s %S" line_no what s)
+      in
+      match int_of_string_opt epoch with
+      | None -> failwith (Printf.sprintf "Trace_io: line %d: bad epoch %S" line_no epoch)
+      | Some e ->
+          let tags =
+            if tags = "" then []
+            else
+              String.split_on_char ';' tags |> List.map (tag_of_token line_no)
+          in
+          {
+            Types.o_epoch = e;
+            o_reported_loc = Rfid_geom.Vec3.make (num "x" x) (num "y" y) (num "z" z);
+            o_read_tags = tags;
+          })
+  | _ -> failwith (Printf.sprintf "Trace_io: line %d: expected 5 fields" line_no)
+
+let observations_of_lines lines =
+  let out = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && (not (String.length line > 0 && line.[0] = '#')) then
+        if String.length line >= 5 && String.sub line 0 5 = "epoch" then ()
+        else out := parse_line (i + 1) line :: !out)
+    lines;
+  List.rev !out
+
+let read_observations ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  observations_of_lines (List.rev !lines)
+
+let observations_to_string observations =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ^ "\n");
+  Buffer.add_string buf "epoch,reported_x,reported_y,reported_z,tags\n";
+  List.iter
+    (fun (o : Types.observation) ->
+      let l = o.Types.o_reported_loc in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.6f,%.6f,%.6f,%s\n" o.Types.o_epoch l.Rfid_geom.Vec3.x
+           l.Rfid_geom.Vec3.y l.Rfid_geom.Vec3.z
+           (String.concat ";" (List.map tag_to_token o.Types.o_read_tags))))
+    observations;
+  Buffer.contents buf
+
+let observations_of_string s =
+  observations_of_lines (String.split_on_char '\n' s)
+
+let write_events oc events =
+  output_string oc "epoch,obj,x,y,z\n";
+  List.iter
+    (fun (epoch, obj, (l : Rfid_geom.Vec3.t)) ->
+      Printf.fprintf oc "%d,%d,%.6f,%.6f,%.6f\n" epoch obj l.Rfid_geom.Vec3.x
+        l.Rfid_geom.Vec3.y l.Rfid_geom.Vec3.z)
+    events

@@ -1,0 +1,30 @@
+(** Plain-text serialization of observation streams and ground-truth
+    traces, so recorded deployments can be replayed through the engine
+    (and simulator output can be inspected or processed with standard
+    tools).
+
+    The observation format is line-oriented CSV:
+
+    {v
+    # rfid_streams observations v1
+    epoch,reported_x,reported_y,reported_z,tags
+    0,0.000,-1.000,0.000,obj:3;shelf:0
+    1,0.013,-0.897,0.000,
+    v}
+
+    Tags are semicolon-separated [obj:<id>] / [shelf:<id>] tokens; an
+    empty field means an epoch without readings. *)
+
+val write_observations : out_channel -> Types.observation list -> unit
+
+val read_observations : in_channel -> Types.observation list
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val observations_to_string : Types.observation list -> string
+val observations_of_string : string -> Types.observation list
+
+val write_events :
+  out_channel -> (Types.epoch * int * Rfid_geom.Vec3.t) list -> unit
+(** Write cleaned location events as [epoch,obj,x,y,z] CSV (the
+    statistics field is omitted — downstream consumers of the file
+    format want point estimates). *)

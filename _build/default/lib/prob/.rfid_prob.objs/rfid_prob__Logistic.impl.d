@@ -1,0 +1,1 @@
+lib/prob/logistic.ml: Array Float Fun Linalg List

@@ -1,0 +1,1 @@
+lib/prob/resample.ml: Array Float Rng Stats

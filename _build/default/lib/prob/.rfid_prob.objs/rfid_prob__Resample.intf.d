@@ -1,0 +1,1 @@
+lib/prob/resample.mli: Rng

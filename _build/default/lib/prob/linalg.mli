@@ -1,0 +1,47 @@
+(** Dense linear algebra for the small (d <= 4) systems this library
+    needs: covariance matrices of 2-D/3-D locations and the normal
+    equations of the logistic-regression fit (d = 5).
+
+    Matrices are [float array array] in row-major order; all functions
+    are total over well-formed square inputs and raise
+    [Invalid_argument] otherwise. Nothing here is tuned for large d —
+    clarity over blocking. *)
+
+type mat = float array array
+
+val identity : int -> mat
+val copy : mat -> mat
+val transpose : mat -> mat
+val mat_mul : mat -> mat -> mat
+val mat_vec : mat -> float array -> float array
+val add : mat -> mat -> mat
+val scale : float -> mat -> mat
+
+val dot : float array -> float array -> float
+val outer : float array -> float array -> mat
+
+val cholesky : mat -> mat
+(** Lower-triangular [l] with [l * l^T = a] for a symmetric positive
+    definite [a]. A tiny jitter (1e-12 on the diagonal) is added once if
+    the matrix is only semidefinite — covariances of degenerate particle
+    clouds hit this constantly. @raise Invalid_argument if the matrix is
+    not square or not positive (semi)definite even after jitter. *)
+
+val solve_cholesky : mat -> float array -> float array
+(** [solve_cholesky l b] solves [l * l^T * x = b] given the Cholesky
+    factor [l] by forward then backward substitution. *)
+
+val solve_spd : mat -> float array -> float array
+(** Solve [a x = b] for symmetric positive definite [a]. *)
+
+val inverse_spd : mat -> mat
+(** Inverse of a symmetric positive definite matrix via Cholesky. *)
+
+val log_det_spd : mat -> float
+(** Log determinant of a symmetric positive definite matrix. *)
+
+val solve_gauss : mat -> float array -> float array
+(** General square solve by Gaussian elimination with partial pivoting
+    (used for the Newton step of the logistic fit, whose Hessian is
+    negated SPD but may be near-singular). @raise Invalid_argument on a
+    singular system. *)

@@ -1,0 +1,53 @@
+(** Weighted logistic regression.
+
+    This is the statistical engine behind the paper's parametric RFID
+    sensor model (Eq. 1): the probability that a tag responds is the
+    logistic of a polynomial in reader–tag distance and angle, and the
+    coefficients are fitted from (possibly fractionally weighted)
+    read/no-read outcomes during EM calibration (§III-C). *)
+
+val sigmoid : float -> float
+(** [1 / (1 + exp (-x))], stable for large |x|. *)
+
+val log_sigmoid : float -> float
+(** [log (sigmoid x)] without overflow: equals [-log1p (exp (-x))]. *)
+
+type model = { coef : float array }
+(** Coefficients over a feature vector; [predict] and [fit] agree on the
+    feature layout chosen by the caller. *)
+
+val predict : model -> float array -> float
+(** Probability of the positive class for a feature vector. *)
+
+val log_likelihood : model -> x:float array array -> y:bool array -> ?w:float array -> unit -> float
+(** Weighted Bernoulli log-likelihood of the data under the model. *)
+
+val fit :
+  ?l2:float ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?init:float array ->
+  ?nonpositive:int list ->
+  x:float array array ->
+  y:bool array ->
+  ?w:float array ->
+  dim:int ->
+  unit ->
+  model
+(** Maximum-likelihood fit by Newton–Raphson (iteratively reweighted
+    least squares) with L2 penalty [l2] (default 1e-4; the intercept is
+    penalized too — harmless at this scale and it keeps the Hessian
+    well-conditioned when classes separate). Steps are trust-region
+    clamped to norm 10, and falls back to a damped gradient step if
+    the Newton system is singular. [w] are per-example weights
+    (default 1). [dim] is the feature-vector length.
+
+    [nonpositive] lists coefficient indices constrained to be <= 0
+    (projected after each step) — domain knowledge such as "read rate
+    decays with distance" that guards against wild extrapolation where
+    the data leaves a feature region unobserved.
+
+    Terminates after [max_iter] (default 400) Newton steps or when the
+    coefficient update's max-norm drops below [tol] (default 1e-8).
+    @raise Invalid_argument on shape mismatches, empty data, or a
+    constraint index out of range. *)

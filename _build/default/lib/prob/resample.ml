@@ -1,0 +1,58 @@
+let check w =
+  if Array.length w = 0 then invalid_arg "Resample: empty weights"
+
+let multinomial rng w ~n =
+  check w;
+  Array.init n (fun _ -> Rng.categorical rng w)
+
+let systematic rng w ~n =
+  check w;
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then
+    (* Degenerate weights: fall back to uniform stride over indices. *)
+    Array.init n (fun i -> i mod Array.length w)
+  else begin
+    let m = Array.length w in
+    let step = total /. float_of_int n in
+    let u0 = Rng.float rng *. step in
+    let out = Array.make n 0 in
+    let acc = ref w.(0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let u = u0 +. (float_of_int i *. step) in
+      while !acc < u && !j < m - 1 do
+        incr j;
+        acc := !acc +. w.(!j)
+      done;
+      out.(i) <- !j
+    done;
+    out
+  end
+
+let residual rng w ~n =
+  check w;
+  let w = Stats.normalize w in
+  let m = Array.length w in
+  let out = Array.make n 0 in
+  let filled = ref 0 in
+  let residuals = Array.make m 0. in
+  for i = 0 to m - 1 do
+    let expected = float_of_int n *. w.(i) in
+    let copies = int_of_float (Float.floor expected) in
+    residuals.(i) <- expected -. float_of_int copies;
+    for _ = 1 to copies do
+      if !filled < n then begin
+        out.(!filled) <- i;
+        incr filled
+      end
+    done
+  done;
+  while !filled < n do
+    out.(!filled) <- Rng.categorical rng residuals;
+    incr filled
+  done;
+  out
+
+let ess_below w ~ratio =
+  let n = Array.length w in
+  n > 0 && Stats.effective_sample_size (Stats.normalize w) < ratio *. float_of_int n

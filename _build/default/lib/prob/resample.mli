@@ -1,0 +1,26 @@
+(** Resampling schemes for particle filters (§IV-A step 2, "reproduce
+    the highest-weight" particles).
+
+    All schemes take normalized weights and return an array of source
+    indices; the caller materializes the new particle set by indexing.
+    Systematic resampling is the default throughout the library: it has
+    the lowest Monte-Carlo variance of the simple schemes and costs one
+    uniform draw per resampling event. *)
+
+val multinomial : Rng.t -> float array -> n:int -> int array
+(** [n] i.i.d. draws from the categorical distribution of the weights. *)
+
+val systematic : Rng.t -> float array -> n:int -> int array
+(** Single uniform offset, [n] evenly spaced points through the
+    cumulative weights. Deterministic given the offset; indices come out
+    sorted. *)
+
+val residual : Rng.t -> float array -> n:int -> int array
+(** Deterministic copies of [floor (n * w_i)] per particle, multinomial
+    on the remainder. *)
+
+val ess_below : float array -> ratio:float -> bool
+(** [ess_below w ~ratio] is true when the effective sample size of the
+    normalized weights [w] has fallen below [ratio *. length w] — the
+    standard trigger for resampling (we use ratio = 0.5 by default at
+    call sites). *)

@@ -1,0 +1,84 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Finalizer from SplitMix64: xor-shift multiply mixing of the Weyl
+   counter. Constants are Stafford's Mix13 variant. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+(* 53 random bits scaled into [0,1). *)
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let uniform t ~lo ~hi =
+  if not (lo <= hi) then invalid_arg "Rng.uniform: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is < 2^-38 for any
+     bound below 2^24, and all our bounds are small. Keep 62 bits so the
+     value is a non-negative OCaml int. *)
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  bits mod n
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let bernoulli t ~p =
+  let p = Float.max 0. (Float.min 1. p) in
+  float t < p
+
+let gaussian t ?(mu = 0.) ?(sigma = 1.) () =
+  if sigma < 0. then invalid_arg "Rng.gaussian: negative sigma";
+  (* Marsaglia polar method; the second deviate is discarded to keep the
+     generator state independent of call interleaving. *)
+  let rec draw () =
+    let u = (2. *. float t) -. 1. in
+    let v = (2. *. float t) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then draw ()
+    else u *. sqrt (-2. *. log s /. s)
+  in
+  mu +. (sigma *. draw ())
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log1p (-.float t) /. rate
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let categorical t w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Rng.categorical: empty weights";
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then invalid_arg "Rng.categorical: weights sum to 0";
+  let u = float t *. total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if u < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.

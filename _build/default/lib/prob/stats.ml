@@ -1,0 +1,78 @@
+let log_sum_exp a =
+  let n = Array.length a in
+  if n = 0 then neg_infinity
+  else begin
+    let m = Array.fold_left Float.max neg_infinity a in
+    if m = neg_infinity then neg_infinity
+    else begin
+      let s = ref 0. in
+      for i = 0 to n - 1 do
+        s := !s +. exp (a.(i) -. m)
+      done;
+      m +. log !s
+    end
+  end
+
+let normalize_log_weights lw =
+  let n = Array.length lw in
+  let z = log_sum_exp lw in
+  if z = neg_infinity then Array.make n (1. /. float_of_int n)
+  else Array.map (fun l -> exp (l -. z)) lw
+
+let normalize w =
+  let n = Array.length w in
+  let total = Array.fold_left ( +. ) 0. w in
+  if not (total > 0.) then Array.make n (1. /. float_of_int n)
+  else Array.map (fun x -> x /. total) w
+
+let effective_sample_size w =
+  let sumsq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. w in
+  if sumsq = 0. then 0. else 1. /. sumsq
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n = 0 then 0.
+  else begin
+    let m = mean a in
+    let s = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. a in
+    s /. float_of_int n
+  end
+
+let weighted_mean ~w a =
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. (w.(i) *. x)) a;
+  !acc
+
+let weighted_variance ~w a =
+  let m = weighted_mean ~w a in
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. (w.(i) *. ((x -. m) ** 2.))) a;
+  !acc
+
+let quantile a ~q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  let q = Float.max 0. (Float.min 1. q) in
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = Int.min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let rmse a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Stats.rmse: length mismatch";
+  if n = 0 then 0.
+  else begin
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      s := !s +. ((a.(i) -. b.(i)) ** 2.)
+    done;
+    sqrt (!s /. float_of_int n)
+  end

@@ -1,0 +1,42 @@
+(** Numerically careful statistics over weighted samples.
+
+    Particle filters live and die by these primitives: weights are
+    manipulated in log space until they must be normalized, and moments
+    of weighted particle sets are the inference output. *)
+
+val log_sum_exp : float array -> float
+(** [log_sum_exp a] is [log (sum_i (exp a.(i)))] computed stably.
+    Returns [neg_infinity] on the empty array. *)
+
+val normalize_log_weights : float array -> float array
+(** Convert log weights to normalized linear weights summing to 1.
+    If every log weight is [neg_infinity] (total collapse), returns the
+    uniform distribution — the standard particle-filter rescue. *)
+
+val normalize : float array -> float array
+(** Normalize non-negative linear weights to sum to 1; uniform on total
+    collapse. *)
+
+val effective_sample_size : float array -> float
+(** Kish effective sample size [1 / sum w_i^2] of normalized weights.
+    An ESS near the particle count means healthy diversity; near 1 means
+    degeneracy. Returns 0 on the empty array. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on empty. *)
+
+val variance : float array -> float
+(** Population variance; 0 on empty. *)
+
+val weighted_mean : w:float array -> float array -> float
+(** Mean under normalized weights [w]. *)
+
+val weighted_variance : w:float array -> float array -> float
+(** Population variance under normalized weights [w]. *)
+
+val quantile : float array -> q:float -> float
+(** [quantile a ~q] for [q] in [\[0,1\]], by sorting a copy (nearest-rank
+    with linear interpolation). @raise Invalid_argument on empty input. *)
+
+val rmse : float array -> float array -> float
+(** Root mean squared difference of two equal-length arrays. *)

@@ -1,0 +1,1 @@
+lib/sim/lab.ml: Array Box2 Float Fun List Printf Reader_state Rfid_geom Rfid_model Rfid_prob Trace_gen Truth_sensor Vec3 World

@@ -1,0 +1,1 @@
+lib/sim/lab.mli: Rfid_geom Rfid_model Truth_sensor

@@ -1,0 +1,1 @@
+lib/sim/trace_gen.ml: Array Float Hashtbl Int List Location_sensing Reader_state Rfid_geom Rfid_model Rfid_prob Trace Truth_sensor Types Vec3 Warehouse World

@@ -1,0 +1,1 @@
+lib/sim/trace_gen.mli: Rfid_geom Rfid_model Rfid_prob Truth_sensor Warehouse

@@ -1,0 +1,1 @@
+lib/sim/truth_sensor.ml: Float Rfid_model Rfid_prob

@@ -1,0 +1,1 @@
+lib/sim/truth_sensor.mli: Rfid_geom Rfid_prob

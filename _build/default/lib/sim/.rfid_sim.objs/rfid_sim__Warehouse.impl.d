@@ -1,0 +1,1 @@
+lib/sim/warehouse.ml: Array Box2 List Rfid_geom Rfid_model Vec3

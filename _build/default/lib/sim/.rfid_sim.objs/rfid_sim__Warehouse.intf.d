@@ -1,0 +1,1 @@
+lib/sim/warehouse.mli: Rfid_geom Rfid_model

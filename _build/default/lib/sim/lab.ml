@@ -1,0 +1,106 @@
+open Rfid_geom
+open Rfid_model
+
+type shelf_size = Small | Large
+
+let shelf_width = function Small -> 0.66 | Large -> 2.6
+
+type t = {
+  world : World.t;
+  object_locs : Vec3.t array;
+  sensor : Truth_sensor.t;
+  timeout_ms : int;
+  shelf_size : shelf_size;
+}
+
+let tag_spacing = 1. /. 3.
+let tags_per_row = 40
+let segments_per_row = 5
+let row_x = 1.5 (* distance from the robot track (x = 0) to each tag row *)
+let num_objects = 2 * (tags_per_row - segments_per_row)
+
+(* Reference tags sit at the centre of each of the 5 row segments:
+   indices 4, 12, 20, 28, 36 of the 40-tag row. *)
+let is_reference idx = idx mod 8 = 4
+
+(* Longer timeouts let marginal (far, oblique) tags answer: the region
+   both widens and strengthens slightly. The growth is kept moderate —
+   at 2.4 rad of angular falloff the antenna would start reading the
+   opposite row through its back lobe, which Gen2 hardware does not. *)
+let sensor_for_timeout = function
+  | 250 -> Truth_sensor.spherical ~rr_center:0.9 ~range:2.6 ~angle_falloff:1.7 ()
+  | 500 -> Truth_sensor.spherical ~rr_center:0.95 ~range:3.0 ~angle_falloff:1.85 ()
+  | 750 -> Truth_sensor.spherical ~rr_center:0.98 ~range:3.4 ~angle_falloff:2.0 ()
+  | ms -> invalid_arg (Printf.sprintf "Lab: unsupported timeout %d ms" ms)
+
+let row_length = float_of_int tags_per_row *. tag_spacing
+
+let tag_y idx = (float_of_int idx +. 0.5) *. tag_spacing
+
+let deployment ?(timeout_ms = 500) ?(shelf_size = Small) () =
+  let sensor = sensor_for_timeout timeout_ms in
+  let w = shelf_width shelf_size in
+  let seg_len = row_length /. float_of_int segments_per_row in
+  (* Imagined shelves: each row split into 5 segments, the row's tags on
+     the aisle-facing edge, the box extending away from the aisle. *)
+  let shelf row seg =
+    let y0 = float_of_int seg *. seg_len in
+    let min_x, max_x = if row = 0 then (row_x, row_x +. w) else (-.row_x -. w, -.row_x) in
+    let tag_x = if row = 0 then row_x else -.row_x in
+    {
+      World.shelf_id = (row * segments_per_row) + seg;
+      surface = Box2.make ~min_x ~min_y:y0 ~max_x ~max_y:(y0 +. seg_len);
+      height = 0.;
+      tag = Some (Vec3.make tag_x (y0 +. (seg_len /. 2.)) 0.);
+    }
+  in
+  let shelves =
+    List.concat_map
+      (fun row -> List.init segments_per_row (fun seg -> shelf row seg))
+      [ 0; 1 ]
+  in
+  let world = World.create shelves in
+  let object_locs =
+    List.concat_map
+      (fun row ->
+        List.filteri (fun idx _ -> not (is_reference idx)) (List.init tags_per_row Fun.id)
+        |> List.map (fun idx ->
+               let x = if row = 0 then row_x else -.row_x in
+               Vec3.make x (tag_y idx) 0.))
+      [ 0; 1 ]
+    |> Array.of_list
+  in
+  { world; object_locs; sensor; timeout_ms; shelf_size }
+
+let speed = 0.1
+let margin = 1.0
+let pass_epochs = int_of_float (Float.ceil ((row_length +. (2. *. margin)) /. speed))
+let heading e = if e < pass_epochs then 0. else Float.pi
+
+let scan t ~seed =
+  let rng = Rfid_prob.Rng.create ~seed in
+  let epochs = pass_epochs in
+  let path =
+    [
+      (* Down the aisle facing row 0 (+x), then back facing row 1 (-x). *)
+      { Trace_gen.velocity = Vec3.make 0. speed 0.; heading = 0.; seg_epochs = epochs };
+      {
+        Trace_gen.velocity = Vec3.make 0. (-.speed) 0.;
+        heading = Float.pi;
+        seg_epochs = epochs;
+      };
+    ]
+  in
+  let config =
+    {
+      Trace_gen.sensor = t.sensor;
+      motion_sigma = Vec3.make 0.012 0.012 0.;
+      velocity_bias = Vec3.make 0.001 0.004 0.;
+      drift_cap = Some 1.0;
+      location_noise = Trace_gen.Dead_reckoning;
+      read_every = 1;
+      movements = [];
+    }
+  in
+  let start = Reader_state.make ~loc:(Vec3.make 0. (-.margin) 0.) ~heading:0. in
+  Trace_gen.run ~world:t.world ~object_locs:t.object_locs ~start ~path ~config rng

@@ -1,0 +1,1 @@
+lib/stream/containment.ml: Format Hashtbl Int List Option Rfid_core Rfid_geom String Union_find Vec3

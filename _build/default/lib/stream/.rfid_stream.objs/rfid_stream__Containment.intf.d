@@ -1,0 +1,1 @@
+lib/stream/containment.mli: Format Rfid_core Rfid_geom

@@ -1,0 +1,1 @@
+lib/stream/fire_code.ml: Float Format Hashtbl Int List Rfid_core Rfid_geom Rfid_model String Vec3 Window

@@ -1,0 +1,1 @@
+lib/stream/location_update.ml: Format Hashtbl List Rfid_core Rfid_geom Rfid_model Vec3

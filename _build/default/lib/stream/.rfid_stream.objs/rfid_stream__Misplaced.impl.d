@@ -1,0 +1,1 @@
+lib/stream/misplaced.ml: Box2 Float Format Hashtbl Int List Rfid_core Rfid_geom Rfid_model Vec3

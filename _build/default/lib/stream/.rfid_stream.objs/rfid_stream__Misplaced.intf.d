@@ -1,0 +1,1 @@
+lib/stream/misplaced.mli: Format Rfid_core Rfid_geom Rfid_model

@@ -1,0 +1,1 @@
+lib/stream/union_find.ml: Array Fun Hashtbl Int List Option

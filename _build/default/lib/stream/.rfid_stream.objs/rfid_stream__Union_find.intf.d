@@ -1,0 +1,1 @@
+lib/stream/union_find.mli:

@@ -1,0 +1,109 @@
+open Rfid_geom
+
+type config = {
+  co_distance : float;
+  move_threshold : float;
+  move_weight : float;
+  min_support : float;
+}
+
+let default_config =
+  { co_distance = 1.0; move_threshold = 2.0; move_weight = 3.0; min_support = 4.0 }
+
+type t = {
+  cfg : config;
+  n : int;
+  support : (int * int, float) Hashtbl.t;
+  mutable last_round : (int, Vec3.t) Hashtbl.t option;
+}
+
+let create ?(config = default_config) ~num_objects () =
+  if num_objects < 0 then invalid_arg "Containment.create: negative num_objects";
+  if
+    config.co_distance <= 0. || config.move_threshold <= 0. || config.move_weight <= 0.
+    || config.min_support <= 0.
+  then invalid_arg "Containment.create: non-positive config";
+  { cfg = config; n = num_objects; support = Hashtbl.create 64; last_round = None }
+
+let key a b = if a < b then (a, b) else (b, a)
+
+let add_support t a b w =
+  let k = key a b in
+  Hashtbl.replace t.support k (w +. Option.value ~default:0. (Hashtbl.find_opt t.support k))
+
+let observe_round t snapshot =
+  List.iter
+    (fun (id, _) ->
+      if id < 0 || id >= t.n then invalid_arg "Containment.observe_round: id out of range")
+    snapshot;
+  let current = Hashtbl.create (List.length snapshot) in
+  List.iter (fun (id, loc) -> Hashtbl.replace current id loc) snapshot;
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) current [] in
+  let ids = List.sort Int.compare ids in
+  (* Pairwise co-location within this round. *)
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter
+          (fun b ->
+            let la = Hashtbl.find current a and lb = Hashtbl.find current b in
+            if Vec3.dist_xy la lb <= t.cfg.co_distance then add_support t a b 1.)
+          rest;
+        pairs rest
+  in
+  pairs ids;
+  (* Joint movement relative to the previous round. *)
+  (match t.last_round with
+  | None -> ()
+  | Some prev ->
+      let moved =
+        List.filter_map
+          (fun id ->
+            match Hashtbl.find_opt prev id with
+            | Some old ->
+                let delta = Vec3.sub (Hashtbl.find current id) old in
+                if Vec3.dist_xy (Hashtbl.find current id) old >= t.cfg.move_threshold
+                then Some (id, delta)
+                else None
+            | None -> None)
+          ids
+      in
+      let rec move_pairs = function
+        | [] -> ()
+        | (a, da) :: rest ->
+            List.iter
+              (fun (b, db) ->
+                if Vec3.dist_xy (Vec3.sub da db) Vec3.zero <= t.cfg.co_distance then
+                  add_support t a b t.cfg.move_weight)
+              rest;
+            move_pairs rest
+      in
+      move_pairs moved);
+  t.last_round <- Some current
+
+let of_events t ~rounds =
+  List.iter
+    (fun events ->
+      let latest = Hashtbl.create 32 in
+      List.iter
+        (fun (ev : Rfid_core.Event.t) ->
+          Hashtbl.replace latest ev.Rfid_core.Event.ev_obj ev.Rfid_core.Event.ev_loc)
+        events;
+      observe_round t (Hashtbl.fold (fun id loc acc -> (id, loc) :: acc) latest []))
+    rounds
+
+let support t a b =
+  Option.value ~default:0. (Hashtbl.find_opt t.support (key a b))
+
+let groups t =
+  let uf = Union_find.create t.n in
+  Hashtbl.iter
+    (fun (a, b) w -> if w >= t.cfg.min_support then Union_find.union uf a b)
+    t.support;
+  Union_find.groups uf
+
+let pp_groups ppf gs =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf g ->
+         Format.fprintf ppf "{%s}" (String.concat ", " (List.map string_of_int g))))
+    gs

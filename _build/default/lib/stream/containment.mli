@@ -1,0 +1,58 @@
+(** Inter-object containment inference — the extension the paper names
+    as future work ("we will also enhance our techniques to address
+    inter-object containment relationships", §VII).
+
+    Objects packed in the same case or pallet exhibit two signatures in
+    the cleaned location-event stream: they are persistently co-located,
+    and when they move, they move {e together}. This module accumulates
+    both kinds of pairwise evidence across scan rounds and reports
+    containment groups as the connected components of the
+    sufficiently-supported pairs.
+
+    Evidence rules, per pair of objects seen in the same scan round:
+    - {b co-location}: their estimated locations are within
+      [co_distance] — weight 1;
+    - {b co-movement}: both moved more than [move_threshold] since the
+      previous round {e and} their displacement vectors agree within
+      [co_distance] — weight [move_weight] (joint movement is far
+      stronger evidence than sitting on the same shelf).
+
+    A pair is linked once its accumulated weight reaches [min_support];
+    groups are the connected components of linked pairs. *)
+
+type config = {
+  co_distance : float;  (** co-location / co-movement tolerance, ft *)
+  move_threshold : float;  (** displacement that counts as movement, ft *)
+  move_weight : float;  (** evidence weight of one joint movement *)
+  min_support : float;  (** accumulated weight at which a pair is linked *)
+}
+
+val default_config : config
+(** co_distance 1.0 ft, move_threshold 2.0 ft, move_weight 3.0,
+    min_support 4.0 — one joint movement plus one co-location, or four
+    co-located rounds. *)
+
+type t
+
+val create : ?config:config -> num_objects:int -> unit -> t
+(** @raise Invalid_argument if [num_objects < 0] or the config is
+    non-positive. *)
+
+val observe_round : t -> (int * Rfid_geom.Vec3.t) list -> unit
+(** Feed one scan round's location snapshot (object id, estimated
+    location). Objects absent from a round contribute no evidence for
+    it. Ids outside [0, num_objects) are rejected.
+    @raise Invalid_argument on an out-of-range id. *)
+
+val of_events :
+  t -> rounds:Rfid_core.Event.t list list -> unit
+(** Convenience: feed several rounds of cleaned events (each inner list
+    is one scan round; the last event per object in a round wins). *)
+
+val support : t -> int -> int -> float
+(** Accumulated evidence weight for a pair. *)
+
+val groups : t -> int list list
+(** Containment groups (≥ 2 members), sorted. *)
+
+val pp_groups : Format.formatter -> int list list -> unit

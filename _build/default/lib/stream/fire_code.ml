@@ -1,0 +1,65 @@
+open Rfid_geom
+
+type cell = int * int
+
+let cell_of (p : Vec3.t) =
+  (int_of_float (Float.floor p.Vec3.x), int_of_float (Float.floor p.Vec3.y))
+
+type violation = {
+  v_epoch : Rfid_model.Types.epoch;
+  v_cell : cell;
+  v_weight : float;
+  v_objects : int list;
+}
+
+type config = { weight_of : int -> float; window : int; limit : float }
+
+let default_config ~weight_of = { weight_of; window = 5; limit = 200. }
+
+type t = {
+  cfg : config;
+  recent : int Window.t;  (* objects reported within the range window *)
+  latest_loc : (int, Vec3.t) Hashtbl.t;
+}
+
+let create cfg =
+  if cfg.window <= 0 then invalid_arg "Fire_code.create: window must be positive";
+  { cfg; recent = Window.create ~size:cfg.window; latest_loc = Hashtbl.create 64 }
+
+let push t (ev : Rfid_core.Event.t) =
+  let e = ev.Rfid_core.Event.ev_epoch in
+  Hashtbl.replace t.latest_loc ev.Rfid_core.Event.ev_obj ev.Rfid_core.Event.ev_loc;
+  Window.push t.recent ~epoch:e ev.Rfid_core.Event.ev_obj;
+  (* Group the window's objects by square-foot cell of their latest
+     location; each object counts once. *)
+  let seen = Hashtbl.create 16 in
+  let cells : (cell, float * int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, obj) ->
+      if not (Hashtbl.mem seen obj) then begin
+        Hashtbl.replace seen obj ();
+        match Hashtbl.find_opt t.latest_loc obj with
+        | None -> ()
+        | Some loc ->
+            let c = cell_of loc in
+            let w, objs =
+              match Hashtbl.find_opt cells c with Some x -> x | None -> (0., [])
+            in
+            Hashtbl.replace cells c (w +. t.cfg.weight_of obj, obj :: objs)
+      end)
+    (Window.contents t.recent);
+  Hashtbl.fold
+    (fun c (w, objs) acc ->
+      if w > t.cfg.limit then
+        { v_epoch = e; v_cell = c; v_weight = w; v_objects = List.sort Int.compare objs }
+        :: acc
+      else acc)
+    cells []
+  |> List.sort (fun a b -> compare a.v_cell b.v_cell)
+
+let run t events = List.concat_map (push t) events
+
+let pp_violation ppf v =
+  Format.fprintf ppf "t=%d cell=(%d,%d) weight=%.1f lbs objects=[%s]" v.v_epoch
+    (fst v.v_cell) (snd v.v_cell) v.v_weight
+    (String.concat ";" (List.map string_of_int v.v_objects))

@@ -1,0 +1,49 @@
+(** The fire-code query of §II-B: "display of solid merchandise shall
+    not exceed 200 pounds per square foot of shelf area."
+
+    {v
+    Select Rstream(E2.area, sum(E2.weight))
+    From (Select Rstream( *, SquareFtArea(E.(x,y,z)) As area,
+                            Weight(E.tag_id) As weight)
+          From EventStream E [Now]) E2 [Range 5 seconds]
+    Group By E2.area
+    Having sum(E2.weight) > 200 pounds
+    v}
+
+    The inner query annotates each event with its square-foot cell and
+    the object's weight; the outer query sums weights per cell over a
+    sliding window and reports cells over the limit. An object
+    contributes its most recent location only (re-reports supersede). *)
+
+type cell = int * int
+(** Square-foot grid cell (floor x, floor y). *)
+
+val cell_of : Rfid_geom.Vec3.t -> cell
+
+type violation = {
+  v_epoch : Rfid_model.Types.epoch;
+  v_cell : cell;
+  v_weight : float;  (** pounds in the cell *)
+  v_objects : int list;  (** contributing objects, ascending id *)
+}
+
+type config = {
+  weight_of : int -> float;  (** pounds, by object id *)
+  window : int;  (** epochs (the paper's 5-second range window) *)
+  limit : float;  (** pounds per square foot (200) *)
+}
+
+val default_config : weight_of:(int -> float) -> config
+(** window = 5, limit = 200. *)
+
+type t
+
+val create : config -> t
+
+val push : t -> Rfid_core.Event.t -> violation list
+(** Feed the next event; returns the cells in violation as of this
+    event's epoch (each cell reported at most once per epoch). *)
+
+val run : t -> Rfid_core.Event.t list -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit

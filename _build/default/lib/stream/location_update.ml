@@ -1,0 +1,34 @@
+open Rfid_geom
+
+type update = {
+  u_epoch : Rfid_model.Types.epoch;
+  u_obj : int;
+  u_loc : Vec3.t;
+  u_prev : Vec3.t option;
+}
+
+type t = { min_change : float; latest : (int, Vec3.t) Hashtbl.t }
+
+let create ?(min_change = 1e-6) () =
+  if min_change < 0. then invalid_arg "Location_update.create: negative min_change";
+  { min_change; latest = Hashtbl.create 64 }
+
+let push t (ev : Rfid_core.Event.t) =
+  let obj = ev.Rfid_core.Event.ev_obj in
+  let loc = ev.Rfid_core.Event.ev_loc in
+  let prev = Hashtbl.find_opt t.latest obj in
+  match prev with
+  | Some p when Vec3.dist_xy p loc <= t.min_change -> None
+  | _ ->
+      Hashtbl.replace t.latest obj loc;
+      Some { u_epoch = ev.Rfid_core.Event.ev_epoch; u_obj = obj; u_loc = loc; u_prev = prev }
+
+let run t events = List.filter_map (push t) events
+
+let current t obj = Hashtbl.find_opt t.latest obj
+
+let pp_update ppf u =
+  Format.fprintf ppf "t=%d obj=%d -> %a%t" u.u_epoch u.u_obj Vec3.pp u.u_loc (fun ppf ->
+      match u.u_prev with
+      | Some p -> Format.fprintf ppf " (was %a)" Vec3.pp p
+      | None -> ())

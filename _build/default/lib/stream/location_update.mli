@@ -1,0 +1,35 @@
+(** The location-update query of §II-B:
+
+    {v
+    Select Istream(E.tag_id, E.(x, y, z))
+    From EventStream E [Partition By tag_id Row 1]
+    v}
+
+    Partition the event stream by tag, keep each partition's most recent
+    row, and emit an insert whenever an object's newest reported
+    location differs from its previous one. *)
+
+type update = {
+  u_epoch : Rfid_model.Types.epoch;
+  u_obj : int;
+  u_loc : Rfid_geom.Vec3.t;
+  u_prev : Rfid_geom.Vec3.t option;  (** previous location, [None] on first sight *)
+}
+
+type t
+
+val create : ?min_change:float -> unit -> t
+(** [min_change] (default 1e-6 ft) is the XY distance below which two
+    locations count as "the same" — guards against float jitter.
+    @raise Invalid_argument if negative. *)
+
+val push : t -> Rfid_core.Event.t -> update option
+(** Feed the next event; an update comes out iff the object is new or
+    moved by more than [min_change]. *)
+
+val run : t -> Rfid_core.Event.t list -> update list
+
+val current : t -> int -> Rfid_geom.Vec3.t option
+(** Latest known location of an object ([Row 1] state). *)
+
+val pp_update : Format.formatter -> update -> unit

@@ -1,0 +1,99 @@
+open Rfid_geom
+
+type config = { tolerance : float; confirmations : int }
+
+let default_config = { tolerance = 0.5; confirmations = 2 }
+
+type alert = {
+  a_epoch : Rfid_model.Types.epoch;
+  a_obj : int;
+  a_loc : Vec3.t;
+  a_home : Box2.t;
+  a_distance : float;
+  a_kind : [ `Misplaced | `Back_in_place ];
+}
+
+type state = { mutable strikes : int; mutable flagged : bool }
+
+type t = {
+  cfg : config;
+  home : int -> Box2.t option;
+  states : (int, state) Hashtbl.t;
+}
+
+let create ?(config = default_config) ~home () =
+  if config.tolerance <= 0. || config.confirmations <= 0 then
+    invalid_arg "Misplaced.create: non-positive config";
+  { cfg = config; home; states = Hashtbl.create 64 }
+
+(* XY distance from a point to a box's boundary; 0 inside. *)
+let distance_outside (b : Box2.t) (p : Vec3.t) =
+  let dx =
+    Float.max 0. (Float.max (b.Box2.min_x -. p.Vec3.x) (p.Vec3.x -. b.Box2.max_x))
+  in
+  let dy =
+    Float.max 0. (Float.max (b.Box2.min_y -. p.Vec3.y) (p.Vec3.y -. b.Box2.max_y))
+  in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let state_of t obj =
+  match Hashtbl.find_opt t.states obj with
+  | Some s -> s
+  | None ->
+      let s = { strikes = 0; flagged = false } in
+      Hashtbl.replace t.states obj s;
+      s
+
+let push t (ev : Rfid_core.Event.t) =
+  let obj = ev.Rfid_core.Event.ev_obj in
+  match t.home obj with
+  | None -> None
+  | Some home ->
+      let loc = ev.Rfid_core.Event.ev_loc in
+      let d = distance_outside home loc in
+      let s = state_of t obj in
+      if d > t.cfg.tolerance then begin
+        s.strikes <- s.strikes + 1;
+        if (not s.flagged) && s.strikes >= t.cfg.confirmations then begin
+          s.flagged <- true;
+          Some
+            {
+              a_epoch = ev.Rfid_core.Event.ev_epoch;
+              a_obj = obj;
+              a_loc = loc;
+              a_home = home;
+              a_distance = d;
+              a_kind = `Misplaced;
+            }
+        end
+        else None
+      end
+      else begin
+        s.strikes <- 0;
+        if s.flagged then begin
+          s.flagged <- false;
+          Some
+            {
+              a_epoch = ev.Rfid_core.Event.ev_epoch;
+              a_obj = obj;
+              a_loc = loc;
+              a_home = home;
+              a_distance = d;
+              a_kind = `Back_in_place;
+            }
+        end
+        else None
+      end
+
+let run t events = List.filter_map (push t) events
+
+let currently_misplaced t =
+  Hashtbl.fold (fun obj s acc -> if s.flagged then obj :: acc else acc) t.states []
+  |> List.sort Int.compare
+
+let pp_alert ppf a =
+  Format.fprintf ppf "t=%d obj=%d %s at %a (%.2f ft outside %a)" a.a_epoch a.a_obj
+    (match a.a_kind with
+    | `Misplaced -> "MISPLACED"
+    | `Back_in_place -> "back in place")
+    Vec3.pp a.a_loc a.a_distance Box2.pp a.a_home

@@ -1,0 +1,46 @@
+type t = { parent : int array; rank : int array }
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+let check t i =
+  if i < 0 || i >= Array.length t.parent then
+    invalid_arg "Union_find: element out of range"
+
+let rec find t i =
+  check t i;
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+
+let same t a b = find t a = find t b
+
+let groups t =
+  let by_root = Hashtbl.create 16 in
+  Array.iteri
+    (fun i _ ->
+      let r = find t i in
+      Hashtbl.replace by_root r (i :: Option.value ~default:[] (Hashtbl.find_opt by_root r)))
+    t.parent;
+  Hashtbl.fold
+    (fun _ members acc ->
+      match members with
+      | [] | [ _ ] -> acc
+      | ms -> List.sort Int.compare ms :: acc)
+    by_root []
+  |> List.sort (fun a b -> Int.compare (List.hd a) (List.hd b))

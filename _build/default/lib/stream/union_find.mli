@@ -1,0 +1,19 @@
+(** Classic disjoint-set union with path compression and union by rank —
+    the substrate for grouping co-located objects in {!Containment}. *)
+
+type t
+
+val create : int -> t
+(** Universe of elements [0 .. n-1]. @raise Invalid_argument if
+    [n < 0]. *)
+
+val find : t -> int -> int
+(** Representative of the element's set. @raise Invalid_argument on an
+    out-of-range element. *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+val groups : t -> int list list
+(** All sets with at least two members, each sorted ascending, ordered
+    by their smallest member. *)

@@ -1,0 +1,40 @@
+type 'a t = {
+  size : int;
+  q : (Rfid_model.Types.epoch * 'a) Queue.t;
+  mutable last_epoch : Rfid_model.Types.epoch;
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Window.create: size must be positive";
+  { size; q = Queue.create (); last_epoch = min_int }
+
+let evict t ~epoch =
+  let cutoff = epoch - t.size + 1 in
+  let rec go () =
+    match Queue.peek_opt t.q with
+    | Some (e, _) when e < cutoff ->
+        ignore (Queue.pop t.q);
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let check t ~epoch =
+  if epoch < t.last_epoch then invalid_arg "Window: epoch regression";
+  t.last_epoch <- epoch
+
+let push t ~epoch v =
+  check t ~epoch;
+  Queue.push (epoch, v) t.q;
+  evict t ~epoch
+
+let advance t ~epoch =
+  check t ~epoch;
+  evict t ~epoch
+
+let contents t = List.of_seq (Queue.to_seq t.q)
+
+let fold t ~init ~f =
+  Queue.fold (fun acc (e, v) -> f acc e v) init t.q
+
+let length t = Queue.length t.q

@@ -1,0 +1,22 @@
+(** Epoch-based sliding windows over event streams — the [Range n]
+    window of CQL, supporting the stream queries of §II-B. *)
+
+type 'a t
+
+val create : size:int -> 'a t
+(** Window covering the last [size] epochs (inclusive of the current
+    one). @raise Invalid_argument if [size <= 0]. *)
+
+val push : 'a t -> epoch:Rfid_model.Types.epoch -> 'a -> unit
+(** Insert an element; elements older than [epoch - size + 1] are
+    evicted. Epochs must be non-decreasing across pushes.
+    @raise Invalid_argument on a regression. *)
+
+val advance : 'a t -> epoch:Rfid_model.Types.epoch -> unit
+(** Evict as if an element at [epoch] had arrived, without inserting. *)
+
+val contents : 'a t -> (Rfid_model.Types.epoch * 'a) list
+(** Live elements, oldest first. *)
+
+val fold : 'a t -> init:'b -> f:('b -> Rfid_model.Types.epoch -> 'a -> 'b) -> 'b
+val length : 'a t -> int

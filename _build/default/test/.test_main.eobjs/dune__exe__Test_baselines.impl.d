@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Params Printf Rfid_baselines Rfid_core Rfid_eval Rfid_learn Rfid_model Rfid_prob Rfid_sim Smurf Trace Types Uniform Util World

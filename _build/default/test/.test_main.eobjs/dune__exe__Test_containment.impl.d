@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Array Containment Format Gen List Option Params QCheck Rfid_core Rfid_geom Rfid_learn Rfid_model Rfid_prob Rfid_sim Rfid_stream Trace Union_find Util World

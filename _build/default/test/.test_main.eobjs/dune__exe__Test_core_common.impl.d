@@ -1,0 +1,1 @@
+test/test_core_common.ml: Alcotest Array Common Cone Config Float List Location_sensing Motion_model Rfid_core Rfid_geom Rfid_model Sensor_model Util Vec3 World

@@ -1,0 +1,1 @@
+test/test_engine_policies.ml: Alcotest Array Config Engine Event Factored_filter Hashtbl Lazy List Option Params Printf Rfid_core Rfid_eval Rfid_learn Rfid_model Rfid_prob Rfid_sim Trace Types Util

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Config Event List Reader_state Rfid_core Rfid_eval Rfid_geom Rfid_model Rfid_prob Rfid_sim Trace Types Util

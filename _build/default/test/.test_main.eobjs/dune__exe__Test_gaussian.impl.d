@@ -1,0 +1,1 @@
+test/test_gaussian.ml: Alcotest Array Float Gaussian Linalg QCheck Rfid_prob Rng Stats Util

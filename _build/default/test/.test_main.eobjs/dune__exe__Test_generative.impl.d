@@ -1,0 +1,1 @@
+test/test_generative.ml: Alcotest Array Generative List Motion_model Params Reader_state Rfid_geom Rfid_model Rfid_prob Sensor_model Trace Types Util Vec3 World

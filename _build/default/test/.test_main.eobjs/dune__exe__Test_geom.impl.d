@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Box2 Cone Float Format Int List QCheck Rfid_geom Rfid_prob Rng Rtree Util Vec3

@@ -1,0 +1,1 @@
+test/test_learn.ml: Alcotest Array Float Fun List Location_sensing Motion_model Params Printf Reader_state Rfid_geom Rfid_learn Rfid_model Rfid_prob Rfid_sim Sensor_model Trace Util

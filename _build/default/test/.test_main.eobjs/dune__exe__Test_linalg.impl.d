@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Format Linalg QCheck Rfid_prob Rng Util

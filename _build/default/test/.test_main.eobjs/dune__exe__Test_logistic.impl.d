@@ -1,0 +1,1 @@
+test/test_logistic.ml: Alcotest Array Float Gen Linalg Logistic Printf QCheck Rfid_prob Rng Util

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Format Location_sensing Motion_model Object_model Params Reader_state Rfid_geom Rfid_model Sensor_model Util Vec3 World

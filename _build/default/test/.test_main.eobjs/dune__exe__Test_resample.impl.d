@@ -1,0 +1,1 @@
+test/test_resample.ml: Alcotest Array Float Fun Gen Int List QCheck Resample Rfid_prob Stats Util

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun Int Int64 QCheck Rfid_prob Rng Stats Util

@@ -1,0 +1,1 @@
+test/test_sensor_model.ml: Alcotest Array Float Gen QCheck Rfid_geom Rfid_model Sensor_model Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Box2 Float Hashtbl Lab List Location_sensing Reader_state Rfid_geom Rfid_model Rfid_prob Rfid_sim Trace Trace_gen Truth_sensor Types Util Vec3 Warehouse World

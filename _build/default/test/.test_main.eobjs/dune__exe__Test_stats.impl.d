@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen QCheck Rfid_prob Stats Util

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Event Fire_code Format List Location_update Misplaced Option Rfid_core Rfid_geom Rfid_stream Util Window

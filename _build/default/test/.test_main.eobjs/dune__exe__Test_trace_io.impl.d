@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Filename Fun List Params QCheck Rfid_core Rfid_geom Rfid_model Rfid_prob Rfid_sim Sys Trace Trace_io Types Util

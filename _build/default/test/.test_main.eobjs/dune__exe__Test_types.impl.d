@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest List Rfid_geom Rfid_model Types Util

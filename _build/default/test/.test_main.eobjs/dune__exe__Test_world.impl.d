@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest List QCheck Rfid_geom Rfid_model Util World

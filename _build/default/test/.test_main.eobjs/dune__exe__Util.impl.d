@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Box2 Float Format QCheck QCheck_alcotest Rfid_geom Rfid_model Rfid_prob Vec3

@@ -1,0 +1,194 @@
+open Rfid_baselines
+open Rfid_model
+
+(* SMURF window mechanics *)
+
+let window () = Smurf.Window.create (Smurf.default_config ~read_range:3. ())
+
+let test_window_present_while_read () =
+  let w = window () in
+  for e = 0 to 9 do
+    Smurf.Window.observe w ~read:true ~epoch:e;
+    Alcotest.(check bool) "present while reading" true (Smurf.Window.present w)
+  done
+
+let test_window_absent_initially_silent () =
+  let w = window () in
+  Smurf.Window.observe w ~read:false ~epoch:0;
+  Alcotest.(check bool) "no reads yet: absent" false (Smurf.Window.present w)
+
+let test_window_smooths_dropouts () =
+  (* Read rate ~50%: a missed epoch inside the window must not end the
+     presence period once the window has adapted. *)
+  let w = window () in
+  let reads = [ true; true; false; true; false; true; true; false; true; false ] in
+  List.iteri (fun e r -> Smurf.Window.observe w ~read:r ~epoch:e) reads;
+  Alcotest.(check bool) "window grew" true (Smurf.Window.size w > 1);
+  Smurf.Window.observe w ~read:false ~epoch:10;
+  Alcotest.(check bool) "single miss smoothed over" true (Smurf.Window.present w)
+
+let test_window_detects_departure () =
+  let w = window () in
+  for e = 0 to 14 do
+    Smurf.Window.observe w ~read:true ~epoch:e
+  done;
+  (* Tag gone: long run of misses must eventually flip presence. *)
+  let still = ref true in
+  for e = 15 to 40 do
+    Smurf.Window.observe w ~read:false ~epoch:e;
+    if not (Smurf.Window.present w) then still := false
+  done;
+  Alcotest.(check bool) "declared gone" false !still
+
+let test_window_cap () =
+  let cfg = { (Smurf.default_config ~read_range:3. ()) with Smurf.max_window = 5 } in
+  let w = Smurf.Window.create cfg in
+  (* Tiny read rate pushes w* huge; size must stay capped. *)
+  for e = 0 to 50 do
+    Smurf.Window.observe w ~read:(e mod 7 = 0) ~epoch:e
+  done;
+  Alcotest.(check bool) "cap respected" true (Smurf.Window.size w <= 5)
+
+(* End-to-end SMURF and Uniform on simulated traces *)
+
+let scenario ?(rr = 0.8) ?(seed = 41) () =
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:10 () in
+  let sensor = Rfid_sim.Truth_sensor.cone ~rr_major:rr () in
+  let config = Rfid_sim.Trace_gen.default_config ~sensor () in
+  let trace =
+    Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+      ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+      ~start:(Rfid_sim.Warehouse.reader_start wh)
+      ~path:(Rfid_sim.Trace_gen.straight_pass wh ~rounds:1)
+      ~config
+      (Rfid_prob.Rng.create ~seed)
+  in
+  (wh, trace)
+
+let test_smurf_emits_events () =
+  let wh, trace = scenario () in
+  let events =
+    Smurf.run ~world:wh.Rfid_sim.Warehouse.world
+      ~config:(Smurf.default_config ~read_range:3. ()) ~seed:2
+      (Trace.observations trace)
+  in
+  Alcotest.(check bool) "events produced" true (List.length events > 0);
+  Util.check_close ~eps:0.01 "every object reported" 1.
+    (Rfid_eval.Metrics.coverage events trace);
+  (* Sampled locations are always on shelves. *)
+  List.iter
+    (fun (ev : Rfid_core.Event.t) ->
+      if not (World.contains wh.Rfid_sim.Warehouse.world ev.Rfid_core.Event.ev_loc)
+      then Alcotest.fail "SMURF event off-shelf")
+    events
+
+let test_smurf_error_bounded_but_worse_than_nothing () =
+  let wh, trace = scenario () in
+  let events =
+    Smurf.run ~world:wh.Rfid_sim.Warehouse.world
+      ~config:(Smurf.default_config ~read_range:3. ()) ~seed:2
+      (Trace.observations trace)
+  in
+  let err = Rfid_eval.Metrics.inference_error events trace in
+  Alcotest.(check bool)
+    (Printf.sprintf "XY %.3f within sane bounds" err.Rfid_eval.Metrics.mean_xy)
+    true
+    (err.Rfid_eval.Metrics.mean_xy > 0.05 && err.Rfid_eval.Metrics.mean_xy < 3.)
+
+let test_smurf_ignores_shelf_tags () =
+  let wh, trace = scenario () in
+  let shelf_only =
+    List.map
+      (fun (o : Types.observation) ->
+        {
+          o with
+          Types.o_read_tags =
+            List.filter
+              (fun t -> match t with Types.Shelf_tag _ -> true | _ -> false)
+              o.Types.o_read_tags;
+        })
+      (Trace.observations trace)
+  in
+  let events =
+    Smurf.run ~world:wh.Rfid_sim.Warehouse.world
+      ~config:(Smurf.default_config ~read_range:3. ()) ~seed:2 shelf_only
+  in
+  Alcotest.(check int) "no object readings, no events" 0 (List.length events)
+
+let test_uniform_baseline () =
+  let wh, trace = scenario () in
+  let events =
+    Uniform.run ~world:wh.Rfid_sim.Warehouse.world
+      ~config:(Uniform.default_config ~read_range:3. ()) ~seed:2
+      (Trace.observations trace)
+  in
+  Util.check_close ~eps:0.01 "coverage" 1. (Rfid_eval.Metrics.coverage events trace);
+  List.iter
+    (fun (ev : Rfid_core.Event.t) ->
+      if not (World.contains wh.Rfid_sim.Warehouse.world ev.Rfid_core.Event.ev_loc)
+      then Alcotest.fail "uniform event off-shelf")
+    events
+
+let test_engine_beats_baselines () =
+  (* The paper's headline: our system < SMURF < uniform (on average). *)
+  let wh, trace = scenario () in
+  let cone = Rfid_sim.Truth_sensor.cone ~rr_major:0.8 () in
+  let sensor =
+    Rfid_learn.Supervised.fit_sensor ~samples:8000
+      ~read_prob:cone.Rfid_sim.Truth_sensor.read_prob ~seed:3 ()
+  in
+  let params = Params.create ~sensor () in
+  let config =
+    Rfid_core.Config.create ~variant:Rfid_core.Config.Factorized_indexed
+      ~num_reader_particles:60 ~num_object_particles:150 ()
+  in
+  let ours = Rfid_eval.Runner.run_engine ~params ~config ~seed:4 trace in
+  let smurf_events =
+    Smurf.run ~world:wh.Rfid_sim.Warehouse.world
+      ~config:(Smurf.default_config ~read_range:3. ()) ~seed:2
+      (Trace.observations trace)
+  in
+  let uniform_events =
+    Uniform.run ~world:wh.Rfid_sim.Warehouse.world
+      ~config:(Uniform.default_config ~read_range:3. ()) ~seed:2
+      (Trace.observations trace)
+  in
+  let e_ours = ours.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy in
+  let e_smurf =
+    (Rfid_eval.Metrics.inference_error smurf_events trace).Rfid_eval.Metrics.mean_xy
+  in
+  let e_uniform =
+    (Rfid_eval.Metrics.inference_error uniform_events trace).Rfid_eval.Metrics.mean_xy
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ours %.3f < smurf %.3f" e_ours e_smurf)
+    true (e_ours < e_smurf);
+  Alcotest.(check bool)
+    (Printf.sprintf "smurf %.3f <= uniform %.3f (weak order)" e_smurf e_uniform)
+    true
+    (e_smurf <= e_uniform +. 0.25)
+
+let test_config_validation () =
+  Util.check_raises_invalid "bad smurf range" (fun () ->
+      ignore (Smurf.default_config ~read_range:0. ()));
+  Util.check_raises_invalid "bad uniform range" (fun () ->
+      ignore (Uniform.default_config ~read_range:(-1.) ()))
+
+let suite =
+  ( "baselines",
+    [
+      Alcotest.test_case "window present while read" `Quick
+        test_window_present_while_read;
+      Alcotest.test_case "window silent before first read" `Quick
+        test_window_absent_initially_silent;
+      Alcotest.test_case "window smooths dropouts" `Quick test_window_smooths_dropouts;
+      Alcotest.test_case "window detects departure" `Quick test_window_detects_departure;
+      Alcotest.test_case "window cap" `Quick test_window_cap;
+      Alcotest.test_case "smurf emits events" `Quick test_smurf_emits_events;
+      Alcotest.test_case "smurf error bounded" `Quick
+        test_smurf_error_bounded_but_worse_than_nothing;
+      Alcotest.test_case "smurf ignores shelf tags" `Quick test_smurf_ignores_shelf_tags;
+      Alcotest.test_case "uniform baseline" `Quick test_uniform_baseline;
+      Alcotest.test_case "engine beats baselines" `Slow test_engine_beats_baselines;
+      Alcotest.test_case "config validation" `Quick test_config_validation;
+    ] )

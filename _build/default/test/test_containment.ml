@@ -1,0 +1,199 @@
+open Rfid_stream
+
+(* Union_find *)
+
+let test_uf_basics () =
+  let uf = Union_find.create 6 in
+  Alcotest.(check bool) "distinct initially" false (Union_find.same uf 0 1);
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  Alcotest.(check bool) "transitively joined" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "others untouched" false (Union_find.same uf 0 3);
+  Union_find.union uf 4 5;
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 1; 2 ]; [ 4; 5 ] ]
+    (Union_find.groups uf);
+  Util.check_raises_invalid "out of range" (fun () -> Union_find.find uf 9);
+  Util.check_raises_invalid "negative size" (fun () -> ignore (Union_find.create (-1)))
+
+let test_uf_idempotent_union () =
+  let uf = Union_find.create 3 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 0;
+  Alcotest.(check (list (list int))) "single group" [ [ 0; 1 ] ] (Union_find.groups uf)
+
+let prop_uf_union_is_equivalence =
+  Util.qcheck ~count:100 "union-find implements an equivalence closure"
+    QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let uf = Union_find.create 10 in
+      List.iter (fun (a, b) -> Union_find.union uf a b) edges;
+      (* brute-force reachability *)
+      let adj = Array.make_matrix 10 10 false in
+      List.iter
+        (fun (a, b) ->
+          adj.(a).(b) <- true;
+          adj.(b).(a) <- true)
+        edges;
+      for k = 0 to 9 do
+        for i = 0 to 9 do
+          for j = 0 to 9 do
+            if adj.(i).(k) && adj.(k).(j) then adj.(i).(j) <- true
+          done
+        done
+      done;
+      let ok = ref true in
+      for i = 0 to 9 do
+        for j = 0 to 9 do
+          if i <> j then begin
+            let reachable = adj.(i).(j) in
+            if Union_find.same uf i j <> reachable then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* Containment *)
+
+let snapshot locs = List.mapi (fun i (x, y) -> (i, Util.vec3 x y 0.)) locs
+
+let test_co_location_groups () =
+  let c = Containment.create ~num_objects:5 () in
+  (* Objects 0,1 sit together; 2,3 sit together; 4 alone. Four rounds of
+     co-location reach min_support = 4. *)
+  for _ = 1 to 4 do
+    Containment.observe_round c
+      (snapshot [ (0., 0.); (0.3, 0.2); (5., 5.); (5.4, 5.1); (9., 9.) ])
+  done;
+  Alcotest.(check (list (list int))) "two pairs" [ [ 0; 1 ]; [ 2; 3 ] ]
+    (Containment.groups c)
+
+let test_insufficient_support () =
+  let c = Containment.create ~num_objects:3 () in
+  Containment.observe_round c (snapshot [ (0., 0.); (0.2, 0.1); (8., 8.) ]);
+  Alcotest.(check (list (list int))) "one round is not enough" []
+    (Containment.groups c)
+
+let test_co_movement_strong_evidence () =
+  let c = Containment.create ~num_objects:4 () in
+  (* Round 1: 0,1 together; 2,3 near each other too. *)
+  Containment.observe_round c
+    (snapshot [ (0., 0.); (0.4, 0.1); (4., 4.); (4.3, 4.2) ]);
+  (* Round 2: 0,1 jumped together by (10, 10); 2 moved alone, 3 stayed. *)
+  Containment.observe_round c
+    (snapshot [ (10., 10.); (10.4, 10.1); (12., 0.); (4.3, 4.2) ]);
+  (* 0-1: co-location twice (2) + joint move (3) = 5 >= 4 -> linked.
+     2-3: co-location twice (2) but no joint move -> not linked. *)
+  Alcotest.(check (list (list int))) "movers grouped" [ [ 0; 1 ] ]
+    (Containment.groups c);
+  Alcotest.(check bool) "support accumulates" true (Containment.support c 0 1 >= 4.);
+  Alcotest.(check bool) "loner pair below" true (Containment.support c 2 3 < 4.)
+
+let test_divergent_movement_is_no_evidence () =
+  let c = Containment.create ~num_objects:2 () in
+  Containment.observe_round c (snapshot [ (0., 0.); (0.3, 0.) ]);
+  (* Both move, in different directions: no co-movement evidence. *)
+  Containment.observe_round c (snapshot [ (10., 0.); (-10., 0.) ]);
+  Util.check_close "only the first co-location" 1. (Containment.support c 0 1)
+
+let test_of_events_rounds () =
+  let c = Containment.create ~num_objects:3 () in
+  let round locs =
+    List.mapi (fun i (x, y) -> Rfid_core.Event.make ~epoch:i ~obj:i ~loc:(Util.vec3 x y 0.) ()) locs
+  in
+  for _ = 1 to 4 do
+    Containment.of_events c ~rounds:[ round [ (0., 0.); (0.2, 0.2); (7., 7.) ] ]
+  done;
+  Alcotest.(check (list (list int))) "grouped from events" [ [ 0; 1 ] ]
+    (Containment.groups c)
+
+let test_validation () =
+  Util.check_raises_invalid "bad id" (fun () ->
+      let c = Containment.create ~num_objects:2 () in
+      Containment.observe_round c [ (5, Rfid_geom.Vec3.zero) ]);
+  Util.check_raises_invalid "bad config" (fun () ->
+      ignore
+        (Containment.create
+           ~config:{ Containment.default_config with Containment.co_distance = 0. }
+           ~num_objects:2 ()))
+
+(* End to end: simulate two scan rounds with a packed group that moves
+   between rounds, clean with the engine, infer containment. *)
+let test_containment_pipeline () =
+  let open Rfid_model in
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:12 () in
+  (* Objects 3,4,5 form a "case": initially adjacent (ids are adjacent,
+     0.5 ft apart, within co_distance 1.0 of their neighbours); between
+     rounds the whole case moves 3 ft down the shelf. *)
+  let path = Rfid_sim.Trace_gen.straight_pass wh ~rounds:2 in
+  let half = List.fold_left (fun a s -> a + s.Rfid_sim.Trace_gen.seg_epochs) 0 path / 2 in
+  let movements =
+    List.map
+      (fun obj ->
+        let orig = wh.Rfid_sim.Warehouse.object_locs.(obj) in
+        {
+          Rfid_sim.Trace_gen.move_epoch = half;
+          move_obj = obj;
+          move_to =
+            World.clamp_to_shelves wh.Rfid_sim.Warehouse.world
+              (Rfid_geom.Vec3.add orig (Util.vec3 0. 3. 0.));
+        })
+      [ 3; 4; 5 ]
+  in
+  let config_gen =
+    { (Rfid_sim.Trace_gen.default_config ()) with Rfid_sim.Trace_gen.movements }
+  in
+  let trace =
+    Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+      ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+      ~start:(Rfid_sim.Warehouse.reader_start wh)
+      ~path ~config:config_gen
+      (Rfid_prob.Rng.create ~seed:67)
+  in
+  let cone = Rfid_sim.Truth_sensor.cone () in
+  let sensor =
+    Rfid_learn.Supervised.fit_sensor ~samples:8000
+      ~read_prob:cone.Rfid_sim.Truth_sensor.read_prob ~seed:2 ()
+  in
+  let engine =
+    Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world
+      ~params:(Params.create ~sensor ())
+      ~config:
+        (Rfid_core.Config.create ~variant:Rfid_core.Config.Factorized_indexed
+           ~num_reader_particles:80 ~num_object_particles:150 ())
+      ~init_reader:trace.Trace.steps.(0).Trace.true_reader ~seed:3 ()
+  in
+  let events = Rfid_core.Engine.run engine (Trace.observations trace) in
+  let round1, round2 =
+    List.partition (fun (ev : Rfid_core.Event.t) -> ev.Rfid_core.Event.ev_epoch < half) events
+  in
+  let c =
+    Containment.create
+      ~config:{ Containment.default_config with Containment.min_support = 3.5 }
+      ~num_objects:12 ()
+  in
+  Containment.of_events c ~rounds:[ round1; round2 ];
+  let groups = Containment.groups c in
+  (* The moved case must come out as one group containing 3, 4, 5. *)
+  let case_group =
+    List.find_opt (fun g -> List.mem 4 g) groups |> Option.value ~default:[]
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "case {3;4;5} recovered, got %a" Containment.pp_groups groups)
+    true
+    (List.for_all (fun o -> List.mem o case_group) [ 3; 4; 5 ])
+
+let suite =
+  ( "containment",
+    [
+      Alcotest.test_case "union-find basics" `Quick test_uf_basics;
+      Alcotest.test_case "union-find idempotence" `Quick test_uf_idempotent_union;
+      prop_uf_union_is_equivalence;
+      Alcotest.test_case "co-location groups" `Quick test_co_location_groups;
+      Alcotest.test_case "insufficient support" `Quick test_insufficient_support;
+      Alcotest.test_case "co-movement evidence" `Quick test_co_movement_strong_evidence;
+      Alcotest.test_case "divergent movement" `Quick test_divergent_movement_is_no_evidence;
+      Alcotest.test_case "of_events rounds" `Quick test_of_events_rounds;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "containment pipeline" `Slow test_containment_pipeline;
+    ] )

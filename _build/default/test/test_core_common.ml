@@ -1,0 +1,142 @@
+(* Unit tests for the core helpers shared by the filters. *)
+open Rfid_core
+open Rfid_model
+open Rfid_geom
+
+let cache () =
+  Common.Sensor_cache.create ~threshold:0.02 ~max_range:12. Sensor_model.default
+
+let test_sensor_cache () =
+  let c = cache () in
+  Util.check_close ~eps:1e-6 "range matches model"
+    (Sensor_model.detection_range ~threshold:0.02 Sensor_model.default)
+    c.Common.Sensor_cache.range;
+  Alcotest.(check bool) "half angle positive" true (c.Common.Sensor_cache.half_angle > 0.);
+  (* The cap binds when the model never decays. *)
+  let flat = Sensor_model.of_coef [| 3.; 0.; 0.; -1.; -1. |] in
+  let capped = Common.Sensor_cache.create ~threshold:0.02 ~max_range:5. flat in
+  Util.check_close "cap binds" 5. capped.Common.Sensor_cache.range
+
+let test_init_cone_geometry () =
+  let c = cache () in
+  let cone =
+    Common.init_cone c ~overestimate:1.25 ~reader_loc:(Util.vec3 1. 2. 0.) ~heading:0.7
+  in
+  Util.check_close ~eps:1e-9 "apex x" 1. cone.Cone.apex.Vec3.x;
+  Util.check_close ~eps:1e-9 "heading" 0.7 cone.Cone.heading;
+  Util.check_close ~eps:1e-6 "overestimated range"
+    (1.25 *. c.Common.Sensor_cache.range)
+    cone.Cone.range
+
+let test_sample_initial_location_on_shelves () =
+  let world = Util.two_shelf_world () in
+  let c = cache () in
+  let rng = Util.rng () in
+  for _ = 1 to 500 do
+    let p =
+      Common.sample_initial_location c ~overestimate:1.25 ~world
+        ~reader_loc:(Util.vec3 0. 5. 0.) ~heading:0. rng
+    in
+    if not (World.contains world p) then Alcotest.fail "initial sample off-shelf"
+  done
+
+let test_propose_heading_known () =
+  let rng = Util.rng () in
+  let h =
+    Common.propose_heading
+      (Config.Known_heading (fun e -> float_of_int e *. 0.1))
+      ~motion:Motion_model.default ~epoch:7 ~current:99. rng
+  in
+  Util.check_close "known heading ignores current" 0.7 h
+
+let test_propose_heading_track () =
+  let rng = Util.rng () in
+  let motion = Motion_model.create ~heading_sigma:0.01 () in
+  (* With jump_prob 0 the heading random-walks near the current value. *)
+  let drifts =
+    Array.init 200 (fun _ ->
+        Common.propose_heading
+          (Config.Track_heading { jump_prob = 0. })
+          ~motion ~epoch:0 ~current:1.0 rng)
+  in
+  Array.iter (fun h -> Util.check_in_range "small drift" ~lo:0.9 ~hi:1.1 h) drifts;
+  (* With jump_prob 1 every proposal is a fresh uniform angle. *)
+  let jumps =
+    Array.init 200 (fun _ ->
+        Common.propose_heading
+          (Config.Track_heading { jump_prob = 1. })
+          ~motion ~epoch:0 ~current:1.0 rng)
+  in
+  let far = Array.exists (fun h -> Float.abs (h -. 1.0) > 1.5) jumps in
+  Alcotest.(check bool) "jumps reach far headings" true far
+
+let test_proposal_delta () =
+  let motion = Motion_model.create ~velocity:(Util.vec3 0. 0.1 0.) () in
+  let d1 =
+    Common.proposal_delta Config.From_velocity ~motion ~last_reported:None
+      ~reported:(Util.vec3 9. 9. 0.)
+  in
+  Util.check_vec3 "velocity mode" (Util.vec3 0. 0.1 0.) d1;
+  let d2 =
+    Common.proposal_delta Config.From_reported_displacement ~motion
+      ~last_reported:(Some (Util.vec3 1. 1. 0.))
+      ~reported:(Util.vec3 1.5 2. 0.)
+  in
+  Util.check_vec3 "displacement mode" (Util.vec3 0.5 1. 0.) d2;
+  (* Without a previous report the displacement mode falls back to the
+     velocity. *)
+  let d3 =
+    Common.proposal_delta Config.From_reported_displacement ~motion ~last_reported:None
+      ~reported:(Util.vec3 5. 5. 0.)
+  in
+  Util.check_vec3 "fallback" (Util.vec3 0. 0.1 0.) d3
+
+let test_proposal_sigma_control_input () =
+  let motion = Motion_model.create ~sigma:(Util.vec3 0.01 0.02 0.) () in
+  let sensing = Location_sensing.create ~sigma:(Util.vec3 0.1 0.2 0.) () in
+  let s_vel = Common.proposal_sigma Config.From_velocity ~motion ~sensing in
+  Util.check_vec3 "velocity mode keeps motion sigma" (Util.vec3 0.01 0.02 0.) s_vel;
+  let s_disp = Common.proposal_sigma Config.From_reported_displacement ~motion ~sensing in
+  Util.check_close ~eps:1e-9 "x widened" (sqrt ((0.01 ** 2.) +. (2. *. (0.1 ** 2.)))) s_disp.Vec3.x;
+  Util.check_close ~eps:1e-9 "y widened" (sqrt ((0.02 ** 2.) +. (2. *. (0.2 ** 2.)))) s_disp.Vec3.y;
+  Util.check_close "unobserved axis stays zero" 0. s_disp.Vec3.z
+
+let test_resample_dispatch () =
+  let rng = Util.rng () in
+  let w = [| 0.5; 0.5 |] in
+  List.iter
+    (fun scheme ->
+      let idx = Common.resample scheme rng w ~n:10 in
+      Alcotest.(check int) "n indices" 10 (Array.length idx);
+      Array.iter (fun i -> Util.check_in_range "valid" ~lo:0. ~hi:1. (float_of_int i)) idx)
+    [ Config.Systematic; Config.Multinomial; Config.Residual ]
+
+let test_jitter_moments () =
+  let rng = Util.rng () in
+  let n = 20000 in
+  let sum = ref Vec3.zero in
+  for _ = 1 to n do
+    sum :=
+      Vec3.add !sum
+        (Common.jitter (Util.vec3 1. 2. 3.) ~sigma:(Util.vec3 0.1 0.2 0.) rng)
+  done;
+  let mean = Vec3.scale (1. /. float_of_int n) !sum in
+  Util.check_close ~eps:0.01 "mean x" 1. mean.Vec3.x;
+  Util.check_close ~eps:0.01 "mean y" 2. mean.Vec3.y;
+  Util.check_close ~eps:1e-12 "zero-sigma axis untouched" 3. mean.Vec3.z
+
+let suite =
+  ( "core_common",
+    [
+      Alcotest.test_case "sensor cache" `Quick test_sensor_cache;
+      Alcotest.test_case "init cone geometry" `Quick test_init_cone_geometry;
+      Alcotest.test_case "initial samples on shelves" `Quick
+        test_sample_initial_location_on_shelves;
+      Alcotest.test_case "known heading" `Quick test_propose_heading_known;
+      Alcotest.test_case "tracked heading" `Quick test_propose_heading_track;
+      Alcotest.test_case "proposal delta" `Quick test_proposal_delta;
+      Alcotest.test_case "proposal sigma (control input)" `Quick
+        test_proposal_sigma_control_input;
+      Alcotest.test_case "resample dispatch" `Quick test_resample_dispatch;
+      Alcotest.test_case "jitter moments" `Quick test_jitter_moments;
+    ] )

@@ -1,0 +1,223 @@
+open Rfid_geom
+
+(* Vec3 *)
+
+let test_vec_arithmetic () =
+  let a = Util.vec3 1. 2. 3. and b = Util.vec3 4. (-5.) 6. in
+  Util.check_vec3 "add" (Util.vec3 5. (-3.) 9.) (Vec3.add a b);
+  Util.check_vec3 "sub" (Util.vec3 (-3.) 7. (-3.)) (Vec3.sub a b);
+  Util.check_vec3 "scale" (Util.vec3 2. 4. 6.) (Vec3.scale 2. a);
+  Util.check_close "dot" 12. (Vec3.dot a b);
+  Util.check_close "norm" (sqrt 14.) (Vec3.norm a);
+  Util.check_close "dist" (Vec3.norm (Vec3.sub a b)) (Vec3.dist a b)
+
+let test_vec_xy () =
+  let a = Util.vec3 0. 0. 0. and b = Util.vec3 3. 4. 100. in
+  Util.check_close "dist_xy ignores z" 5. (Vec3.dist_xy a b);
+  Util.check_close "xy_angle" (Float.pi /. 2.) (Vec3.xy_angle (Util.vec3 0. 1. 0.))
+
+let test_vec_lerp_array () =
+  Util.check_vec3 "lerp midpoint" (Util.vec3 1. 1. 1.)
+    (Vec3.lerp Vec3.zero (Util.vec3 2. 2. 2.) 0.5);
+  Util.check_vec3 "array roundtrip" (Util.vec3 1. 2. 3.)
+    (Vec3.of_array (Vec3.to_array (Util.vec3 1. 2. 3.)));
+  Util.check_raises_invalid "bad array" (fun () -> Vec3.of_array [| 1. |])
+
+(* Box2 *)
+
+let box a b c d = Box2.make ~min_x:a ~min_y:b ~max_x:c ~max_y:d
+
+let test_box_make_invalid () =
+  Util.check_raises_invalid "inverted x" (fun () -> box 1. 0. 0. 1.);
+  Util.check_raises_invalid "nan" (fun () -> box Float.nan 0. 1. 1.)
+
+let test_box_contains_intersects () =
+  let b = box 0. 0. 2. 2. in
+  Alcotest.(check bool) "inside" true (Box2.contains_point b (Util.vec3 1. 1. 5.));
+  Alcotest.(check bool) "boundary inclusive" true
+    (Box2.contains_point b (Util.vec3 2. 0. 0.));
+  Alcotest.(check bool) "outside" false (Box2.contains_point b (Util.vec3 2.1 1. 0.));
+  Alcotest.(check bool) "overlap" true (Box2.intersects b (box 1. 1. 3. 3.));
+  Alcotest.(check bool) "shared edge counts" true (Box2.intersects b (box 2. 0. 3. 2.));
+  Alcotest.(check bool) "disjoint" false (Box2.intersects b (box 3. 3. 4. 4.))
+
+let test_box_union_area () =
+  let u = Box2.union (box 0. 0. 1. 1.) (box 2. 2. 3. 4.) in
+  Util.check_close "union area" 12. (Box2.area u);
+  Util.check_close "enlargement" 11. (Box2.enlargement (box 0. 0. 1. 1.) (box 2. 2. 3. 4.))
+
+let test_box_of_points_inflate_center () =
+  let b = Box2.of_points [ Util.vec3 1. 5. 0.; Util.vec3 (-2.) 3. 9. ] in
+  Util.check_close "min_x" (-2.) b.Box2.min_x;
+  Util.check_close "max_y" 5. b.Box2.max_y;
+  Util.check_raises_invalid "empty points" (fun () -> Box2.of_points []);
+  let infl = Box2.inflate (box 0. 0. 2. 2.) 1. in
+  Util.check_close "inflated area" 16. (Box2.area infl);
+  Util.check_vec3 "center" (Util.vec3 1. 1. 0.) (Box2.center (box 0. 0. 2. 2.))
+
+(* Rtree *)
+
+let random_box rng =
+  let open Rfid_prob in
+  let x = Rng.uniform rng ~lo:0. ~hi:100. and y = Rng.uniform rng ~lo:0. ~hi:100. in
+  let w = Rng.uniform rng ~lo:0.1 ~hi:5. and h = Rng.uniform rng ~lo:0.1 ~hi:5. in
+  box x y (x +. w) (y +. h)
+
+let test_rtree_basic () =
+  let t = Rtree.create () in
+  Alcotest.(check int) "empty size" 0 (Rtree.size t);
+  Alcotest.(check (list int)) "empty query" [] (Rtree.query t (box 0. 0. 10. 10.));
+  Rtree.insert t (box 0. 0. 1. 1.) 1;
+  Rtree.insert t (box 5. 5. 6. 6.) 2;
+  Alcotest.(check int) "size" 2 (Rtree.size t);
+  Alcotest.(check (list int)) "hit" [ 1 ] (Rtree.query t (box 0.5 0.5 0.7 0.7));
+  Alcotest.(check (list int)) "miss" [] (Rtree.query t (box 2. 2. 3. 3.));
+  Rtree.clear t;
+  Alcotest.(check int) "cleared" 0 (Rtree.size t)
+
+let test_rtree_vs_bruteforce () =
+  let rng = Util.rng () in
+  let t = Rtree.create () in
+  let boxes = Array.init 500 (fun i -> (random_box rng, i)) in
+  Array.iter (fun (b, i) -> Rtree.insert t b i) boxes;
+  for _ = 1 to 50 do
+    let probe = random_box rng in
+    let expected =
+      Array.to_list boxes
+      |> List.filter_map (fun (b, i) -> if Box2.intersects b probe then Some i else None)
+      |> List.sort Int.compare
+    in
+    let actual = List.sort Int.compare (Rtree.query t probe) in
+    Alcotest.(check (list int)) "rtree = brute force" expected actual
+  done
+
+let test_rtree_duplicates_and_depth () =
+  let t = Rtree.create ~max_entries:4 () in
+  for i = 1 to 200 do
+    Rtree.insert t (box 0. 0. 1. 1.) i
+  done;
+  Alcotest.(check int) "all retained" 200
+    (List.length (Rtree.query t (box 0. 0. 1. 1.)));
+  Alcotest.(check bool) "tree grew" true (Rtree.depth t > 1)
+
+let test_rtree_invalid () =
+  Util.check_raises_invalid "max_entries too small" (fun () ->
+      ignore (Rtree.create ~max_entries:3 ()))
+
+let prop_rtree_query_complete =
+  Util.qcheck ~count:60 "rtree query matches brute force" QCheck.small_int (fun seed ->
+      let rng = Rfid_prob.Rng.create ~seed in
+      let t = Rtree.create ~max_entries:5 () in
+      let boxes = Array.init 120 (fun i -> (random_box rng, i)) in
+      Array.iter (fun (b, i) -> Rtree.insert t b i) boxes;
+      let probe = random_box rng in
+      let expected =
+        Array.to_list boxes
+        |> List.filter_map (fun (b, i) ->
+               if Box2.intersects b probe then Some i else None)
+        |> List.sort Int.compare
+      in
+      List.sort Int.compare (Rtree.query t probe) = expected)
+
+(* Cone *)
+
+let test_cone_contains () =
+  let c =
+    Cone.make ~apex:Vec3.zero ~heading:0. ~half_angle:(Float.pi /. 6.) ~range:3.
+  in
+  Alcotest.(check bool) "head-on inside" true (Cone.contains c (Util.vec3 2. 0. 0.));
+  Alcotest.(check bool) "apex inside" true (Cone.contains c Vec3.zero);
+  Alcotest.(check bool) "beyond range" false (Cone.contains c (Util.vec3 4. 0. 0.));
+  Alcotest.(check bool) "behind" false (Cone.contains c (Util.vec3 (-1.) 0. 0.));
+  Alcotest.(check bool) "wide angle" false (Cone.contains c (Util.vec3 1. 1. 0.))
+
+let test_cone_relative_angle () =
+  let c = Cone.make ~apex:Vec3.zero ~heading:(Float.pi /. 2.) ~half_angle:1. ~range:5. in
+  Util.check_close ~eps:1e-9 "straight up" 0. (Cone.relative_angle c (Util.vec3 0. 3. 0.));
+  Util.check_close ~eps:1e-9 "right angle" (Float.pi /. 2.)
+    (Cone.relative_angle c (Util.vec3 3. 0. 0.))
+
+let test_cone_heading_wrap () =
+  (* Heading near pi: a point across the -pi/pi seam must still read as
+     a small relative angle. *)
+  let c = Cone.make ~apex:Vec3.zero ~heading:Float.pi ~half_angle:0.5 ~range:5. in
+  Alcotest.(check bool) "across seam" true (Cone.contains c (Util.vec3 (-3.) (-0.1) 0.))
+
+let test_cone_samples_inside () =
+  let rng = Util.rng () in
+  let c = Cone.make ~apex:(Util.vec3 1. 2. 0.) ~heading:0.7 ~half_angle:0.4 ~range:2.5 in
+  for _ = 1 to 2000 do
+    let p = Cone.sample c rng in
+    if not (Cone.contains c p) then
+      Alcotest.failf "sample escaped cone: %s" (Format.asprintf "%a" Vec3.pp p)
+  done
+
+let test_cone_bounding_box_covers_samples () =
+  let rng = Util.rng () in
+  let c =
+    Cone.make ~apex:(Util.vec3 (-1.) 4. 0.) ~heading:2.5 ~half_angle:1.2 ~range:3.
+  in
+  let bb = Cone.bounding_box c in
+  for _ = 1 to 2000 do
+    let p = Cone.sample c rng in
+    if not (Box2.contains_point bb p) then
+      Alcotest.failf "sample outside bounding box: %s" (Format.asprintf "%a" Vec3.pp p)
+  done
+
+let test_cone_sample_in_box () =
+  let rng = Util.rng () in
+  let c = Cone.make ~apex:Vec3.zero ~heading:0. ~half_angle:0.5 ~range:3. in
+  let b = box 1. (-1.) 2. 1. in
+  (match Cone.sample_in_box c b rng with
+  | Some p ->
+      Alcotest.(check bool) "in box" true (Box2.contains_point b p);
+      Alcotest.(check bool) "in cone" true (Cone.contains c p)
+  | None -> Alcotest.fail "expected intersection sample");
+  (* Disjoint box yields None. *)
+  Alcotest.(check bool) "disjoint" true
+    (Cone.sample_in_box c (box 50. 50. 51. 51.) rng = None)
+
+let test_cone_invalid () =
+  Util.check_raises_invalid "zero half angle" (fun () ->
+      Cone.make ~apex:Vec3.zero ~heading:0. ~half_angle:0. ~range:1.);
+  Util.check_raises_invalid "zero range" (fun () ->
+      Cone.make ~apex:Vec3.zero ~heading:0. ~half_angle:1. ~range:0.)
+
+let prop_cone_sample_contained =
+  Util.qcheck ~count:100 "cone samples stay inside"
+    QCheck.(quad small_int (float_range (-3.) 3.) (float_range 0.1 3.) (float_range 0.5 4.))
+    (fun (seed, heading, half_angle, range) ->
+      let rng = Rfid_prob.Rng.create ~seed in
+      let c = Cone.make ~apex:(Util.vec3 0.5 (-0.5) 0.) ~heading ~half_angle ~range in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        if not (Cone.contains c (Cone.sample c rng)) then ok := false
+      done;
+      !ok)
+
+let suite =
+  ( "geom",
+    [
+      Alcotest.test_case "vec arithmetic" `Quick test_vec_arithmetic;
+      Alcotest.test_case "vec xy projections" `Quick test_vec_xy;
+      Alcotest.test_case "vec lerp/array" `Quick test_vec_lerp_array;
+      Alcotest.test_case "box validation" `Quick test_box_make_invalid;
+      Alcotest.test_case "box contains/intersects" `Quick test_box_contains_intersects;
+      Alcotest.test_case "box union/area" `Quick test_box_union_area;
+      Alcotest.test_case "box of_points/inflate/center" `Quick
+        test_box_of_points_inflate_center;
+      Alcotest.test_case "rtree basics" `Quick test_rtree_basic;
+      Alcotest.test_case "rtree vs brute force" `Quick test_rtree_vs_bruteforce;
+      Alcotest.test_case "rtree duplicates/depth" `Quick test_rtree_duplicates_and_depth;
+      Alcotest.test_case "rtree validation" `Quick test_rtree_invalid;
+      prop_rtree_query_complete;
+      Alcotest.test_case "cone contains" `Quick test_cone_contains;
+      Alcotest.test_case "cone relative angle" `Quick test_cone_relative_angle;
+      Alcotest.test_case "cone heading wrap" `Quick test_cone_heading_wrap;
+      Alcotest.test_case "cone samples inside" `Quick test_cone_samples_inside;
+      Alcotest.test_case "cone bbox covers samples" `Quick
+        test_cone_bounding_box_covers_samples;
+      Alcotest.test_case "cone sample in box" `Quick test_cone_sample_in_box;
+      Alcotest.test_case "cone validation" `Quick test_cone_invalid;
+      prop_cone_sample_contained;
+    ] )

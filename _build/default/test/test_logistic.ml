@@ -1,0 +1,112 @@
+open Rfid_prob
+
+let test_sigmoid () =
+  Util.check_close "sigmoid 0" 0.5 (Logistic.sigmoid 0.);
+  Util.check_close ~eps:1e-9 "sigmoid symmetry" 1.
+    (Logistic.sigmoid 3. +. Logistic.sigmoid (-3.));
+  Util.check_close ~eps:1e-12 "sigmoid large" 1. (Logistic.sigmoid 50.);
+  Util.check_close ~eps:1e-12 "sigmoid -large" 0. (Logistic.sigmoid (-50.));
+  (* No overflow at extremes. *)
+  Alcotest.(check bool) "finite at 1e4" true (Float.is_finite (Logistic.sigmoid 1e4));
+  Alcotest.(check bool) "finite at -1e4" true (Float.is_finite (Logistic.sigmoid (-1e4)))
+
+let test_log_sigmoid () =
+  Util.check_close ~eps:1e-12 "log_sigmoid 0" (log 0.5) (Logistic.log_sigmoid 0.);
+  Util.check_close ~eps:1e-9 "consistent with sigmoid" (log (Logistic.sigmoid 2.))
+    (Logistic.log_sigmoid 2.);
+  (* Deep negative tail is linear, not -inf. *)
+  Util.check_close ~eps:1e-6 "tail" (-1000.) (Logistic.log_sigmoid (-1000.))
+
+let planted_data ~seed ~n coef =
+  let rng = Rng.create ~seed in
+  let dim = Array.length coef in
+  let x =
+    Array.init n (fun _ ->
+        Array.init dim (fun j -> if j = 0 then 1. else Rng.gaussian rng ()))
+  in
+  let y =
+    Array.map (fun xi -> Rng.bernoulli rng ~p:(Logistic.sigmoid (Linalg.dot coef xi))) x
+  in
+  (x, y)
+
+let test_fit_recovers_planted () =
+  let coef = [| 0.5; -1.5; 2. |] in
+  let x, y = planted_data ~seed:3 ~n:20000 coef in
+  let m = Logistic.fit ~x ~y ~dim:3 () in
+  Array.iteri
+    (fun j c -> Util.check_close ~eps:0.1 (Printf.sprintf "coef %d" j) c m.Logistic.coef.(j))
+    coef
+
+let test_fit_weighted () =
+  (* Duplicate-by-weight must equal duplicate-by-row. *)
+  let x = [| [| 1.; 0. |]; [| 1.; 1. |]; [| 1.; 2. |] |] in
+  let y = [| false; true; true |] in
+  let m_weighted = Logistic.fit ~x ~y ~w:[| 2.; 2.; 2. |] ~dim:2 () in
+  let x2 = Array.append x x and y2 = Array.append y y in
+  let m_dup = Logistic.fit ~x:x2 ~y:y2 ~dim:2 () in
+  Array.iteri
+    (fun j c -> Util.check_close ~eps:1e-6 "weight = duplication" c m_weighted.Logistic.coef.(j))
+    m_dup.Logistic.coef
+
+let test_fit_separable_stays_finite () =
+  (* Perfectly separable data: unregularized ML diverges; the ridge +
+     trust region must return finite coefficients. *)
+  let x = Array.init 100 (fun i -> [| 1.; float_of_int i -. 50. |]) in
+  let y = Array.init 100 (fun i -> i >= 50) in
+  let m = Logistic.fit ~l2:1e-3 ~x ~y ~dim:2 () in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "finite" true (Float.is_finite c))
+    m.Logistic.coef;
+  (* And it must classify correctly. *)
+  Alcotest.(check bool) "classifies high" true (Logistic.predict m [| 1.; 40. |] > 0.9);
+  Alcotest.(check bool) "classifies low" true (Logistic.predict m [| 1.; -40. |] < 0.1)
+
+let test_nonpositive_constraint () =
+  (* Data that wants a positive slope; the constraint must pin it at 0. *)
+  let x, y = planted_data ~seed:5 ~n:5000 [| 0.2; 1.5 |] in
+  let m = Logistic.fit ~nonpositive:[ 1 ] ~x ~y ~dim:2 () in
+  Alcotest.(check bool) "slope clamped" true (m.Logistic.coef.(1) <= 1e-12);
+  (* Constraint on a naturally negative coefficient is inactive. *)
+  let x2, y2 = planted_data ~seed:6 ~n:5000 [| 0.2; -1.5 |] in
+  let m2 = Logistic.fit ~nonpositive:[ 1 ] ~x:x2 ~y:y2 ~dim:2 () in
+  Util.check_close ~eps:0.15 "inactive constraint" (-1.5) m2.Logistic.coef.(1);
+  Util.check_raises_invalid "bad index" (fun () ->
+      Logistic.fit ~nonpositive:[ 7 ] ~x:x2 ~y:y2 ~dim:2 ())
+
+let test_log_likelihood_improves () =
+  let x, y = planted_data ~seed:9 ~n:2000 [| 1.; -2. |] in
+  let m0 = { Logistic.coef = [| 0.; 0. |] } in
+  let m = Logistic.fit ~x ~y ~dim:2 () in
+  let ll0 = Logistic.log_likelihood m0 ~x ~y () in
+  let ll = Logistic.log_likelihood m ~x ~y () in
+  Alcotest.(check bool) "fit improves likelihood" true (ll > ll0)
+
+let test_fit_validation () =
+  Util.check_raises_invalid "empty" (fun () -> Logistic.fit ~x:[||] ~y:[||] ~dim:2 ());
+  Util.check_raises_invalid "label mismatch" (fun () ->
+      Logistic.fit ~x:[| [| 1. |] |] ~y:[||] ~dim:1 ());
+  Util.check_raises_invalid "feature dim" (fun () ->
+      Logistic.fit ~x:[| [| 1.; 2. |] |] ~y:[| true |] ~dim:1 ())
+
+let prop_predict_in_unit_interval =
+  Util.qcheck "predictions live in (0,1)"
+    QCheck.(array_of_size (Gen.return 3) (float_range (-10.) 10.))
+    (fun coef ->
+      let m = { Logistic.coef } in
+      let p = Logistic.predict m [| 1.; 2.; -3. |] in
+      p >= 0. && p <= 1.)
+
+let suite =
+  ( "logistic",
+    [
+      Alcotest.test_case "sigmoid" `Quick test_sigmoid;
+      Alcotest.test_case "log_sigmoid" `Quick test_log_sigmoid;
+      Alcotest.test_case "fit recovers planted model" `Quick test_fit_recovers_planted;
+      Alcotest.test_case "weights equal duplication" `Quick test_fit_weighted;
+      Alcotest.test_case "separable data stays finite" `Quick
+        test_fit_separable_stays_finite;
+      Alcotest.test_case "nonpositive constraints" `Quick test_nonpositive_constraint;
+      Alcotest.test_case "likelihood improves" `Quick test_log_likelihood_improves;
+      Alcotest.test_case "input validation" `Quick test_fit_validation;
+      prop_predict_in_unit_interval;
+    ] )

@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "rfid_streams"
+    [
+      Test_rng.suite;
+      Test_stats.suite;
+      Test_linalg.suite;
+      Test_gaussian.suite;
+      Test_resample.suite;
+      Test_logistic.suite;
+      Test_geom.suite;
+      Test_types.suite;
+      Test_world.suite;
+      Test_sensor_model.suite;
+      Test_models.suite;
+      Test_generative.suite;
+      Test_sim.suite;
+      Test_core_filters.suite;
+      Test_learn.suite;
+      Test_baselines.suite;
+      Test_stream.suite;
+      Test_eval.suite;
+      Test_trace_io.suite;
+      Test_core_common.suite;
+      Test_engine_policies.suite;
+      Test_containment.suite;
+      Test_integration.suite;
+    ]

@@ -1,0 +1,132 @@
+open Rfid_model
+
+let test_coef_roundtrip () =
+  let m = Sensor_model.default in
+  let m' = Sensor_model.of_coef (Sensor_model.to_coef m) in
+  Alcotest.(check bool) "roundtrip" true (m = m');
+  Util.check_raises_invalid "bad length" (fun () ->
+      ignore (Sensor_model.of_coef [| 1.; 2. |]))
+
+let test_features () =
+  let f = Sensor_model.features ~d:2. ~theta:(-0.5) in
+  Alcotest.(check int) "feature length" 5 (Array.length f);
+  Util.check_close "intercept" 1. f.(0);
+  Util.check_close "d" 2. f.(1);
+  Util.check_close "d^2" 4. f.(2);
+  Util.check_close "|theta|" 0.5 f.(3);
+  Util.check_close "theta^2" 0.25 f.(4)
+
+let test_monotone_decay () =
+  let m = Sensor_model.default in
+  let p0 = Sensor_model.read_prob_at m ~d:0.5 ~theta:0. in
+  let p1 = Sensor_model.read_prob_at m ~d:2. ~theta:0. in
+  let p2 = Sensor_model.read_prob_at m ~d:5. ~theta:0. in
+  Alcotest.(check bool) "decays with distance" true (p0 > p1 && p1 > p2);
+  let q1 = Sensor_model.read_prob_at m ~d:1. ~theta:0.2 in
+  let q2 = Sensor_model.read_prob_at m ~d:1. ~theta:1.0 in
+  Alcotest.(check bool) "decays with angle" true (q1 > q2);
+  Alcotest.(check bool) "angle symmetric" true
+    (Sensor_model.read_prob_at m ~d:1. ~theta:0.5
+    = Sensor_model.read_prob_at m ~d:1. ~theta:(-0.5))
+
+let test_geometry () =
+  let reader_loc = Util.vec3 0. 0. 0. in
+  let d, theta =
+    Sensor_model.geometry ~reader_loc ~reader_heading:0. ~tag_loc:(Util.vec3 3. 0. 4.)
+  in
+  Util.check_close "3d distance" 5. d;
+  Util.check_close ~eps:1e-9 "head-on angle" 0. theta;
+  let _, theta_side =
+    Sensor_model.geometry ~reader_loc ~reader_heading:0. ~tag_loc:(Util.vec3 0. 2. 0.)
+  in
+  Util.check_close ~eps:1e-9 "side angle" (Float.pi /. 2.) theta_side;
+  (* Tag at the reader's own position: defined as angle 0. *)
+  let d0, th0 = Sensor_model.geometry ~reader_loc ~reader_heading:1. ~tag_loc:reader_loc in
+  Util.check_close "self distance" 0. d0;
+  Util.check_close "self angle" 0. th0;
+  (* Heading wrap: tag just across the -pi seam. *)
+  let _, thw =
+    Sensor_model.geometry ~reader_loc ~reader_heading:Float.pi
+      ~tag_loc:(Util.vec3 (-1.) (-0.001) 0.)
+  in
+  Alcotest.(check bool) "wrapped angle small" true (thw < 0.01)
+
+let test_log_prob_consistency () =
+  let m = Sensor_model.default in
+  let reader_loc = Util.vec3 0. 0. 0. and tag_loc = Util.vec3 1.5 0.3 0. in
+  let p = Sensor_model.read_prob m ~reader_loc ~reader_heading:0. ~tag_loc in
+  Util.check_close ~eps:1e-9 "log p(read)" (log p)
+    (Sensor_model.log_prob m ~reader_loc ~reader_heading:0. ~tag_loc ~read:true);
+  Util.check_close ~eps:1e-9 "log p(miss)" (log (1. -. p))
+    (Sensor_model.log_prob m ~reader_loc ~reader_heading:0. ~tag_loc ~read:false)
+
+let test_detection_range () =
+  let m = Sensor_model.default in
+  let r = Sensor_model.detection_range m in
+  (* Just inside the range the probability is above threshold; just
+     outside it is below. *)
+  Alcotest.(check bool) "inside above" true
+    (Sensor_model.read_prob_at m ~d:(r -. 0.05) ~theta:0. >= 0.02);
+  Alcotest.(check bool) "outside below" true
+    (Sensor_model.read_prob_at m ~d:(r +. 0.05) ~theta:0. < 0.02);
+  (* A model that never reads anything. *)
+  let dead = Sensor_model.of_coef [| -10.; 0.; 0.; 0.; 0. |] in
+  Util.check_close "dead model range" 0. (Sensor_model.detection_range dead);
+  (* A model with no distance decay saturates at the search cap. *)
+  let flat = Sensor_model.of_coef [| 3.; 0.; 0.; -1.; -1. |] in
+  Util.check_close "flat model range" 100. (Sensor_model.detection_range flat)
+
+let test_detection_half_angle () =
+  let m = Sensor_model.default in
+  let a = Sensor_model.detection_half_angle m ~d:1. in
+  Alcotest.(check bool) "inside above" true
+    (Sensor_model.read_prob_at m ~d:1. ~theta:(a -. 0.01) >= 0.02);
+  Alcotest.(check bool) "outside below" true
+    (Sensor_model.read_prob_at m ~d:1. ~theta:(a +. 0.01) < 0.02);
+  (* Omnidirectional in angle at close range. *)
+  let omni = Sensor_model.of_coef [| 5.; -1.; 0.; 0.; 0. |] in
+  Util.check_close "omni half angle" Float.pi
+    (Sensor_model.detection_half_angle omni ~d:0.5)
+
+let test_initialization_cone () =
+  let m = Sensor_model.default in
+  let c =
+    Sensor_model.initialization_cone m ~reader_loc:(Util.vec3 1. 1. 0.)
+      ~reader_heading:0.5
+  in
+  let r = Sensor_model.detection_range m in
+  Util.check_close ~eps:1e-6 "overestimated range" (1.25 *. r) c.Rfid_geom.Cone.range;
+  Util.check_close "apex" 1. c.Rfid_geom.Cone.apex.Rfid_geom.Vec3.x;
+  Util.check_close "heading" 0.5 c.Rfid_geom.Cone.heading
+
+let test_sensing_region_box () =
+  let m = Sensor_model.default in
+  let b = Sensor_model.sensing_region_box m ~reader_loc:(Util.vec3 0. 0. 0.) in
+  let r = Sensor_model.detection_range m in
+  Util.check_close ~eps:1e-6 "box half width" r b.Rfid_geom.Box2.max_x
+
+let prop_read_prob_in_unit =
+  Util.qcheck "read prob in [0,1] for any coefficients"
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 5) (float_range (-20.) 20.))
+        (pair (float_range 0. 50.) (float_range (-4.) 4.)))
+    (fun (coef, (d, theta)) ->
+      let m = Sensor_model.of_coef coef in
+      let p = Sensor_model.read_prob_at m ~d ~theta in
+      p >= 0. && p <= 1.)
+
+let suite =
+  ( "sensor_model",
+    [
+      Alcotest.test_case "coef roundtrip" `Quick test_coef_roundtrip;
+      Alcotest.test_case "features" `Quick test_features;
+      Alcotest.test_case "monotone decay" `Quick test_monotone_decay;
+      Alcotest.test_case "geometry" `Quick test_geometry;
+      Alcotest.test_case "log prob consistency" `Quick test_log_prob_consistency;
+      Alcotest.test_case "detection range" `Quick test_detection_range;
+      Alcotest.test_case "detection half angle" `Quick test_detection_half_angle;
+      Alcotest.test_case "initialization cone" `Quick test_initialization_cone;
+      Alcotest.test_case "sensing region box" `Quick test_sensing_region_box;
+      prop_read_prob_in_unit;
+    ] )
