@@ -1,0 +1,28 @@
+# Standard entry points so every PR runs the same way.
+
+DUNE ?= dune
+
+.PHONY: all build test bench bench-json fmt clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) build && $(DUNE) runtest
+
+# Full table/figure reproduction harness (slow).
+bench:
+	$(DUNE) exec bench/main.exe
+
+# Machine-readable throughput bench; BENCH_filter.json is committed so
+# the perf trajectory is diffable across PRs.
+bench-json:
+	$(DUNE) exec bench/main.exe -- --json BENCH_filter.json
+
+fmt:
+	$(DUNE) build @fmt --auto-promote 2>/dev/null || true
+
+clean:
+	$(DUNE) clean

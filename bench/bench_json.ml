@@ -1,0 +1,102 @@
+(* Machine-readable filter benchmark: one JSON file per run, so the
+   perf trajectory is comparable across PRs without scraping tables.
+
+   Emits one point per (variant, object count) on the standard
+   warehouse workload, plus domain-scaling points for the
+   Factorized_indexed variant at the largest object count. Every run is
+   seeded; accuracy is recorded next to throughput so a speedup that
+   trades away error is visible in the same file. *)
+
+type point = {
+  pt_variant : string;
+  pt_objects : int;
+  pt_domains : int;
+  pt_epochs : int;
+  pt_readings : int;
+  pt_elapsed_s : float;
+  pt_err_xy : float;
+}
+
+let ns_per_epoch p =
+  if p.pt_epochs = 0 then 0. else 1e9 *. p.pt_elapsed_s /. float_of_int p.pt_epochs
+
+let epochs_per_sec p =
+  if p.pt_elapsed_s <= 0. then 0. else float_of_int p.pt_epochs /. p.pt_elapsed_s
+
+let run_point ~variant ~label ~objects ~num_domains ~params ~trace =
+  Printf.printf "  ... %-16s n=%-5d domains=%d%!" label objects num_domains;
+  let config = Scenarios.engine_config ~variant ~num_domains () in
+  let r = Rfid_eval.Runner.run_engine ~params ~config ~seed:7 trace in
+  let epochs = Rfid_model.Trace.epochs trace in
+  Printf.printf "  %7.1f epochs/s\n%!"
+    (if r.Rfid_eval.Runner.elapsed_s > 0. then
+       float_of_int epochs /. r.Rfid_eval.Runner.elapsed_s
+     else 0.);
+  {
+    pt_variant = label;
+    pt_objects = objects;
+    pt_domains = num_domains;
+    pt_epochs = epochs;
+    pt_readings = r.Rfid_eval.Runner.total_readings;
+    pt_elapsed_s = r.Rfid_eval.Runner.elapsed_s;
+    pt_err_xy = r.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy;
+  }
+
+let emit oc points =
+  let point_json p =
+    Printf.sprintf
+      "    {\"variant\": %S, \"objects\": %d, \"num_domains\": %d, \"epochs\": %d, \
+       \"readings\": %d, \"elapsed_s\": %.6f, \"ns_per_epoch\": %.1f, \
+       \"epochs_per_sec\": %.2f, \"err_xy_ft\": %.4f}"
+      p.pt_variant p.pt_objects p.pt_domains p.pt_epochs p.pt_readings p.pt_elapsed_s
+      (ns_per_epoch p) (epochs_per_sec p) p.pt_err_xy
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"bench_filter/v1\",\n\
+    \  \"workload\": \"warehouse straight pass, J=100, K=200, seed 7\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"points\": [\n%s\n\
+    \  ]\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map point_json points))
+
+let run ~path ~large =
+  Printf.printf "bench --json: filter throughput -> %s\n%!" path;
+  let sizes = if large then [ 500; 2000; 5000; 10000 ] else [ 500; 2000; 5000 ] in
+  let scaling_n = List.fold_left Int.max 0 sizes in
+  let domain_counts = [ 1; 2; 4 ] in
+  let params = Scenarios.cone_params () in
+  let points = ref [] in
+  let add p = points := p :: !points in
+  List.iter
+    (fun objects ->
+      let built = Scenarios.warehouse_trace ~num_objects:objects ~seed:111 () in
+      let trace = built.Scenarios.trace in
+      if objects <= 500 then
+        add
+          (run_point ~variant:Rfid_core.Config.Factorized ~label:"factorized" ~objects
+             ~num_domains:1 ~params ~trace);
+      add
+        (run_point ~variant:Rfid_core.Config.Factorized_indexed ~label:"factorized+index"
+           ~objects ~num_domains:1 ~params ~trace);
+      add
+        (run_point ~variant:Rfid_core.Config.Factorized_compressed
+           ~label:"f+index+compress" ~objects ~num_domains:1 ~params ~trace);
+      (* Domain scaling at the largest size, where per-epoch scope is
+         widest and the parallel section dominates. *)
+      if objects = scaling_n then
+        List.iter
+          (fun num_domains ->
+            if num_domains > 1 then
+              add
+                (run_point ~variant:Rfid_core.Config.Factorized_indexed
+                   ~label:"factorized+index" ~objects ~num_domains ~params ~trace))
+          domain_counts)
+    sizes;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> emit oc (List.rev !points));
+  Printf.printf "wrote %d points to %s\n%!" (List.length !points) path

@@ -5,12 +5,26 @@
      dune exec bench/main.exe            # run everything
      dune exec bench/main.exe -- fig5e scalability
      dune exec bench/main.exe -- --list
-     dune exec bench/main.exe -- --large # include the 10k-object sweep *)
+     dune exec bench/main.exe -- --large # include the 10k-object sweep
+     dune exec bench/main.exe -- --json BENCH_filter.json
+                                         # machine-readable throughput bench *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let large = List.mem "--large" args in
   let args = List.filter (fun a -> a <> "--large") args in
+  let json_path, args =
+    let rec take acc = function
+      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | "--json" :: [] -> (Some "BENCH_filter.json", List.rev acc)
+      | a :: rest -> take (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    take [] args
+  in
+  match json_path with
+  | Some path -> Bench_json.run ~path ~large
+  | None ->
   if List.mem "--list" args then begin
     Printf.printf "available experiments:\n";
     List.iter

@@ -37,6 +37,15 @@ let particles_arg =
     & opt int 200
     & info [ "particles"; "k" ] ~docv:"K" ~doc:"Particles per object.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the per-object update loop (1 = sequential). \
+           Output is bit-identical for every value.")
+
 let variant_arg =
   let variants =
     [
@@ -109,11 +118,12 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 (* infer                                                               *)
 
-let infer objects rounds read_rate seed variant particles =
+let infer objects rounds read_rate seed variant particles domains =
   let wh, sensor, trace = build_scenario ~objects ~rounds ~read_rate ~seed in
   let params = fitted_params sensor in
   let config =
-    Rfid_core.Config.create ~variant ~num_object_particles:particles ()
+    Rfid_core.Config.create ~variant ~num_object_particles:particles
+      ~num_domains:domains ()
   in
   let t0 = Unix.gettimeofday () in
   let r = Rfid_eval.Runner.run_engine ~params ~config ~seed trace in
@@ -130,7 +140,7 @@ let infer_cmd =
     (Cmd.info "infer" ~doc)
     Term.(
       const infer $ objects_arg $ rounds_arg $ read_rate_arg $ seed_arg $ variant_arg
-      $ particles_arg)
+      $ particles_arg $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* calibrate                                                           *)
@@ -178,7 +188,7 @@ let calibrate_cmd =
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
 
-let replay file objects variant particles seed =
+let replay file objects variant particles seed domains =
   let ic = open_in file in
   let observations =
     Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Trace_io.read_observations ic)
@@ -190,7 +200,10 @@ let replay file objects variant particles seed =
   let wh = Rfid_sim.Warehouse.layout ~num_objects:objects () in
   let sensor = Rfid_sim.Truth_sensor.cone () in
   let params = fitted_params sensor in
-  let config = Rfid_core.Config.create ~variant ~num_object_particles:particles () in
+  let config =
+    Rfid_core.Config.create ~variant ~num_object_particles:particles
+      ~num_domains:domains ()
+  in
   let init_reader =
     match observations with
     | o :: _ ->
@@ -221,7 +234,9 @@ let replay_cmd =
   in
   Cmd.v
     (Cmd.info "replay" ~doc)
-    Term.(const replay $ file $ objects_arg $ variant_arg $ particles_arg $ seed_arg)
+    Term.(
+      const replay $ file $ objects_arg $ variant_arg $ particles_arg $ seed_arg
+      $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lab                                                                 *)

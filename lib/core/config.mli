@@ -88,6 +88,12 @@ type t = {
           derived from the model parameters — used by calibration, whose
           E-step deliberately inflates the {e weighting} sigma without
           wanting a wilder proposal (default [None]) *)
+  num_domains : int;
+      (** domains applied to the per-object update loop of the factored
+          filter (default 1 = sequential). Inference output is
+          bit-identical for every value: per-object randomness comes
+          from substreams keyed by (object id, epoch), not from
+          scheduling order. *)
   shelf_miss_weight : float;
       (** tempering factor in [0, 1] on the log-likelihood of shelf-tag
           {e misses} in reader weighting. Reads are the reliable reader
@@ -125,6 +131,7 @@ val create :
   ?shelf_miss_weight:float ->
   ?resample_scheme:resample_scheme ->
   ?proposal_noise_override:Rfid_geom.Vec3.t option ->
+  ?num_domains:int ->
   unit ->
   t
 (** {!default} with overrides. @raise Invalid_argument on non-positive

@@ -34,6 +34,10 @@ type t = {
   params : Params.t;
   config : Config.t;
   rng : Rfid_prob.Rng.t;
+  substream : Rfid_prob.Rng.t;
+      (* frozen base for per-(object, epoch) keyed substreams; never
+         advanced after [create], so derivations commute across domains *)
+  pool : Rfid_par.Pool.t;
   mutable readers : reader_particle array;
   mutable reader_gen : int;
   objects : (int, obj_state) Hashtbl.t;
@@ -57,6 +61,7 @@ let create ~world ~params ~config ~init_reader ~rng =
     | Config.Factorized_indexed -> (true, false)
     | Config.Factorized_compressed -> (true, true)
   in
+  let substream = Rfid_prob.Rng.split rng in
   let readers =
     Array.init config.Config.num_reader_particles (fun _ ->
         let loc =
@@ -83,6 +88,8 @@ let create ~world ~params ~config ~init_reader ~rng =
     params;
     config;
     rng;
+    substream;
+    pool = Rfid_par.Pool.get ~num_domains:config.Config.num_domains;
     readers;
     reader_gen = 0;
     objects = Hashtbl.create 64;
@@ -112,33 +119,37 @@ let create ~world ~params ~config ~init_reader ~rng =
 let num_readers t = Array.length t.readers
 
 let reader_weights t =
-  Rfid_prob.Stats.normalize_log_weights
-    (Array.map (fun (r : reader_particle) -> r.log_w) t.readers)
+  let w = Array.map (fun (r : reader_particle) -> r.log_w) t.readers in
+  Rfid_prob.Stats.normalize_log_weights_in_place w;
+  w
 
-(* Draw a reader-particle index proportionally to current weights. *)
-let sample_reader_idx t rw = Rfid_prob.Rng.categorical t.rng rw
+(* Draw a reader-particle index proportionally to current weights.
+   Takes the drawing generator explicitly: per-object phases pass the
+   object's keyed substream, coordinator phases pass [t.rng]. *)
+let sample_reader_idx rng rw = Rfid_prob.Rng.categorical rng rw
 
 let obj_weights parts =
-  Rfid_prob.Stats.normalize_log_weights (Array.map (fun p -> p.log_w) parts)
+  let w = Array.map (fun p -> p.log_w) parts in
+  Rfid_prob.Stats.normalize_log_weights_in_place w;
+  w
 
-let fresh_particle t rw ~reader_loc_of =
-  let idx = sample_reader_idx t rw in
-  let reader = reader_loc_of idx in
+let fresh_particle t rng rw =
+  let idx = sample_reader_idx rng rw in
+  let reader = t.readers.(idx).state in
   let loc =
     Common.sample_initial_location t.cache
       ~overestimate:t.config.Config.init_overestimate ~world:t.world
-      ~reader_loc:reader.Reader_state.loc ~heading:reader.Reader_state.heading t.rng
+      ~reader_loc:reader.Reader_state.loc ~heading:reader.Reader_state.heading rng
   in
   { loc; reader_idx = idx; log_w = 0. }
 
-let init_object_particles t rw n =
-  Array.init n (fun _ -> fresh_particle t rw ~reader_loc_of:(fun i -> t.readers.(i).state))
+let init_object_particles t rng rw n = Array.init n (fun _ -> fresh_particle t rng rw)
 
-let decompress t rw g =
+let decompress t rng rw g =
   Array.init t.config.Config.decompress_particles (fun _ ->
-      let p = Vec3.of_array (Rfid_prob.Gaussian.sample g t.rng) in
+      let p = Vec3.of_array (Rfid_prob.Gaussian.sample g rng) in
       let p = if World.contains t.world p then p else World.clamp_to_shelves t.world p in
-      { loc = p; reader_idx = sample_reader_idx t rw; log_w = 0. })
+      { loc = p; reader_idx = sample_reader_idx rng rw; log_w = 0. })
 
 (* The probe/insertion box for the sensing region around a reader
    location: heading-independent square of side 2 * detection range,
@@ -245,16 +256,16 @@ let case2_objects t reported ~case1 =
         (fun acc set -> Int_set.union acc (Int_set.diff set case1))
         Int_set.empty hits
 
-let refresh_pointers t rw (obj : obj_state) =
+let refresh_pointers t rng rw (obj : obj_state) =
   if obj.reader_gen <> t.reader_gen then begin
     (match obj.belief with
     | Active parts ->
-        Array.iter (fun p -> p.reader_idx <- sample_reader_idx t rw) parts
+        Array.iter (fun p -> p.reader_idx <- sample_reader_idx rng rw) parts
     | Compressed _ -> ());
     obj.reader_gen <- t.reader_gen
   end
 
-let propose_and_weight_object t (obj : obj_state) ~read =
+let propose_and_weight_object t rng (obj : obj_state) ~read =
   match obj.belief with
   | Compressed _ -> ()
   | Active parts ->
@@ -270,7 +281,7 @@ let propose_and_weight_object t (obj : obj_state) ~read =
              particle drags the posterior mean by (warehouse size / K).
              Evidence-bearing epochs crush wrong move hypotheses
              immediately, which is all the diversity the model needs. *)
-          if read then p.loc <- Object_model.sample_next obj_model t.world t.rng p.loc;
+          if read then p.loc <- Object_model.sample_next obj_model t.world rng p.loc;
           let reader = t.readers.(p.reader_idx).state in
           p.log_w <-
             p.log_w
@@ -286,7 +297,7 @@ let propose_and_weight_object t (obj : obj_state) ~read =
         Rfid_prob.Stats.effective_sample_size w
         < t.config.Config.resample_ratio *. float_of_int k
       then begin
-        let idx = Common.resample t.config.Config.resample_scheme t.rng w ~n:k in
+        let idx = Common.resample t.config.Config.resample_scheme rng w ~n:k in
         let fresh =
           Array.map
             (fun i ->
@@ -446,6 +457,16 @@ let run_compression t e =
     drain ()
   end
 
+(* Evidence-driven initialization planned on the coordinator and
+   executed inside the parallel per-object pass. *)
+type init_action =
+  | No_init
+  | Init_fresh of int  (* creation or far re-detection: n fresh particles *)
+  | Init_decompress of Rfid_prob.Gaussian.t
+  | Init_half  (* near re-detection: keep half, redraw half *)
+
+type work_item = { w_obj : obj_state; w_action : init_action; w_read : bool }
+
 let step t (obs : Types.observation) =
   if obs.Types.o_epoch <= t.epoch then
     invalid_arg "Factored_filter.step: observations out of epoch order";
@@ -471,60 +492,96 @@ let step t (obs : Types.observation) =
   let case2 = case2_objects t reported ~case1 in
   let scope = Int_set.union case1 case2 in
   t.processed_last <- Int_set.cardinal scope;
-  (* 4. Detection-driven creation / decompression / re-initialization. *)
+  (* 4. Coordinator pre-pass: the [objects] Hashtbl is not thread-safe,
+     so discovery (insertion) and scope bookkeeping happen here, before
+     any domain fans out. Newly read objects get a placeholder state;
+     the evidence-driven initialization itself (creation,
+     decompression, re-initialization) is planned as a per-object
+     action and executed inside the parallel pass. *)
   Int_set.iter
     (fun id ->
       match Hashtbl.find_opt t.objects id with
       | None ->
-          let parts = init_object_particles t rw t.config.Config.num_object_particles in
           Hashtbl.replace t.objects id
             {
               obj_id = id;
-              belief = Active parts;
+              belief = Active [||];
               reader_gen = t.reader_gen;
               last_read = e;
               last_read_reader = reported;
             };
           t.newly_seen <- id :: t.newly_seen
       | Some obj ->
-          (match obj.belief with
-          | Compressed g ->
-              obj.belief <- Active (decompress t rw g);
-              obj.reader_gen <- t.reader_gen
-          | Active parts ->
-              let d = Vec3.dist reported obj.last_read_reader in
-              if d >= t.config.Config.reinit_far then begin
-                obj.belief <-
-                  Active (init_object_particles t rw (Array.length parts));
-                obj.reader_gen <- t.reader_gen
-              end
-              else if d >= t.config.Config.reinit_near then begin
-                (* Keep half, move half to the new location (§IV-A). *)
-                refresh_pointers t rw obj;
-                Array.iteri
-                  (fun i p ->
-                    if i mod 2 = 0 then begin
-                      let np =
-                        fresh_particle t rw ~reader_loc_of:(fun i -> t.readers.(i).state)
-                      in
-                      p.loc <- np.loc;
-                      p.reader_idx <- np.reader_idx;
-                      p.log_w <- 0.
-                    end)
-                  parts
-              end);
           if e - obj.last_read > t.config.Config.out_of_scope_after then
             t.newly_seen <- id :: t.newly_seen)
     case1;
-  (* 5. Object proposal + weighting over the scope. *)
-  Int_set.iter
-    (fun id ->
-      match Hashtbl.find_opt t.objects id with
-      | None -> ()
-      | Some obj ->
-          refresh_pointers t rw obj;
-          propose_and_weight_object t obj ~read:(Int_set.mem id case1))
-    scope;
+  let work =
+    Array.of_list
+      (List.filter_map
+         (fun id ->
+           match Hashtbl.find_opt t.objects id with
+           | None -> None
+           | Some obj ->
+               let read = Int_set.mem id case1 in
+               let action =
+                 if not read then No_init
+                 else
+                   match obj.belief with
+                   | Active [||] -> Init_fresh t.config.Config.num_object_particles
+                   | Compressed g -> Init_decompress g
+                   | Active parts ->
+                       let d = Vec3.dist reported obj.last_read_reader in
+                       if d >= t.config.Config.reinit_far then
+                         Init_fresh (Array.length parts)
+                       else if d >= t.config.Config.reinit_near then Init_half
+                       else No_init
+               in
+               Some { w_obj = obj; w_action = action; w_read = read })
+         (Int_set.elements scope))
+  in
+  (* 5. Parallel per-object update (§IV-B's conditional independence
+     given the reader particles): initialization action, pointer
+     refresh, proposal, weighting and per-object resampling all run in
+     the pool over the snapshot above. Each object draws from its own
+     substream keyed by (object id, epoch), and every write lands in
+     that object's own state, so the result is bit-identical for any
+     domain count or chunk schedule. The reader array and [rw] are read
+     shared but never written until the pass completes. *)
+  let process_item it =
+    let obj = it.w_obj in
+    let rng =
+      Rfid_prob.Rng.for_key t.substream ~key:(Rfid_prob.Rng.key_pair obj.obj_id e)
+    in
+    (match it.w_action with
+    | No_init -> ()
+    | Init_fresh n ->
+        obj.belief <- Active (init_object_particles t rng rw n);
+        obj.reader_gen <- t.reader_gen
+    | Init_decompress g ->
+        obj.belief <- Active (decompress t rng rw g);
+        obj.reader_gen <- t.reader_gen
+    | Init_half -> (
+        (* Keep half, move half to the new location (§IV-A). *)
+        match obj.belief with
+        | Compressed _ -> ()
+        | Active parts ->
+            refresh_pointers t rng rw obj;
+            Array.iteri
+              (fun i p ->
+                if i mod 2 = 0 then begin
+                  let np = fresh_particle t rng rw in
+                  p.loc <- np.loc;
+                  p.reader_idx <- np.reader_idx;
+                  p.log_w <- 0.
+                end)
+              parts));
+    refresh_pointers t rng rw obj;
+    propose_and_weight_object t rng obj ~read:it.w_read
+  in
+  Rfid_par.Pool.parallel_for_chunked t.pool ~n:(Array.length work) (fun lo hi ->
+      for i = lo to hi - 1 do
+        process_item work.(i)
+      done);
   (* 6. Reader resampling (rare; ESS-triggered). *)
   maybe_resample_readers t scope;
   (* 7. Spatial index bookkeeping. *)

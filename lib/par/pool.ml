@@ -1,0 +1,180 @@
+(* Worker domains block on [work_ready] between loops; each loop is a
+   [job] published under the mutex with a bumped generation counter.
+   Chunks are claimed with a wait-free fetch-and-add so load imbalance
+   between chunks self-corrects; completion is tracked by the number of
+   domains still inside the job, signalled on [work_done]. *)
+
+type job = {
+  n : int;
+  chunk : int;
+  body : int -> int -> unit;
+  next : int Atomic.t;  (* next chunk ordinal to claim *)
+  mutable running : int;  (* domains not yet finished with this job *)
+  mutable error : exn option;  (* first exception raised by a body *)
+}
+
+type t = {
+  domains_requested : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;  (* bumped once per published job *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let run_chunks pool (job : job) =
+  let nchunks = (job.n + job.chunk - 1) / job.chunk in
+  let rec loop () =
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c < nchunks then begin
+      let lo = c * job.chunk in
+      let hi = Int.min job.n (lo + job.chunk) in
+      (try job.body lo hi
+       with e ->
+         Mutex.lock pool.mutex;
+         if job.error = None then job.error <- Some e;
+         Mutex.unlock pool.mutex);
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop pool last_gen =
+  Mutex.lock pool.mutex;
+  while pool.generation = last_gen && not pool.stopping do
+    Condition.wait pool.work_ready pool.mutex
+  done;
+  if pool.stopping then Mutex.unlock pool.mutex
+  else begin
+    let gen = pool.generation in
+    let job = Option.get pool.job in
+    Mutex.unlock pool.mutex;
+    run_chunks pool job;
+    Mutex.lock pool.mutex;
+    job.running <- job.running - 1;
+    if job.running = 0 then Condition.broadcast pool.work_done;
+    Mutex.unlock pool.mutex;
+    worker_loop pool gen
+  end
+
+let sequential =
+  {
+    domains_requested = 1;
+    mutex = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    job = None;
+    generation = 0;
+    stopping = false;
+    workers = [];
+  }
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_ready;
+  let workers = pool.workers in
+  pool.workers <- [];
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let create ~num_domains =
+  if num_domains < 1 then invalid_arg "Pool.create: num_domains must be >= 1";
+  if num_domains = 1 then sequential
+  else begin
+    let pool =
+      {
+        domains_requested = num_domains;
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        job = None;
+        generation = 0;
+        stopping = false;
+        workers = [];
+      }
+    in
+    pool.workers <-
+      List.init (num_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+    (* Workers must be joined before the runtime tears down; a pool
+       abandoned without [shutdown] would otherwise block process
+       exit on domains parked in [Condition.wait]. *)
+    at_exit (fun () -> shutdown pool);
+    pool
+  end
+
+let num_domains pool = 1 + List.length pool.workers
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 4
+let cache_mutex = Mutex.create ()
+
+let get ~num_domains =
+  if num_domains <= 1 then sequential
+  else begin
+    Mutex.lock cache_mutex;
+    let pool =
+      match Hashtbl.find_opt cache num_domains with
+      | Some p when not p.stopping -> p
+      | Some _ | None ->
+          let p = create ~num_domains in
+          Hashtbl.replace cache num_domains p;
+          p
+    in
+    Mutex.unlock cache_mutex;
+    pool
+  end
+
+let shutdown_cached () =
+  Mutex.lock cache_mutex;
+  let pools = Hashtbl.fold (fun _ p acc -> p :: acc) cache [] in
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex;
+  List.iter shutdown pools
+
+let parallel_for_chunked pool ?chunk ~n body =
+  if n > 0 then begin
+    let workers = num_domains pool - 1 in
+    if workers = 0 then body 0 n
+    else begin
+      let chunk =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | Some c -> invalid_arg (Printf.sprintf "Pool.parallel_for_chunked: chunk %d < 1" c)
+        | None -> Int.max 1 (n / (4 * (workers + 1)))
+      in
+      let job =
+        { n; chunk; body; next = Atomic.make 0; running = workers + 1; error = None }
+      in
+      Mutex.lock pool.mutex;
+      pool.job <- Some job;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.mutex;
+      run_chunks pool job;
+      Mutex.lock pool.mutex;
+      job.running <- job.running - 1;
+      while job.running > 0 do
+        Condition.wait pool.work_done pool.mutex
+      done;
+      pool.job <- None;
+      let error = job.error in
+      Mutex.unlock pool.mutex;
+      match error with Some e -> raise e | None -> ()
+    end
+  end
+
+let map_array pool f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    (* Seed the result array from element 0 (computed on the
+       coordinator) so no dummy value of type ['b] is needed. *)
+    let r = Array.make n (f a.(0)) in
+    parallel_for_chunked pool ~n:(n - 1) (fun lo hi ->
+        for i = lo to hi - 1 do
+          r.(i + 1) <- f a.(i + 1)
+        done);
+    r
+  end

@@ -1,0 +1,62 @@
+(** A fixed pool of worker domains for data-parallel loops.
+
+    Built on stdlib [Domain]/[Mutex]/[Condition] only — no external
+    scheduler. The pool owns [num_domains - 1] spawned worker domains;
+    the calling (coordinating) domain participates in every loop, so a
+    pool of size [n] applies [n] domains of compute. With
+    [num_domains <= 1] nothing is spawned and every operation degrades
+    to plain sequential execution — the zero-dependency fallback path.
+
+    Work distribution is dynamic: an atomic chunk counter hands
+    contiguous index ranges to whichever domain is free. Parallel loops
+    are therefore only deterministic when the loop body writes to
+    disjoint state per index and draws randomness from a per-index
+    source (see {!Rfid_prob.Rng.for_key}); under that contract results
+    are bit-identical for every pool size and schedule.
+
+    Pools are scoped: either [shutdown] explicitly, or rely on the
+    [at_exit] hook every pool registers. A pool whose workers have been
+    shut down falls back to sequential execution instead of raising, so
+    a stale handle can never deadlock. *)
+
+type t
+
+val create : num_domains:int -> t
+(** [create ~num_domains] spawns [max 0 (num_domains - 1)] workers.
+    @raise Invalid_argument if [num_domains < 1]. *)
+
+val num_domains : t -> int
+(** Domains applied to each loop (workers + the coordinator), [>= 1]. *)
+
+val sequential : t
+(** The trivial pool: [num_domains = 1], no spawned workers, immutable
+    and safe to share. *)
+
+val get : num_domains:int -> t
+(** Process-wide cached pools, keyed by size: repeated [get] with the
+    same size returns the same pool instead of re-spawning domains.
+    Useful when many short-lived filters share a configuration. *)
+
+val parallel_for_chunked : t -> ?chunk:int -> n:int -> (int -> int -> unit) -> unit
+(** [parallel_for_chunked pool ~n body] calls [body lo hi] over
+    half-open chunks [\[lo, hi)] covering [\[0, n)], concurrently across
+    the pool's domains. [chunk] sets the chunk length (default:
+    [max 1 (n / (4 * num_domains))]). Blocks until every chunk has run.
+    If any [body] raises, one of the exceptions is re-raised on the
+    coordinator after all chunks finish or are abandoned. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f a] is [Array.map f a] with [f] applied across
+    domains. [f] must be safe to call concurrently on distinct
+    elements. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; subsequent loops on the pool
+    run sequentially. *)
+
+val shutdown_cached : unit -> unit
+(** Shut down and forget every pool handed out by {!get}. Live domains
+    cost every other domain stop-the-world synchronization even when
+    idle, so batch drivers (test suites, benches) should tear pools
+    down between multi-domain and single-domain phases. A later {!get}
+    spawns a fresh pool. *)

@@ -21,6 +21,22 @@ let split t =
   let s = bits64 t in
   { state = mix64 s }
 
+(* Keyed substream derivation: a pure function of the base state and the
+   key — the base generator is NOT advanced, so the substream for a
+   given key is the same no matter how many other substreams were
+   derived before it, in what order, or on which domain. Two mixing
+   rounds separate keys that differ in few bits (consecutive object ids
+   and epochs are exactly that case). *)
+let for_key t ~key =
+  let s = mix64 (Int64.add t.state (Int64.mul golden_gamma key)) in
+  { state = mix64 (Int64.logxor s golden_gamma) }
+
+(* Pack two non-negative ints into one key. The first component is
+   spread by a large odd multiplier, so distinct (id, epoch) pairs with
+   small components — the only ones that occur — map to distinct keys
+   far apart in key space. *)
+let key_pair a b = Int64.(add (mul (of_int a) 0x2545F4914F6CDD1DL) (of_int b))
+
 (* 53 random bits scaled into [0,1). *)
 let float t =
   let bits = Int64.shift_right_logical (bits64 t) 11 in

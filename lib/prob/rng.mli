@@ -24,6 +24,20 @@ val split : t -> t
     (statistically) independent of the remainder of [t]'s stream. Use to
     hand sub-components their own generator. *)
 
+val for_key : t -> key:int64 -> t
+(** [for_key t ~key] derives the [key]-th substream of [t] {e without
+    advancing [t]}: a pure function of [t]'s current state and [key].
+    Derivations therefore commute — any number of substreams can be
+    drawn in any order (or concurrently from different domains) and each
+    key always yields the same generator. This is the determinism
+    backbone of parallel inference: per-object randomness is keyed by
+    [key_pair obj_id epoch] so results do not depend on scheduling. *)
+
+val key_pair : int -> int -> int64
+(** [key_pair a b] packs two non-negative ints into one substream key;
+    distinct pairs with realistic magnitudes (ids, epochs) yield
+    distinct, well-separated keys. *)
+
 val bits64 : t -> int64
 (** Next raw 64 random bits. *)
 

@@ -13,17 +13,33 @@ let log_sum_exp a =
     end
   end
 
-let normalize_log_weights lw =
+let normalize_log_weights_in_place lw =
   let n = Array.length lw in
   let z = log_sum_exp lw in
-  if z = neg_infinity then Array.make n (1. /. float_of_int n)
-  else Array.map (fun l -> exp (l -. z)) lw
+  if z = neg_infinity then Array.fill lw 0 n (1. /. float_of_int n)
+  else
+    for i = 0 to n - 1 do
+      lw.(i) <- exp (lw.(i) -. z)
+    done
 
-let normalize w =
+let normalize_log_weights lw =
+  let w = Array.copy lw in
+  normalize_log_weights_in_place w;
+  w
+
+let normalize_in_place w =
   let n = Array.length w in
   let total = Array.fold_left ( +. ) 0. w in
-  if not (total > 0.) then Array.make n (1. /. float_of_int n)
-  else Array.map (fun x -> x /. total) w
+  if not (total > 0.) then Array.fill w 0 n (1. /. float_of_int n)
+  else
+    for i = 0 to n - 1 do
+      w.(i) <- w.(i) /. total
+    done
+
+let normalize w =
+  let w = Array.copy w in
+  normalize_in_place w;
+  w
 
 let effective_sample_size w =
   let sumsq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. w in

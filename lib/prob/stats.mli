@@ -13,9 +13,17 @@ val normalize_log_weights : float array -> float array
     If every log weight is [neg_infinity] (total collapse), returns the
     uniform distribution — the standard particle-filter rescue. *)
 
+val normalize_log_weights_in_place : float array -> unit
+(** [normalize_log_weights] overwriting the input array — the filter
+    hot path already materializes a fresh log-weight array per particle
+    set per epoch, so normalizing in place halves its allocations. *)
+
 val normalize : float array -> float array
 (** Normalize non-negative linear weights to sum to 1; uniform on total
     collapse. *)
+
+val normalize_in_place : float array -> unit
+(** {!normalize} overwriting the input array. *)
 
 val effective_sample_size : float array -> float
 (** Kish effective sample size [1 / sum w_i^2] of normalized weights.

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "rfid_streams"
     [
       Test_rng.suite;
+      Test_par.suite;
       Test_stats.suite;
       Test_linalg.suite;
       Test_gaussian.suite;

@@ -1,0 +1,186 @@
+(* Determinism of the parallel substrate: keyed RNG substreams, the
+   domain pool, and end-to-end inference under 1/2/4 domains. *)
+open Rfid_prob
+
+let draw n rng = Array.init n (fun _ -> Rng.float rng)
+
+let test_split_reproducible () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  let sa = Rng.split a and sb = Rng.split b in
+  Alcotest.(check (array (float 0.))) "split of equal states equal"
+    (draw 64 sa) (draw 64 sb);
+  (* After the split the parents remain synchronized too. *)
+  Alcotest.(check (array (float 0.))) "parents still in lockstep" (draw 16 a) (draw 16 b)
+
+let test_for_key_pure () =
+  let base = Rng.create ~seed:42 in
+  let before = Rng.bits64 (Rng.copy base) in
+  let s1 = draw 32 (Rng.for_key base ~key:5L) in
+  (* Deriving hundreds of other substreams, in any order, must not
+     disturb either the base or the key-5 substream. *)
+  for k = 0 to 500 do
+    ignore (Rng.float (Rng.for_key base ~key:(Int64.of_int k)))
+  done;
+  let s1' = draw 32 (Rng.for_key base ~key:5L) in
+  Alcotest.(check (array (float 0.))) "same key, same stream" s1 s1';
+  Alcotest.(check int64) "base not advanced" before (Rng.bits64 (Rng.copy base))
+
+let test_for_key_distinct_and_uniform () =
+  let base = Rng.create ~seed:3 in
+  (* Substreams for adjacent (object, epoch) keys must decorrelate:
+     pool their first draws and check uniformity, and check no two
+     adjacent keys yield the same leading draw. *)
+  let n = 2000 in
+  let firsts =
+    Array.init n (fun i -> Rng.float (Rng.for_key base ~key:(Rng.key_pair (i / 50) (i mod 50))))
+  in
+  Util.check_close ~eps:0.02 "substream leading draws uniform" 0.5 (Stats.mean firsts);
+  let distinct = Hashtbl.create n in
+  Array.iter (fun x -> Hashtbl.replace distinct x ()) firsts;
+  Alcotest.(check int) "no colliding substreams" n (Hashtbl.length distinct)
+
+let test_key_pair_injective_locally () =
+  let seen = Hashtbl.create 64 in
+  for a = 0 to 63 do
+    for b = 0 to 63 do
+      let k = Rng.key_pair a b in
+      (match Hashtbl.find_opt seen k with
+      | Some (a', b') -> Alcotest.failf "key collision (%d,%d) vs (%d,%d)" a b a' b'
+      | None -> ());
+      Hashtbl.replace seen k (a, b)
+    done
+  done
+
+(* Reference computation: an order-sensitive-looking but per-index
+   deterministic kernel, heavy enough that chunks interleave. *)
+let kernel i =
+  let r = Rng.for_key (Rng.create ~seed:99) ~key:(Int64.of_int i) in
+  let acc = ref 0. in
+  for _ = 1 to 50 do
+    acc := !acc +. Rng.float r
+  done;
+  !acc
+
+let test_pool_matches_sequential () =
+  let n = 2048 in
+  let expected = Array.init n kernel in
+  List.iter
+    (fun num_domains ->
+      let pool = Rfid_par.Pool.create ~num_domains in
+      Alcotest.(check int)
+        (Printf.sprintf "pool applies %d domains" num_domains)
+        num_domains
+        (Rfid_par.Pool.num_domains pool);
+      List.iter
+        (fun chunk ->
+          let got = Array.make n 0. in
+          Rfid_par.Pool.parallel_for_chunked pool ?chunk ~n (fun lo hi ->
+              for i = lo to hi - 1 do
+                got.(i) <- kernel i
+              done);
+          Alcotest.(check (array (float 0.)))
+            (Printf.sprintf "%d domains, chunk %s" num_domains
+               (match chunk with None -> "auto" | Some c -> string_of_int c))
+            expected got)
+        [ None; Some 1; Some 7; Some 4096 ];
+      let mapped = Rfid_par.Pool.map_array pool kernel (Array.init n Fun.id) in
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "map_array, %d domains" num_domains)
+        expected mapped;
+      Rfid_par.Pool.shutdown pool;
+      Rfid_par.Pool.shutdown pool;
+      (* A shut-down pool degrades to sequential instead of hanging. *)
+      let got = Array.make n 0. in
+      Rfid_par.Pool.parallel_for_chunked pool ~n (fun lo hi ->
+          for i = lo to hi - 1 do
+            got.(i) <- kernel i
+          done);
+      Alcotest.(check (array (float 0.))) "after shutdown" expected got)
+    [ 1; 2; 4 ]
+
+let test_pool_propagates_exceptions () =
+  let pool = Rfid_par.Pool.create ~num_domains:2 in
+  Alcotest.check_raises "body exception reaches coordinator" Exit (fun () ->
+      Rfid_par.Pool.parallel_for_chunked pool ~chunk:1 ~n:64 (fun lo _ ->
+          if lo = 13 then raise Exit));
+  (* The pool survives a failed loop. *)
+  let total = Atomic.make 0 in
+  Rfid_par.Pool.parallel_for_chunked pool ~chunk:1 ~n:64 (fun lo hi ->
+      ignore (Atomic.fetch_and_add total (hi - lo)));
+  Alcotest.(check int) "pool usable after exception" 64 (Atomic.get total);
+  Rfid_par.Pool.shutdown pool
+
+let test_pool_rejects_bad_sizes () =
+  Util.check_raises_invalid "zero domains" (fun () ->
+      ignore (Rfid_par.Pool.create ~num_domains:0));
+  Util.check_raises_invalid "zero chunk" (fun () ->
+      Rfid_par.Pool.parallel_for_chunked
+        (Rfid_par.Pool.create ~num_domains:2)
+        ~chunk:0 ~n:4
+        (fun _ _ -> ()))
+
+(* End-to-end: the engine's output event stream is bit-identical under
+   any domain count, on a trace long enough to exercise creation,
+   re-detection, decompression and per-object resampling. *)
+let run_trace ~variant ~num_domains =
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:12 () in
+  let sensor = Rfid_sim.Truth_sensor.cone ~rr_major:0.85 () in
+  let trace =
+    Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+      ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+      ~start:(Rfid_sim.Warehouse.reader_start wh)
+      ~path:(Rfid_sim.Trace_gen.straight_pass ~speed:0.3 wh ~rounds:2)
+      ~config:(Rfid_sim.Trace_gen.default_config ~sensor ())
+      (Rfid_prob.Rng.create ~seed:17)
+  in
+  let config =
+    Rfid_core.Config.create ~variant ~num_reader_particles:40
+      ~num_object_particles:60 ~compress_after:10 ~num_domains ()
+  in
+  let engine =
+    Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world
+      ~params:Rfid_model.Params.default ~config
+      ~init_reader:trace.Rfid_model.Trace.steps.(0).Rfid_model.Trace.true_reader
+      ~seed:5 ()
+  in
+  Rfid_core.Engine.run engine (Rfid_model.Trace.observations trace)
+
+let check_domain_counts variant label =
+  let reference = run_trace ~variant ~num_domains:1 in
+  Alcotest.(check bool) (label ^ ": events exist") true (reference <> []);
+  List.iter
+    (fun num_domains ->
+      let events = run_trace ~variant ~num_domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d domains bit-identical to sequential" label num_domains)
+        true
+        (events = reference))
+    [ 2; 4 ];
+  (* Idle domains tax every stop-the-world section of the rest of the
+     suite; tear the cached pools down before the next test. *)
+  Rfid_par.Pool.shutdown_cached ()
+
+let test_engine_bit_identical_indexed () =
+  check_domain_counts Rfid_core.Config.Factorized_indexed "indexed"
+
+let test_engine_bit_identical_compressed () =
+  check_domain_counts Rfid_core.Config.Factorized_compressed "compressed"
+
+let suite =
+  ( "par",
+    [
+      Alcotest.test_case "split reproducible" `Quick test_split_reproducible;
+      Alcotest.test_case "for_key pure and reproducible" `Quick test_for_key_pure;
+      Alcotest.test_case "for_key substreams distinct" `Quick
+        test_for_key_distinct_and_uniform;
+      Alcotest.test_case "key_pair locally injective" `Quick
+        test_key_pair_injective_locally;
+      Alcotest.test_case "pool matches sequential" `Quick test_pool_matches_sequential;
+      Alcotest.test_case "pool propagates exceptions" `Quick
+        test_pool_propagates_exceptions;
+      Alcotest.test_case "pool rejects bad sizes" `Quick test_pool_rejects_bad_sizes;
+      Alcotest.test_case "engine bit-identical across domains (indexed)" `Quick
+        test_engine_bit_identical_indexed;
+      Alcotest.test_case "engine bit-identical across domains (compressed)" `Quick
+        test_engine_bit_identical_compressed;
+    ] )
