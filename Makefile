@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench bench-json fmt clean
+.PHONY: all build test bench bench-json fuzz fmt clean
 
 all: build
 
@@ -10,7 +10,12 @@ build:
 	$(DUNE) build
 
 test:
-	$(DUNE) build && $(DUNE) runtest
+	$(DUNE) build && $(DUNE) runtest && $(DUNE) exec fuzz/fuzz_main.exe -- 10
+
+# Randomized corrupted-input fuzz (seeds are logged; reproduce any
+# failure with `dune exec fuzz/fuzz_main.exe -- ITERS BASE_SEED`).
+fuzz:
+	$(DUNE) exec fuzz/fuzz_main.exe
 
 # Full table/figure reproduction harness (slow).
 bench:

@@ -42,7 +42,82 @@ let run_point ~variant ~label ~objects ~num_domains ~params ~trace =
     pt_err_xy = r.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy;
   }
 
-let emit oc points =
+(* One fault-injected run through the ingest guard, so the bench file
+   also tracks robustness-path throughput and the guard's intervention
+   counters (schema-additive: the "robustness" key rides along with the
+   existing points). *)
+type robust_point = {
+  rp_objects : int;
+  rp_epochs : int;
+  rp_elapsed_s : float;
+  rp_events : int;
+  rp_degraded_events : int;
+  rp_ingest : (string * int) list;
+  rp_engine : Rfid_core.Engine.stats;
+}
+
+let run_robust_point ~objects ~params ~(trace : Rfid_model.Trace.t) =
+  Printf.printf "  ... %-16s n=%-5d faulted%!" "robust+ingest" objects;
+  let faults =
+    Rfid_sim.Faults.make ~drop_prob:0.1 ~nan_fix_prob:0.05 ~outage:(100, 50) ()
+  in
+  let observations =
+    Rfid_sim.Faults.apply faults ~seed:7 (Rfid_model.Trace.observations trace)
+  in
+  let config =
+    Scenarios.engine_config ~variant:Rfid_core.Config.Factorized_indexed
+      ~num_domains:1 ()
+  in
+  let engine =
+    Rfid_core.Engine.create ~world:trace.Rfid_model.Trace.world ~params ~config
+      ~init_reader:trace.Rfid_model.Trace.steps.(0).Rfid_model.Trace.true_reader
+      ~num_objects:trace.Rfid_model.Trace.num_objects ~seed:7 ()
+  in
+  let guard =
+    Rfid_robust.Ingest.create
+      ~bounds:(Rfid_model.World.bounding_box trace.Rfid_model.Trace.world)
+      ~max_object_id:trace.Rfid_model.Trace.num_objects ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let events =
+    match Rfid_robust.Ingest.run_engine guard engine observations with
+    | Ok events -> events
+    | Error (_, msg) -> failwith msg
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let stats = Rfid_core.Engine.stats engine in
+  Printf.printf "  %7.1f epochs/s\n%!"
+    (if elapsed_s > 0. then float_of_int (List.length observations) /. elapsed_s else 0.);
+  {
+    rp_objects = objects;
+    rp_epochs = List.length observations;
+    rp_elapsed_s = elapsed_s;
+    rp_events = List.length events;
+    rp_degraded_events =
+      List.length (List.filter (fun e -> e.Rfid_core.Event.ev_degraded) events);
+    rp_ingest =
+      List.map
+        (fun (f, n) -> (Rfid_robust.Ingest.fault_name f, n))
+        (Rfid_robust.Ingest.counters guard);
+    rp_engine = stats;
+  }
+
+let robust_json rp =
+  let counters =
+    String.concat ", "
+      (List.map (fun (name, n) -> Printf.sprintf "%S: %d" name n) rp.rp_ingest)
+  in
+  Printf.sprintf
+    "  \"robustness\": {\"workload\": \"drop=10%% nan=5%% outage=[100,150), seed 7\", \
+     \"objects\": %d, \"epochs\": %d, \"elapsed_s\": %.6f, \"events\": %d, \
+     \"degraded_events\": %d, \"degraded_epochs\": %d, \"duplicates_skipped\": %d, \
+     \"out_of_order_dropped\": %d, \"ingest_counters\": {%s}}"
+    rp.rp_objects rp.rp_epochs rp.rp_elapsed_s rp.rp_events rp.rp_degraded_events
+    rp.rp_engine.Rfid_core.Engine.degraded_epochs
+    rp.rp_engine.Rfid_core.Engine.duplicate_epochs_skipped
+    rp.rp_engine.Rfid_core.Engine.out_of_order_dropped counters
+
+let emit oc points robust =
   let point_json p =
     Printf.sprintf
       "    {\"variant\": %S, \"objects\": %d, \"num_domains\": %d, \"epochs\": %d, \
@@ -57,10 +132,12 @@ let emit oc points =
     \  \"workload\": \"warehouse straight pass, J=100, K=200, seed 7\",\n\
     \  \"host_cores\": %d,\n\
     \  \"points\": [\n%s\n\
-    \  ]\n\
+    \  ],\n\
+     %s\n\
      }\n"
     (Domain.recommended_domain_count ())
     (String.concat ",\n" (List.map point_json points))
+    (robust_json robust)
 
 let run ~path ~large =
   Printf.printf "bench --json: filter throughput -> %s\n%!" path;
@@ -95,8 +172,13 @@ let run ~path ~large =
                    ~label:"factorized+index" ~objects ~num_domains ~params ~trace))
           domain_counts)
     sizes;
+  let robust =
+    let objects = List.fold_left Int.min max_int sizes in
+    let built = Scenarios.warehouse_trace ~num_objects:objects ~seed:111 () in
+    run_robust_point ~objects ~params ~trace:built.Scenarios.trace
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> emit oc (List.rev !points));
+    (fun () -> emit oc (List.rev !points) robust);
   Printf.printf "wrote %d points to %s\n%!" (List.length !points) path

@@ -118,29 +118,230 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 (* infer                                                               *)
 
-let infer objects rounds read_rate seed variant particles domains =
+type fault_flags = {
+  ff_drop : float;
+  ff_nan : float;
+  ff_dup : float;
+  ff_spurious : float;
+  ff_outage_start : int;
+  ff_outage_len : int;
+  ff_seed : int;
+}
+
+let faults_of_flags ff =
+  Rfid_sim.Faults.make ~drop_prob:ff.ff_drop ~nan_fix_prob:ff.ff_nan
+    ~duplicate_prob:ff.ff_dup ~spurious_tag_prob:ff.ff_spurious
+    ?outage:
+      (if ff.ff_outage_len > 0 then Some (ff.ff_outage_start, ff.ff_outage_len)
+       else None)
+    ()
+
+let fault_flags_term =
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-drop" ] ~docv:"P" ~doc:"Drop each observation with probability P.")
+  in
+  let nan =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-nan" ] ~docv:"P"
+          ~doc:"Replace each location fix with NaN with probability P.")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-dup" ] ~docv:"P" ~doc:"Duplicate each observation with probability P.")
+  in
+  let spurious =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault-spurious" ] ~docv:"P"
+          ~doc:"Prepend a spurious out-of-universe tag with probability P.")
+  in
+  let outage_start =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-outage-start" ] ~docv:"E" ~doc:"First epoch of a positioning outage.")
+  in
+  let outage_len =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-outage-len" ] ~docv:"N"
+          ~doc:"Outage length in epochs (0 disables the outage).")
+  in
+  let fseed =
+    Arg.(
+      value & opt int 7 & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed for fault injection.")
+  in
+  let mk drop nan dup spurious outage_start outage_len fseed =
+    {
+      ff_drop = drop;
+      ff_nan = nan;
+      ff_dup = dup;
+      ff_spurious = spurious;
+      ff_outage_start = outage_start;
+      ff_outage_len = outage_len;
+      ff_seed = fseed;
+    }
+  in
+  Term.(const mk $ drop $ nan $ dup $ spurious $ outage_start $ outage_len $ fseed)
+
+let on_ooo_arg =
+  Arg.(
+    value
+    & opt (enum [ ("halt", Rfid_robust.Ingest.Halt); ("drop", Rfid_robust.Ingest.Drop) ])
+        Rfid_robust.Ingest.Halt
+    & info [ "on-out-of-order" ] ~docv:"POLICY"
+        ~doc:"What to do with an out-of-order epoch: $(b,halt) (default) or $(b,drop).")
+
+(* Drive a (possibly corrupted) observation stream through the ingest
+   guard into the engine, checkpointing every [checkpoint_every]
+   admitted epochs.  Returns the events plus whether the run stopped
+   early ([--stop-after] or a halt policy). *)
+let guarded_run ~guard ~engine ~checkpoint ~checkpoint_every ~stop_after observations =
+  let events = ref [] in
+  let admitted = ref 0 in
+  let stopped = ref false in
+  let save_checkpoint () =
+    match checkpoint with
+    | Some path -> Rfid_robust.Checkpoint.save ~path (Rfid_core.Engine.snapshot engine)
+    | None -> ()
+  in
+  (try
+     List.iter
+       (fun obs ->
+         (match stop_after with
+         | Some e when Rfid_core.Engine.epoch engine >= e -> raise Exit
+         | Some _ | None -> ());
+         let before = Rfid_core.Engine.epoch engine in
+         match Rfid_robust.Ingest.step_engine guard engine obs with
+         | Ok evs ->
+             events := List.rev_append evs !events;
+             if Rfid_core.Engine.epoch engine > before then begin
+               incr admitted;
+               if checkpoint_every > 0 && !admitted mod checkpoint_every = 0 then
+                 save_checkpoint ()
+             end
+         | Error (_, msg) ->
+             prerr_endline msg;
+             raise Exit)
+       observations
+   with Exit -> stopped := true);
+  if !stopped then save_checkpoint ()
+  else begin
+    events := List.rev_append (Rfid_core.Engine.flush engine) !events;
+    save_checkpoint ()
+  end;
+  (List.rev !events, !stopped)
+
+let infer objects rounds read_rate seed variant particles domains ff on_ooo checkpoint
+    checkpoint_every resume stop_after =
   let wh, sensor, trace = build_scenario ~objects ~rounds ~read_rate ~seed in
+  let world = wh.Rfid_sim.Warehouse.world in
   let params = fitted_params sensor in
   let config =
     Rfid_core.Config.create ~variant ~num_object_particles:particles
-      ~num_domains:domains ()
+      ~num_domains:domains
+      ~drop_out_of_order:(on_ooo = Rfid_robust.Ingest.Drop)
+      ()
+  in
+  let faults = faults_of_flags ff in
+  let observations = Trace.observations trace in
+  let observations =
+    if Rfid_sim.Faults.is_none faults then observations
+    else begin
+      Format.printf "# injecting faults: %a@." Rfid_sim.Faults.pp faults;
+      Rfid_sim.Faults.apply faults ~seed:ff.ff_seed observations
+    end
+  in
+  let engine =
+    match resume with
+    | Some path ->
+        let snapshot = Rfid_robust.Checkpoint.load_exn ~path in
+        Format.printf "# resuming from %s at epoch %d@." path
+          (Rfid_core.Engine.snapshot_epoch snapshot);
+        Rfid_core.Engine.restore ~world ~params ~config snapshot
+    | None ->
+        Rfid_core.Engine.create ~world ~params ~config
+          ~init_reader:(Rfid_sim.Warehouse.reader_start wh)
+          ~num_objects:objects ~seed ()
+  in
+  let observations =
+    (* After a resume the engine has already consumed everything up to
+       the snapshot epoch; feed it only the remainder. *)
+    match resume with
+    | None -> observations
+    | Some _ ->
+        let e0 = Rfid_core.Engine.epoch engine in
+        List.filter (fun (o : Types.observation) -> o.Types.o_epoch > e0) observations
+  in
+  let guard =
+    Rfid_robust.Ingest.create
+      ~policies:
+        { Rfid_robust.Ingest.default_policies with
+          Rfid_robust.Ingest.on_out_of_order_epoch = on_ooo }
+      ~bounds:(World.bounding_box world) ~max_object_id:objects ()
   in
   let t0 = Unix.gettimeofday () in
-  let r = Rfid_eval.Runner.run_engine ~params ~config ~seed trace in
-  ignore wh;
-  List.iter (fun ev -> Format.printf "%a@." Rfid_core.Event.pp ev)
-    r.Rfid_eval.Runner.events;
-  Format.printf "@.%a | %.3f ms/reading | %.1fs total@." Rfid_eval.Metrics.pp_error
-    r.Rfid_eval.Runner.error r.Rfid_eval.Runner.ms_per_reading
-    (Unix.gettimeofday () -. t0)
+  let events, stopped =
+    guarded_run ~guard ~engine ~checkpoint ~checkpoint_every ~stop_after observations
+  in
+  List.iter (fun ev -> Format.printf "%a@." Rfid_core.Event.pp ev) events;
+  let stats = Rfid_core.Engine.stats engine in
+  Format.printf "@.ingest: %a@." Rfid_robust.Ingest.pp_counters guard;
+  Format.printf "engine: %a@." Rfid_core.Engine.pp_stats stats;
+  if stopped then
+    Format.printf "stopped early at epoch %d%s@."
+      (Rfid_core.Engine.epoch engine)
+      (match checkpoint with
+      | Some path -> Printf.sprintf " (checkpoint saved to %s)" path
+      | None -> "")
+  else if resume = None && Rfid_sim.Faults.is_none faults then begin
+    let error = Rfid_eval.Metrics.inference_error events trace in
+    Format.printf "%a | %.1fs total@." Rfid_eval.Metrics.pp_error error
+      (Unix.gettimeofday () -. t0)
+  end
 
 let infer_cmd =
-  let doc = "Simulate, clean the streams with the inference engine, print events." in
+  let doc =
+    "Simulate, clean the streams with the inference engine, print events. \
+     Supports fault injection ($(b,--fault-)* flags), checkpointing \
+     ($(b,--checkpoint), $(b,--checkpoint-every)) and resuming \
+     ($(b,--resume)) — a resumed run reproduces the uninterrupted event \
+     stream bit-identically."
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Write engine checkpoints to FILE.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"Checkpoint every K admitted epochs (0 = only at exit).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "resume" ] ~docv:"FILE" ~doc:"Resume from a checkpoint file.")
+  in
+  let stop_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after" ] ~docv:"E"
+          ~doc:"Stop (and checkpoint) once the engine reaches epoch E.")
+  in
   Cmd.v
     (Cmd.info "infer" ~doc)
     Term.(
       const infer $ objects_arg $ rounds_arg $ read_rate_arg $ seed_arg $ variant_arg
-      $ particles_arg $ domains_arg)
+      $ particles_arg $ domains_arg $ fault_flags_term $ on_ooo_arg $ checkpoint
+      $ checkpoint_every $ resume $ stop_after)
 
 (* ------------------------------------------------------------------ *)
 (* calibrate                                                           *)
@@ -188,10 +389,20 @@ let calibrate_cmd =
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
 
-let replay file objects variant particles seed domains =
+let replay file objects variant particles seed domains lenient =
   let ic = open_in file in
   let observations =
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Trace_io.read_observations ic)
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        if lenient then begin
+          let observations, errors = Trace_io.read_observations_lenient ic in
+          List.iter
+            (fun (line, msg) -> Printf.eprintf "%s:%d: skipped: %s\n" file line msg)
+            errors;
+          observations
+        end
+        else Trace_io.read_observations ic)
   in
   Printf.printf "# replaying %d observations from %s\n%!" (List.length observations) file;
   (* The stream file carries no world description; reconstruct the
@@ -214,7 +425,27 @@ let replay file objects variant particles seed domains =
     Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world ~params ~config
       ~init_reader ~num_objects:objects ~seed ()
   in
-  let events = Rfid_core.Engine.run engine observations in
+  let events =
+    if lenient then begin
+      (* A lenient replay should survive whatever the file contains:
+         guard the stream and drop (rather than halt on) bad epochs. *)
+      let guard =
+        Rfid_robust.Ingest.create
+          ~policies:
+            { Rfid_robust.Ingest.default_policies with
+              Rfid_robust.Ingest.on_out_of_order_epoch = Rfid_robust.Ingest.Drop }
+          ~max_object_id:objects ()
+      in
+      let events =
+        match Rfid_robust.Ingest.run_engine guard engine observations with
+        | Ok events -> events
+        | Error (_, msg) -> failwith msg
+      in
+      Format.eprintf "# ingest: %a@." Rfid_robust.Ingest.pp_counters guard;
+      events
+    end
+    else Rfid_core.Engine.run engine observations
+  in
   Trace_io.write_events stdout
     (List.map
        (fun (ev : Rfid_core.Event.t) ->
@@ -232,11 +463,20 @@ let replay_cmd =
       & opt (some file) None
       & info [ "in"; "i" ] ~docv:"FILE" ~doc:"Observation stream to replay.")
   in
+  let lenient =
+    Arg.(
+      value & flag
+      & info [ "lenient" ]
+          ~doc:
+            "Skip malformed lines (reported to stderr with line numbers) and \
+             guard the stream against epoch/tag/fix faults instead of aborting \
+             on the first bad record.")
+  in
   Cmd.v
     (Cmd.info "replay" ~doc)
     Term.(
       const replay $ file $ objects_arg $ variant_arg $ particles_arg $ seed_arg
-      $ domains_arg)
+      $ domains_arg $ lenient)
 
 (* ------------------------------------------------------------------ *)
 (* lab                                                                 *)

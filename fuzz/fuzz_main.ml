@@ -1,0 +1,166 @@
+(* Randomized robustness fuzzer: no corrupted input — textual or
+   structural — may make an exception escape the lenient reader or the
+   ingest-guarded engine.  Every iteration logs its seed before running,
+   so any failure reproduces with `fuzz_main.exe <iters> <base-seed>`.
+
+   Two layers per iteration:
+     1. text fuzz   — serialize a clean stream, mutate the bytes
+        (flips, truncation, garbage lines), parse leniently;
+     2. stream fuzz — corrupt the observation stream itself
+        (Faults.apply plus negative epochs and huge tag ids), then run
+        it through the ingest guard into a real engine under a rotating
+        policy set.  [Halt] policies may stop the run — as an [Error]
+        value, never an exception. *)
+
+open Rfid_model
+
+let usage () =
+  prerr_endline "usage: fuzz_main.exe [ITERATIONS] [BASE_SEED]";
+  exit 2
+
+let garbage_lines =
+  [|
+    "not,a,number,at,all";
+    "1,2,3";
+    "-5,0.0,0.0,0.0,obj:1";
+    "3,nan,0.0,0.0,";
+    "4,0.0,inf,0.0,obj:-2";
+    "9999999999999999999999,0,0,0,";
+    "5,0.0,0.0,0.0,obj:;shelf:x";
+    ",,,,";
+    "\xff\xfe\x00garbage";
+  |]
+
+let mutate_text rng text =
+  let buf = Buffer.create (String.length text) in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         (* Per line: maybe drop, truncate, corrupt a byte, or inject a
+            garbage line before it. *)
+         if Rfid_prob.Rng.bernoulli rng ~p:0.05 then
+           Buffer.add_string buf
+             (garbage_lines.(Rfid_prob.Rng.int rng (Array.length garbage_lines)) ^ "\n");
+         if not (Rfid_prob.Rng.bernoulli rng ~p:0.05) then begin
+           let line =
+             if Rfid_prob.Rng.bernoulli rng ~p:0.1 && String.length line > 2 then
+               String.sub line 0 (Rfid_prob.Rng.int rng (String.length line))
+             else if Rfid_prob.Rng.bernoulli rng ~p:0.1 && String.length line > 0 then begin
+               let b = Bytes.of_string line in
+               Bytes.set b
+                 (Rfid_prob.Rng.int rng (Bytes.length b))
+                 (Char.chr (Rfid_prob.Rng.int rng 256));
+               Bytes.to_string b
+             end
+             else line
+           in
+           Buffer.add_string buf line;
+           Buffer.add_string buf (if Rfid_prob.Rng.bernoulli rng ~p:0.2 then "\r\n" else "\n")
+         end);
+  Buffer.contents buf
+
+let mutate_stream rng observations =
+  List.map
+    (fun (o : Types.observation) ->
+      let o =
+        if Rfid_prob.Rng.bernoulli rng ~p:0.03 then
+          { o with Types.o_epoch = -1 - Rfid_prob.Rng.int rng 100 }
+        else o
+      in
+      if Rfid_prob.Rng.bernoulli rng ~p:0.03 then
+        {
+          o with
+          Types.o_read_tags =
+            Types.Object_tag (Rfid_prob.Rng.int rng 1000 - 500)
+            :: o.Types.o_read_tags;
+        }
+      else o)
+    observations
+
+let policy_sets =
+  [|
+    Rfid_robust.Ingest.default_policies;
+    Rfid_robust.Ingest.uniform_policies Rfid_robust.Ingest.Drop;
+    Rfid_robust.Ingest.uniform_policies Rfid_robust.Ingest.Clamp;
+    Rfid_robust.Ingest.uniform_policies Rfid_robust.Ingest.Halt;
+    {
+      Rfid_robust.Ingest.default_policies with
+      Rfid_robust.Ingest.on_out_of_order_epoch = Rfid_robust.Ingest.Drop;
+    };
+  |]
+
+let () =
+  let iters, base_seed =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> (25, 20260806)
+    | [ _; n ] -> ( (try int_of_string n with _ -> usage ()), 20260806)
+    | [ _; n; s ] -> (
+        try (int_of_string n, int_of_string s) with _ -> usage ())
+    | _ -> usage ()
+  in
+  Printf.printf "fuzz: %d iterations, base seed %d\n%!" iters base_seed;
+  (* One small scenario reused across iterations; the corruption varies. *)
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:6 () in
+  let sensor = Rfid_sim.Truth_sensor.cone () in
+  let trace =
+    Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+      ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+      ~start:(Rfid_sim.Warehouse.reader_start wh)
+      ~path:(Rfid_sim.Trace_gen.straight_pass wh ~rounds:1)
+      ~config:(Rfid_sim.Trace_gen.default_config ~sensor ())
+      (Rfid_prob.Rng.create ~seed:base_seed)
+  in
+  let clean = Trace.observations trace in
+  let clean_text = Trace_io.observations_to_string clean in
+  let failures = ref 0 in
+  for iter = 0 to iters - 1 do
+    let seed = base_seed + iter in
+    Printf.printf "  iter %3d seed %d\n%!" iter seed;
+    let rng = Rfid_prob.Rng.create ~seed in
+    (try
+       (* Layer 1: textual corruption through the lenient reader. *)
+       let text = mutate_text rng clean_text in
+       let parsed, errors = Trace_io.observations_of_string_lenient text in
+       ignore (List.length parsed + List.length errors);
+       (* Layer 2: structural corruption through guard + engine. *)
+       let spec =
+         Rfid_sim.Faults.make
+           ~drop_prob:(Rfid_prob.Rng.uniform rng ~lo:0. ~hi:0.3)
+           ~duplicate_prob:(Rfid_prob.Rng.uniform rng ~lo:0. ~hi:0.3)
+           ~nan_fix_prob:(Rfid_prob.Rng.uniform rng ~lo:0. ~hi:0.3)
+           ~spurious_tag_prob:(Rfid_prob.Rng.uniform rng ~lo:0. ~hi:0.3)
+           ~reorder_prob:(Rfid_prob.Rng.uniform rng ~lo:0. ~hi:0.3)
+           ?outage:
+             (if Rfid_prob.Rng.bool rng then
+                Some (Rfid_prob.Rng.int rng 50, Rfid_prob.Rng.int rng 60)
+              else None)
+           ()
+       in
+       let corrupted = mutate_stream rng (Rfid_sim.Faults.apply spec ~seed parsed) in
+       let config =
+         Rfid_core.Config.create ~variant:Rfid_core.Config.Factorized_indexed
+           ~num_reader_particles:30 ~num_object_particles:30 ()
+       in
+       let engine =
+         Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world
+           ~params:Params.default ~config
+           ~init_reader:(Rfid_sim.Warehouse.reader_start wh)
+           ~num_objects:6 ~seed ()
+       in
+       let guard =
+         Rfid_robust.Ingest.create
+           ~policies:(policy_sets.(iter mod Array.length policy_sets))
+           ~bounds:(World.bounding_box wh.Rfid_sim.Warehouse.world)
+           ~max_object_id:6 ~max_gap:50 ()
+       in
+       match Rfid_robust.Ingest.run_engine guard engine corrupted with
+       | Ok events -> ignore (List.length events)
+       | Error (_fault, _msg) -> () (* a Halt policy stopping is fine *)
+     with exn ->
+       incr failures;
+       Printf.printf "  FAILURE at seed %d: %s\n%!" seed (Printexc.to_string exn))
+  done;
+  if !failures > 0 then begin
+    Printf.printf "fuzz: %d/%d iterations raised\n%!" !failures iters;
+    exit 1
+  end
+  else Printf.printf "fuzz: ok (%d iterations, no escaping exceptions)\n%!" iters

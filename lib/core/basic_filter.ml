@@ -21,6 +21,8 @@ type t = {
   last_read : int array;  (* -1 = never *)
   last_read_reader : Vec3.t array;
   mutable newly_seen : int list;
+  mutable consecutive_degraded : int;
+  mutable degraded_total : int;
 }
 
 let create ~world ~params ~config ~init_reader ~num_objects ~rng =
@@ -55,6 +57,8 @@ let create ~world ~params ~config ~init_reader ~num_objects ~rng =
     last_read = Array.make num_objects (-1);
     last_read_reader = Array.make num_objects Vec3.zero;
     newly_seen = [];
+    consecutive_degraded = 0;
+    degraded_total = 0;
   }
 
 let reinit_object t p obj =
@@ -187,7 +191,115 @@ let step t (obs : Types.observation) =
     end
   done;
   t.last_reported <- Some reported;
+  t.consecutive_degraded <- 0;
   t.epoch <- e
+
+(* Degraded epoch: no usable location fix, no trusted readings. The
+   reader belief advances by the motion model alone with inflated
+   proposal noise (dead reckoning); weights are untouched because there
+   is no evidence to score against. Once the outage outlasts
+   [degraded_widen_after], object hypotheses start diffusing too: the
+   filter's knowledge of where things are genuinely decays. *)
+let dead_reckon t ~epoch:e =
+  if e <= t.epoch then
+    invalid_arg "Basic_filter.dead_reckon: observations out of epoch order";
+  t.newly_seen <- [];
+  let motion = t.params.Params.motion in
+  let scale = t.config.Config.degraded_noise_scale in
+  let s = motion.Motion_model.sigma in
+  let sigma = Vec3.make (s.Vec3.x *. scale) (s.Vec3.y *. scale) (s.Vec3.z *. scale) in
+  t.consecutive_degraded <- t.consecutive_degraded + 1;
+  t.degraded_total <- t.degraded_total + 1;
+  let widen =
+    t.consecutive_degraded >= t.config.Config.degraded_widen_after
+    && t.config.Config.degraded_widen_sigma > 0.
+  in
+  let wsigma =
+    let w = t.config.Config.degraded_widen_sigma in
+    Vec3.make w w 0.
+  in
+  Array.iter
+    (fun p ->
+      let loc =
+        Common.jitter (Vec3.add p.reader.Reader_state.loc motion.Motion_model.velocity)
+          ~sigma t.rng
+      in
+      let heading =
+        Common.propose_heading t.config.Config.heading_model ~motion ~epoch:e
+          ~current:p.reader.Reader_state.heading t.rng
+      in
+      p.reader <- Reader_state.make ~loc ~heading;
+      if widen then
+        for i = 0 to t.num_objects - 1 do
+          if t.last_read.(i) >= 0 then begin
+            let l = Common.jitter p.locs.(i) ~sigma:wsigma t.rng in
+            p.locs.(i) <-
+              (if World.contains t.world l then l else World.clamp_to_shelves t.world l)
+          end
+        done)
+    t.particles;
+  t.epoch <- e
+
+let degraded_epochs t = t.degraded_total
+let consecutive_degraded t = t.consecutive_degraded
+
+(* Checkpointable state: everything [step]/[dead_reckon] read or write,
+   as plain data. Static structure (world, params, config, sensor
+   cache) is reconstructed by [restore] from the same creation inputs. *)
+type snapshot = {
+  s_rng : int64;
+  s_num_objects : int;
+  s_particles : (Reader_state.t * Vec3.t array * float) array;
+  s_last_reported : Vec3.t option;
+  s_epoch : int;
+  s_last_read : int array;
+  s_last_read_reader : Vec3.t array;
+  s_newly_seen : int list;
+  s_consecutive_degraded : int;
+  s_degraded_total : int;
+}
+
+let snapshot t =
+  {
+    s_rng = Rfid_prob.Rng.state t.rng;
+    s_num_objects = t.num_objects;
+    s_particles =
+      Array.map (fun p -> (p.reader, Array.copy p.locs, p.log_w)) t.particles;
+    s_last_reported = t.last_reported;
+    s_epoch = t.epoch;
+    s_last_read = Array.copy t.last_read;
+    s_last_read_reader = Array.copy t.last_read_reader;
+    s_newly_seen = t.newly_seen;
+    s_consecutive_degraded = t.consecutive_degraded;
+    s_degraded_total = t.degraded_total;
+  }
+
+let snapshot_epoch s = s.s_epoch
+
+let restore ~world ~params ~config s =
+  {
+    world;
+    params;
+    config;
+    rng = Rfid_prob.Rng.of_state s.s_rng;
+    num_objects = s.s_num_objects;
+    particles =
+      Array.map
+        (fun (reader, locs, log_w) -> { reader; locs = Array.copy locs; log_w })
+        s.s_particles;
+    cache =
+      Common.Sensor_cache.create ~threshold:config.Config.detection_threshold
+        ~max_range:config.Config.max_sensing_range
+        params.Params.sensor;
+    shelf_tags = Array.of_list (World.shelf_tags world);
+    last_reported = s.s_last_reported;
+    epoch = s.s_epoch;
+    last_read = Array.copy s.s_last_read;
+    last_read_reader = Array.copy s.s_last_read_reader;
+    newly_seen = s.s_newly_seen;
+    consecutive_degraded = s.s_consecutive_degraded;
+    degraded_total = s.s_degraded_total;
+  }
 
 let weights t =
   Rfid_prob.Stats.normalize_log_weights (Array.map (fun p -> p.log_w) t.particles)

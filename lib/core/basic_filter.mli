@@ -47,3 +47,43 @@ val known_objects : t -> int list
 
 val epoch : t -> Rfid_model.Types.epoch
 (** Epoch of the last processed observation; -1 initially. *)
+
+val dead_reckon : t -> epoch:Rfid_model.Types.epoch -> unit
+(** Advance one epoch {e without} evidence (the location fix was missing
+    or rejected by the ingest guard): reader hypotheses move by the
+    motion model with proposal noise inflated by
+    [config.degraded_noise_scale]; weights are unchanged. After
+    [config.degraded_widen_after] consecutive dead-reckoned epochs,
+    object hypotheses are additionally jittered by
+    [config.degraded_widen_sigma] per epoch (clamped to shelves), so
+    posterior spread honestly reflects the outage.
+    @raise Invalid_argument if [epoch] is not beyond the current one. *)
+
+val degraded_epochs : t -> int
+(** Total dead-reckoned epochs so far. *)
+
+val consecutive_degraded : t -> int
+(** Length of the current dead-reckoning run; 0 after any normal
+    {!step}. *)
+
+(** {1 Checkpointing} *)
+
+type snapshot
+(** Complete dynamic filter state as plain (marshalable) data. *)
+
+val snapshot : t -> snapshot
+(** Deep copy of the filter's dynamic state; the filter can keep
+    running afterwards. *)
+
+val snapshot_epoch : snapshot -> int
+(** Epoch at which the snapshot was taken (-1 for a fresh filter). *)
+
+val restore :
+  world:Rfid_model.World.t ->
+  params:Rfid_model.Params.t ->
+  config:Config.t ->
+  snapshot ->
+  t
+(** Rebuild a filter from a snapshot plus the same static inputs it was
+    created with. The restored filter's future output is bit-identical
+    to the original's. *)

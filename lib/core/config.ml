@@ -29,6 +29,10 @@ type t = {
   proposal_noise_override : Rfid_geom.Vec3.t option;
   num_domains : int;
   shelf_miss_weight : float;
+  drop_out_of_order : bool;
+  degraded_widen_after : int;
+  degraded_noise_scale : float;
+  degraded_widen_sigma : float;
 }
 
 let create ?(variant = Factorized_indexed) ?(num_reader_particles = 100)
@@ -38,7 +42,9 @@ let create ?(variant = Factorized_indexed) ?(num_reader_particles = 100)
     ?(reinit_near = 1.0) ?(reinit_far = 6.0) ?(out_of_scope_after = 15)
     ?(report_delay = 60) ?(compress_after = 20) ?(decompress_particles = 10)
     ?(compress_max_nll = None) ?(index_min_displacement = 0.5)
-    ?(detection_threshold = 0.02) ?(case4_margin = 1.0) ?(max_sensing_range = 12.) ?(shelf_miss_weight = 0.25) ?(resample_scheme = Systematic) ?(proposal_noise_override = None) ?(num_domains = 1) () =
+    ?(detection_threshold = 0.02) ?(case4_margin = 1.0) ?(max_sensing_range = 12.) ?(shelf_miss_weight = 0.25) ?(resample_scheme = Systematic) ?(proposal_noise_override = None) ?(num_domains = 1)
+    ?(drop_out_of_order = false) ?(degraded_widen_after = 10)
+    ?(degraded_noise_scale = 3.0) ?(degraded_widen_sigma = 0.25) () =
   if num_reader_particles <= 0 || num_object_particles <= 0 then
     invalid_arg "Config.create: particle counts must be positive";
   if not (resample_ratio > 0. && resample_ratio <= 1.) then
@@ -60,6 +66,12 @@ let create ?(variant = Factorized_indexed) ?(num_reader_particles = 100)
   if not (detection_threshold > 0. && detection_threshold < 1.) then
     invalid_arg "Config.create: detection_threshold must be in (0, 1)";
   if num_domains < 1 then invalid_arg "Config.create: num_domains must be >= 1";
+  if degraded_widen_after <= 0 then
+    invalid_arg "Config.create: degraded_widen_after must be positive";
+  if degraded_noise_scale < 1. then
+    invalid_arg "Config.create: degraded_noise_scale must be >= 1";
+  if degraded_widen_sigma < 0. then
+    invalid_arg "Config.create: degraded_widen_sigma must be non-negative";
   {
     variant;
     num_reader_particles;
@@ -83,6 +95,10 @@ let create ?(variant = Factorized_indexed) ?(num_reader_particles = 100)
     resample_scheme;
     proposal_noise_override;
     num_domains;
+    drop_out_of_order;
+    degraded_widen_after;
+    degraded_noise_scale;
+    degraded_widen_sigma;
   }
 
 let default = create ()

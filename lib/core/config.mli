@@ -102,6 +102,26 @@ type t = {
           logistic deviates most from the true region, so full-strength
           miss evidence lets model mismatch drag the reader posterior.
           1 = the literal Eq. 5; default 0.25. *)
+  drop_out_of_order : bool;
+      (** when [true], {!Engine.step} silently drops (and counts) an
+          observation whose epoch is strictly below the current one
+          instead of raising — the [Drop] half of the ingest policy for
+          reordered streams. Equal-epoch duplicates are always skipped
+          and counted, never raised. Default [false] ([Halt]). *)
+  degraded_widen_after : int;
+      (** consecutive degraded (dead-reckoned) epochs after which object
+          posteriors start widening each further degraded epoch,
+          acknowledging that a long positioning outage erodes what the
+          filter knows about object locations (default 10) *)
+  degraded_noise_scale : float;
+      (** multiplier (>= 1) on the reader proposal noise during
+          dead-reckoned epochs: with no location fix to anchor the
+          proposal, the reader belief must spread faster than the
+          motion model's nominal sigma (default 3.0) *)
+  degraded_widen_sigma : float;
+      (** per-axis std-dev (ft) of the jitter applied to object
+          particles on each widening epoch; compressed beliefs inflate
+          their covariance by the equivalent amount (default 0.25) *)
 }
 
 val default : t
@@ -132,6 +152,10 @@ val create :
   ?resample_scheme:resample_scheme ->
   ?proposal_noise_override:Rfid_geom.Vec3.t option ->
   ?num_domains:int ->
+  ?drop_out_of_order:bool ->
+  ?degraded_widen_after:int ->
+  ?degraded_noise_scale:float ->
+  ?degraded_widen_sigma:float ->
   unit ->
   t
 (** {!default} with overrides. @raise Invalid_argument on non-positive

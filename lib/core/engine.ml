@@ -2,6 +2,13 @@ type filter =
   | Basic of Basic_filter.t * int (* declared object count *)
   | Factored of Factored_filter.t
 
+type stats = {
+  duplicate_epochs_skipped : int;
+  out_of_order_dropped : int;
+  degraded_epochs : int;
+  degraded_events : int;
+}
+
 type t = {
   filter : filter;
   cfg : Config.t;
@@ -9,6 +16,10 @@ type t = {
      pushed in nondecreasing order because the delay is constant. *)
   pending : (int * int) Queue.t;
   scheduled : (int, unit) Hashtbl.t;  (* objects with a pending report *)
+  mutable dup_skipped : int;
+  mutable ooo_dropped : int;
+  mutable degraded_run : int;  (* consecutive degraded epochs, 0 after a normal step *)
+  mutable degraded_event_count : int;
 }
 
 let create ~world ~params ~config ~init_reader ?num_objects ?(seed = 0) () =
@@ -23,7 +34,16 @@ let create ~world ~params ~config ~init_reader ?num_objects ?(seed = 0) () =
     | Config.Factorized | Config.Factorized_indexed | Config.Factorized_compressed ->
         Factored (Factored_filter.create ~world ~params ~config ~init_reader ~rng)
   in
-  { filter; cfg = config; pending = Queue.create (); scheduled = Hashtbl.create 64 }
+  {
+    filter;
+    cfg = config;
+    pending = Queue.create ();
+    scheduled = Hashtbl.create 64;
+    dup_skipped = 0;
+    ooo_dropped = 0;
+    degraded_run = 0;
+    degraded_event_count = 0;
+  }
 
 let filter_step t obs =
   match t.filter with
@@ -62,43 +82,108 @@ let objects_processed_last_step t =
 
 let config t = t.cfg
 
-let emit t ~at obj =
+let stats t =
+  {
+    duplicate_epochs_skipped = t.dup_skipped;
+    out_of_order_dropped = t.ooo_dropped;
+    degraded_epochs =
+      (match t.filter with
+      | Basic (f, _) -> Basic_filter.degraded_epochs f
+      | Factored f -> Factored_filter.degraded_epochs f);
+    degraded_events = t.degraded_event_count;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[duplicates skipped: %d, out-of-order dropped: %d, degraded epochs: %d, \
+     degraded events: %d@]"
+    s.duplicate_epochs_skipped s.out_of_order_dropped s.degraded_epochs
+    s.degraded_events
+
+let emit t ~at ~degraded obj =
   Hashtbl.remove t.scheduled obj;
+  if degraded then t.degraded_event_count <- t.degraded_event_count + 1;
   match estimate t obj with
-  | Some (loc, cov) -> Some (Event.make ~epoch:at ~obj ~loc ~cov ())
+  | Some (loc, cov) -> Some (Event.make ~epoch:at ~obj ~loc ~cov ~degraded ())
   | None -> None
 
-let step t obs =
-  filter_step t obs;
-  let e = obs.Rfid_model.Types.o_epoch in
-  (* Schedule a report for each object that just entered scope, unless
-     one is already pending from this encounter. *)
-  List.iter
-    (fun obj ->
-      if not (Hashtbl.mem t.scheduled obj) then begin
-        Hashtbl.replace t.scheduled obj ();
-        Queue.push (e + t.cfg.Config.report_delay, obj) t.pending
-      end)
-    (newly_seen t);
+let drain_due t ~at ~degraded =
   let events = ref [] in
   let rec drain () =
     match Queue.peek_opt t.pending with
-    | Some (due, obj) when due <= e ->
+    | Some (due, obj) when due <= at ->
         ignore (Queue.pop t.pending);
-        (match emit t ~at:e obj with Some ev -> events := ev :: !events | None -> ());
+        (match emit t ~at ~degraded obj with
+        | Some ev -> events := ev :: !events
+        | None -> ());
         drain ()
     | Some _ | None -> ()
   in
   drain ();
   List.rev !events
 
+(* Epoch admission shared by [step] and [step_degraded]: [Ok] to
+   proceed, [Skip] for counted duplicates / policy-dropped reorderings.
+   A strictly decreasing epoch raises unless [config.drop_out_of_order]
+   says to count and drop it. *)
+type admission = Admit | Skip
+
+let admit_epoch t e ~what =
+  let cur = epoch t in
+  if e > cur then Admit
+  else if e = cur then begin
+    t.dup_skipped <- t.dup_skipped + 1;
+    Skip
+  end
+  else if t.cfg.Config.drop_out_of_order then begin
+    t.ooo_dropped <- t.ooo_dropped + 1;
+    Skip
+  end
+  else
+    invalid_arg
+      (Printf.sprintf "Engine.%s: observation epoch %d precedes current epoch %d" what e
+         cur)
+
+let step t obs =
+  let e = obs.Rfid_model.Types.o_epoch in
+  match admit_epoch t e ~what:"step" with
+  | Skip -> []
+  | Admit ->
+      t.degraded_run <- 0;
+      filter_step t obs;
+      (* Schedule a report for each object that just entered scope, unless
+         one is already pending from this encounter. *)
+      List.iter
+        (fun obj ->
+          if not (Hashtbl.mem t.scheduled obj) then begin
+            Hashtbl.replace t.scheduled obj ();
+            Queue.push (e + t.cfg.Config.report_delay, obj) t.pending
+          end)
+        (newly_seen t);
+      drain_due t ~at:e ~degraded:false
+
+let step_degraded t ~epoch:e =
+  match admit_epoch t e ~what:"step_degraded" with
+  | Skip -> []
+  | Admit ->
+      (match t.filter with
+      | Basic (f, _) -> Basic_filter.dead_reckon f ~epoch:e
+      | Factored f -> Factored_filter.dead_reckon f ~epoch:e);
+      t.degraded_run <- t.degraded_run + 1;
+      (* Reports falling due mid-outage still honor the delay policy;
+         their events are flagged so consumers can discount them. *)
+      drain_due t ~at:e ~degraded:true
+
 let flush t =
   let e = epoch t in
+  let degraded = t.degraded_run > 0 in
   let events = ref [] in
   Queue.iter
     (fun (_, obj) ->
       if Hashtbl.mem t.scheduled obj then
-        match emit t ~at:e obj with Some ev -> events := ev :: !events | None -> ())
+        match emit t ~at:e ~degraded obj with
+        | Some ev -> events := ev :: !events
+        | None -> ())
     t.pending;
   Queue.clear t.pending;
   Hashtbl.reset t.scheduled;
@@ -107,3 +192,67 @@ let flush t =
 let run t stream =
   let events = List.concat_map (fun obs -> step t obs) stream in
   events @ flush t
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing *)
+
+type filter_snapshot =
+  | Basic_snapshot of Basic_filter.snapshot * int
+  | Factored_snapshot of Factored_filter.snapshot
+
+type snapshot = {
+  es_filter : filter_snapshot;
+  es_pending : (int * int) list;
+  es_scheduled : int list;
+  es_dup_skipped : int;
+  es_ooo_dropped : int;
+  es_degraded_run : int;
+  es_degraded_event_count : int;
+}
+
+let snapshot t =
+  {
+    es_filter =
+      (match t.filter with
+      | Basic (f, n) -> Basic_snapshot (Basic_filter.snapshot f, n)
+      | Factored f -> Factored_snapshot (Factored_filter.snapshot f));
+    es_pending = List.of_seq (Queue.to_seq t.pending);
+    es_scheduled =
+      Hashtbl.fold (fun obj () acc -> obj :: acc) t.scheduled []
+      |> List.sort Int.compare;
+    es_dup_skipped = t.dup_skipped;
+    es_ooo_dropped = t.ooo_dropped;
+    es_degraded_run = t.degraded_run;
+    es_degraded_event_count = t.degraded_event_count;
+  }
+
+let snapshot_epoch s =
+  match s.es_filter with
+  | Basic_snapshot (fs, _) -> Basic_filter.snapshot_epoch fs
+  | Factored_snapshot fs -> Factored_filter.snapshot_epoch fs
+
+let restore ~world ~params ~config s =
+  let filter =
+    match (s.es_filter, config.Config.variant) with
+    | Basic_snapshot (fs, n), Config.Unfactorized ->
+        Basic (Basic_filter.restore ~world ~params ~config fs, n)
+    | Factored_snapshot fs, (Config.Factorized | Config.Factorized_indexed | Config.Factorized_compressed)
+      ->
+        Factored (Factored_filter.restore ~world ~params ~config fs)
+    | Basic_snapshot _, _ | Factored_snapshot _, _ ->
+        invalid_arg "Engine.restore: snapshot variant disagrees with config.variant"
+  in
+  let pending = Queue.create () in
+  List.iter (fun item -> Queue.push item pending) s.es_pending;
+  let scheduled = Hashtbl.create 64 in
+  List.iter (fun obj -> Hashtbl.replace scheduled obj ()) s.es_scheduled;
+  {
+    filter;
+    cfg = config;
+    pending;
+    scheduled;
+    dup_skipped = s.es_dup_skipped;
+    ooo_dropped = s.es_ooo_dropped;
+    degraded_run = s.es_degraded_run;
+    degraded_event_count = s.es_degraded_event_count;
+  }

@@ -8,9 +8,30 @@
     object was read"), so downstream queries see one stable location per
     object per encounter instead of a fluctuating estimate. [flush]
     emits events for encounters still pending at stream end (e.g. "upon
-    completion of a full area scan"). *)
+    completion of a full area scan").
+
+    Real deployments are not clean: epochs duplicate, arrive out of
+    order, or lose their location fix. The engine therefore (a) skips
+    and counts equal-epoch duplicates instead of raising, (b) drops or
+    halts on strictly decreasing epochs per
+    [config.drop_out_of_order], and (c) offers {!step_degraded} for
+    epochs whose location fix was rejected upstream — the filter
+    dead-reckons through them and the resulting events carry a
+    [degraded] flag. {!snapshot}/{!restore} serialize the complete
+    engine state for checkpoint/resume (see [Rfid_robust.Checkpoint]);
+    a restored engine's future event stream is bit-identical to the
+    uninterrupted run's. *)
 
 type t
+
+type stats = {
+  duplicate_epochs_skipped : int;
+      (** observations whose epoch equalled the current one *)
+  out_of_order_dropped : int;
+      (** observations dropped under [config.drop_out_of_order] *)
+  degraded_epochs : int;  (** epochs processed by {!step_degraded} *)
+  degraded_events : int;  (** events emitted with the degraded flag *)
+}
 
 val create :
   world:Rfid_model.World.t ->
@@ -29,14 +50,26 @@ val create :
 
 val step : t -> Rfid_model.Types.observation -> Event.t list
 (** Feed one epoch; returns the events whose report delay expired at
-    this epoch. @raise Invalid_argument on out-of-order epochs. *)
+    this epoch. An observation at the current epoch is skipped and
+    counted (see {!stats}); one at an earlier epoch is dropped and
+    counted when [config.drop_out_of_order] is set.
+    @raise Invalid_argument on a strictly decreasing epoch under the
+    default (halt) policy. *)
+
+val step_degraded : t -> epoch:Rfid_model.Types.epoch -> Event.t list
+(** Advance one epoch with {e no usable evidence} — the location fix
+    was missing or rejected by the ingest guard. The underlying filter
+    dead-reckons (see [Factored_filter.dead_reckon]); reports falling
+    due during the outage are still emitted, flagged degraded. Epoch
+    ordering is policed exactly as in {!step}. *)
 
 val run : t -> Rfid_model.Types.observation list -> Event.t list
 (** [step] over a whole stream, then {!flush}; returns all events in
     emission order. *)
 
 val flush : t -> Event.t list
-(** Emit events for all pending encounters (end-of-scan policy). *)
+(** Emit events for all pending encounters (end-of-scan policy). Events
+    are flagged degraded when the engine is mid-outage. *)
 
 val estimate : t -> int -> (Rfid_geom.Vec3.t * Rfid_prob.Linalg.mat) option
 (** Current posterior mean/covariance of an object's location. *)
@@ -50,3 +83,35 @@ val objects_processed_last_step : t -> int
     [Unfactorized] this is the declared object count. *)
 
 val config : t -> Config.t
+
+val stats : t -> stats
+(** Robustness counters accumulated since creation (or restore). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Checkpointing} *)
+
+type snapshot
+(** Complete dynamic engine state — filter state (RNG streams, reader
+    and object particles, spatial index, compression queue), pending
+    report queue, and robustness counters — as plain marshalable
+    data. *)
+
+val snapshot : t -> snapshot
+(** Deep copy of the engine's state; the engine can keep running. *)
+
+val snapshot_epoch : snapshot -> int
+(** Epoch at which the snapshot was taken (-1 for a fresh engine). *)
+
+val restore :
+  world:Rfid_model.World.t ->
+  params:Rfid_model.Params.t ->
+  config:Config.t ->
+  snapshot ->
+  t
+(** Rebuild an engine from a snapshot plus the same static inputs it
+    was created with. Feeding the restored engine the remaining
+    observations yields exactly the events the uninterrupted run would
+    have produced, for every variant and any [config.num_domains].
+    @raise Invalid_argument if [config.variant] disagrees with the
+    snapshot. *)

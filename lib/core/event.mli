@@ -11,6 +11,11 @@ type t = {
   ev_obj : int;  (** object tag id *)
   ev_loc : Rfid_geom.Vec3.t;  (** inferred (x, y, z) *)
   ev_cov : Rfid_prob.Linalg.mat option;  (** posterior covariance, if available *)
+  ev_degraded : bool;
+      (** the emitting engine was in degraded mode (dead-reckoning
+          through missing or rejected location fixes) at or around this
+          event's epoch, so the estimate rests on the motion model more
+          than on fresh evidence *)
 }
 
 val make :
@@ -18,8 +23,10 @@ val make :
   obj:int ->
   loc:Rfid_geom.Vec3.t ->
   ?cov:Rfid_prob.Linalg.mat ->
+  ?degraded:bool ->
   unit ->
   t
+(** [degraded] defaults to [false]. *)
 
 val std_dev_xy : t -> float option
 (** Root of the mean of the x and y posterior variances — a scalar

@@ -50,7 +50,22 @@ type t = {
   mutable epoch : int;
   mutable newly_seen : int list;
   mutable processed_last : int;
+  mutable consecutive_degraded : int;
+  mutable degraded_total : int;
 }
+
+let make_shelf_rtree world =
+  let shelf_rtree = Rtree.create () in
+  List.iter
+    (fun (tag, loc) ->
+      match tag with
+      | Types.Shelf_tag id ->
+          Rtree.insert shelf_rtree
+            (Box2.of_center loc ~half_width:0.01 ~half_height:0.01)
+            (id, loc)
+      | Types.Object_tag _ -> ())
+    (World.shelf_tags world);
+  shelf_rtree
 
 let create ~world ~params ~config ~init_reader ~rng =
   let use_index, compress =
@@ -73,16 +88,7 @@ let create ~world ~params ~config ~init_reader ~rng =
           log_w = 0.;
         })
   in
-  let shelf_rtree = Rtree.create () in
-  List.iter
-    (fun (tag, loc) ->
-      match tag with
-      | Types.Shelf_tag id ->
-          Rtree.insert shelf_rtree
-            (Box2.of_center loc ~half_width:0.01 ~half_height:0.01)
-            (id, loc)
-      | Types.Object_tag _ -> ())
-    (World.shelf_tags world);
+  let shelf_rtree = make_shelf_rtree world in
   {
     world;
     params;
@@ -114,6 +120,8 @@ let create ~world ~params ~config ~init_reader ~rng =
     epoch = -1;
     newly_seen = [];
     processed_last = 0;
+    consecutive_degraded = 0;
+    degraded_total = 0;
   }
 
 let num_readers t = Array.length t.readers
@@ -599,7 +607,70 @@ let step t (obs : Types.observation) =
     case1;
   run_compression t e;
   t.last_reported <- Some reported;
+  t.consecutive_degraded <- 0;
   t.epoch <- e
+
+(* Degraded epoch (missing/rejected location fix): dead-reckon the
+   reader particles from the motion model with inflated noise, leave
+   weights alone (no evidence), and — once the outage outlasts
+   [degraded_widen_after] — diffuse object beliefs so the posterior
+   admits that objects may have moved unseen. Per-object randomness is
+   keyed by (object id, epoch) exactly as in [step], so the result is
+   independent of hash-table iteration order and domain count. *)
+let dead_reckon t ~epoch:e =
+  if e <= t.epoch then
+    invalid_arg "Factored_filter.dead_reckon: observations out of epoch order";
+  t.newly_seen <- [];
+  t.processed_last <- 0;
+  let motion = t.params.Params.motion in
+  let scale = t.config.Config.degraded_noise_scale in
+  let s = motion.Motion_model.sigma in
+  let sigma = Vec3.make (s.Vec3.x *. scale) (s.Vec3.y *. scale) (s.Vec3.z *. scale) in
+  Array.iter
+    (fun r ->
+      let loc =
+        Common.jitter (Vec3.add r.state.Reader_state.loc motion.Motion_model.velocity)
+          ~sigma t.rng
+      in
+      let heading =
+        Common.propose_heading t.config.Config.heading_model ~motion ~epoch:e
+          ~current:r.state.Reader_state.heading t.rng
+      in
+      r.state <- Reader_state.make ~loc ~heading)
+    t.readers;
+  t.consecutive_degraded <- t.consecutive_degraded + 1;
+  t.degraded_total <- t.degraded_total + 1;
+  let w = t.config.Config.degraded_widen_sigma in
+  if t.consecutive_degraded >= t.config.Config.degraded_widen_after && w > 0. then begin
+    let wsigma = Vec3.make w w 0. in
+    Hashtbl.iter
+      (fun id obj ->
+        let rng =
+          Rfid_prob.Rng.for_key t.substream ~key:(Rfid_prob.Rng.key_pair id e)
+        in
+        match obj.belief with
+        | Active parts ->
+            Array.iter
+              (fun p ->
+                let l = Common.jitter p.loc ~sigma:wsigma rng in
+                p.loc <-
+                  (if World.contains t.world l then l
+                   else World.clamp_to_shelves t.world l))
+              parts
+        | Compressed g ->
+            let cov = Rfid_prob.Gaussian.cov g in
+            let cov = Array.map Array.copy cov in
+            cov.(0).(0) <- cov.(0).(0) +. (w *. w);
+            cov.(1).(1) <- cov.(1).(1) +. (w *. w);
+            obj.belief <-
+              Compressed (Rfid_prob.Gaussian.create ~mean:(Rfid_prob.Gaussian.mean g) ~cov))
+      t.objects
+  end;
+  run_compression t e;
+  t.epoch <- e
+
+let degraded_epochs t = t.degraded_total
+let consecutive_degraded t = t.consecutive_degraded
 
 let estimate t obj_id =
   match Hashtbl.find_opt t.objects obj_id with
@@ -637,6 +708,183 @@ let num_index_boxes t = match t.index with None -> 0 | Some idx -> Rtree.size id
 let iter_reader_particles t f =
   let rw = reader_weights t in
   Array.iteri (fun i r -> f r.state rw.(i)) t.readers
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing: the complete dynamic state as plain data. Static
+   structure (world geometry, params, sensor cache, shelf R-tree, the
+   domain pool) is rebuilt by [restore] from the same creation inputs;
+   the spatial index is rebuilt by re-inserting its recorded entries —
+   queries are consumed as sets, so the exact tree shape is
+   unobservable. *)
+
+type belief_snapshot =
+  | Snap_active of (Vec3.t * int * float) array  (* loc, reader_idx, log_w *)
+  | Snap_compressed of float array * Rfid_prob.Linalg.mat  (* mean, cov *)
+
+type obj_snapshot = {
+  so_id : int;
+  so_belief : belief_snapshot;
+  so_reader_gen : int;
+  so_last_read : int;
+  so_last_read_reader : Vec3.t;
+}
+
+type index_snapshot = {
+  si_entries : (Box2.t * int list) list;
+  si_pending_objs : int list;
+  si_pending_box : Box2.t option;
+  si_last_insert_loc : Vec3.t option;
+}
+
+type snapshot = {
+  fs_rng : int64;
+  fs_substream : int64;
+  fs_reader_gen : int;
+  fs_readers : (Reader_state.t * float) array;
+  fs_objects : obj_snapshot list;  (* sorted by id *)
+  fs_index : index_snapshot option;
+  fs_compress_queue : (int * int) list;
+  fs_last_reported : Vec3.t option;
+  fs_epoch : int;
+  fs_newly_seen : int list;
+  fs_processed_last : int;
+  fs_consecutive_degraded : int;
+  fs_degraded_total : int;
+}
+
+let everything_box =
+  Box2.make ~min_x:(-1e12) ~min_y:(-1e12) ~max_x:1e12 ~max_y:1e12
+
+let snapshot t =
+  let snap_belief = function
+    | Active parts ->
+        Snap_active (Array.map (fun p -> (p.loc, p.reader_idx, p.log_w)) parts)
+    | Compressed g ->
+        Snap_compressed
+          (Rfid_prob.Gaussian.mean g, Array.map Array.copy (Rfid_prob.Gaussian.cov g))
+  in
+  let objects =
+    Hashtbl.fold
+      (fun id obj acc ->
+        {
+          so_id = id;
+          so_belief = snap_belief obj.belief;
+          so_reader_gen = obj.reader_gen;
+          so_last_read = obj.last_read;
+          so_last_read_reader = obj.last_read_reader;
+        }
+        :: acc)
+      t.objects []
+    |> List.sort (fun a b -> Int.compare a.so_id b.so_id)
+  in
+  let index =
+    Option.map
+      (fun idx ->
+        let entries = ref [] in
+        Rtree.iter_overlapping idx.rtree everything_box (fun box set ->
+            entries := (box, Int_set.elements set) :: !entries);
+        {
+          si_entries = List.rev !entries;
+          si_pending_objs = Int_set.elements idx.pending_objs;
+          si_pending_box = idx.pending_box;
+          si_last_insert_loc = idx.last_insert_loc;
+        })
+      t.index
+  in
+  {
+    fs_rng = Rfid_prob.Rng.state t.rng;
+    fs_substream = Rfid_prob.Rng.state t.substream;
+    fs_reader_gen = t.reader_gen;
+    fs_readers = Array.map (fun r -> (r.state, r.log_w)) t.readers;
+    fs_objects = objects;
+    fs_index = index;
+    fs_compress_queue = List.of_seq (Queue.to_seq t.compress_queue);
+    fs_last_reported = t.last_reported;
+    fs_epoch = t.epoch;
+    fs_newly_seen = t.newly_seen;
+    fs_processed_last = t.processed_last;
+    fs_consecutive_degraded = t.consecutive_degraded;
+    fs_degraded_total = t.degraded_total;
+  }
+
+let snapshot_epoch s = s.fs_epoch
+
+let restore ~world ~params ~config s =
+  let use_index, compress =
+    match config.Config.variant with
+    | Config.Unfactorized ->
+        invalid_arg "Factored_filter.restore: use Basic_filter for Unfactorized"
+    | Config.Factorized -> (false, false)
+    | Config.Factorized_indexed -> (true, false)
+    | Config.Factorized_compressed -> (true, true)
+  in
+  (match (use_index, s.fs_index) with
+  | true, None | false, Some _ ->
+      invalid_arg
+        "Factored_filter.restore: snapshot variant disagrees with config.variant \
+         on the spatial index"
+  | true, Some _ | false, None -> ());
+  let restore_belief = function
+    | Snap_active parts ->
+        Active
+          (Array.map (fun (loc, reader_idx, log_w) -> { loc; reader_idx; log_w }) parts)
+    | Snap_compressed (mean, cov) ->
+        Compressed (Rfid_prob.Gaussian.create ~mean ~cov)
+  in
+  let objects = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      Hashtbl.replace objects o.so_id
+        {
+          obj_id = o.so_id;
+          belief = restore_belief o.so_belief;
+          reader_gen = o.so_reader_gen;
+          last_read = o.so_last_read;
+          last_read_reader = o.so_last_read_reader;
+        })
+    s.fs_objects;
+  let index =
+    Option.map
+      (fun (si : index_snapshot) ->
+        let rtree = Rtree.create () in
+        List.iter
+          (fun (box, ids) -> Rtree.insert rtree box (Int_set.of_list ids))
+          si.si_entries;
+        {
+          rtree;
+          pending_objs = Int_set.of_list si.si_pending_objs;
+          pending_box = si.si_pending_box;
+          last_insert_loc = si.si_last_insert_loc;
+        })
+      s.fs_index
+  in
+  let compress_queue = Queue.create () in
+  List.iter (fun item -> Queue.push item compress_queue) s.fs_compress_queue;
+  {
+    world;
+    params;
+    config;
+    rng = Rfid_prob.Rng.of_state s.fs_rng;
+    substream = Rfid_prob.Rng.of_state s.fs_substream;
+    pool = Rfid_par.Pool.get ~num_domains:config.Config.num_domains;
+    readers = Array.map (fun (state, log_w) -> { state; log_w }) s.fs_readers;
+    reader_gen = s.fs_reader_gen;
+    objects;
+    cache =
+      Common.Sensor_cache.create ~threshold:config.Config.detection_threshold
+        ~max_range:config.Config.max_sensing_range
+        params.Params.sensor;
+    shelf_rtree = make_shelf_rtree world;
+    index;
+    compress;
+    compress_queue;
+    last_reported = s.fs_last_reported;
+    epoch = s.fs_epoch;
+    newly_seen = s.fs_newly_seen;
+    processed_last = s.fs_processed_last;
+    consecutive_degraded = s.fs_consecutive_degraded;
+    degraded_total = s.fs_degraded_total;
+  }
 
 let iter_object_particles t obj_id f =
   match Hashtbl.find_opt t.objects obj_id with

@@ -51,6 +51,51 @@ val newly_seen : t -> int list
 val known_objects : t -> int list
 val epoch : t -> Rfid_model.Types.epoch
 
+val dead_reckon : t -> epoch:Rfid_model.Types.epoch -> unit
+(** Advance one epoch {e without} evidence (missing or rejected
+    location fix): reader particles move by the motion model with
+    proposal noise inflated by [config.degraded_noise_scale]; weights
+    are unchanged. After [config.degraded_widen_after] consecutive
+    dead-reckoned epochs, object beliefs additionally diffuse by
+    [config.degraded_widen_sigma] per epoch (particle clouds are
+    jittered and clamped to shelves; compressed Gaussians inflate their
+    XY covariance). Deterministic: per-object randomness is keyed by
+    (object id, epoch) as in {!step}.
+    @raise Invalid_argument if [epoch] is not beyond the current one. *)
+
+val degraded_epochs : t -> int
+(** Total dead-reckoned epochs so far. *)
+
+val consecutive_degraded : t -> int
+(** Length of the current dead-reckoning run; 0 after any normal
+    {!step}. *)
+
+(** {1 Checkpointing} *)
+
+type snapshot
+(** Complete dynamic filter state as plain (marshalable) data: RNG
+    states, reader particles, per-object beliefs, the spatial index's
+    entries, and the compression queue. *)
+
+val snapshot : t -> snapshot
+(** Deep copy of the dynamic state; the filter can keep running. *)
+
+val snapshot_epoch : snapshot -> int
+(** Epoch at which the snapshot was taken (-1 for a fresh filter). *)
+
+val restore :
+  world:Rfid_model.World.t ->
+  params:Rfid_model.Params.t ->
+  config:Config.t ->
+  snapshot ->
+  t
+(** Rebuild a filter from a snapshot plus the same static inputs it was
+    created with. The restored filter's future output is bit-identical
+    to the original's, for any [config.num_domains].
+    @raise Invalid_argument if [config.variant] disagrees with the
+    snapshot (e.g. an indexed snapshot restored as plain
+    [Factorized]). *)
+
 (** {1 Introspection (tests, benches)} *)
 
 val objects_processed_last_step : t -> int

@@ -13,15 +13,32 @@
     v}
 
     Tags are semicolon-separated [obj:<id>] / [shelf:<id>] tokens; an
-    empty field means an epoch without readings. *)
+    empty field means an epoch without readings.
+
+    Readers tolerate CRLF line endings, surrounding whitespace in any
+    field, blank lines and [#] comments. They reject negative epochs,
+    negative tag ids and non-finite coordinates: a NaN that parses
+    "successfully" would otherwise silently poison every particle
+    weight downstream. The [_lenient] variants skip malformed lines and
+    report them with line numbers instead of raising, so one corrupt
+    record cannot abort a replay. *)
 
 val write_observations : out_channel -> Types.observation list -> unit
 
 val read_observations : in_channel -> Types.observation list
 (** @raise Failure with a line-numbered message on malformed input. *)
 
+val read_observations_lenient :
+  in_channel -> Types.observation list * (int * string) list
+(** Like {!read_observations}, but malformed lines are skipped and
+    returned as [(line number, message)] diagnostics alongside the
+    successfully parsed observations. Never raises on content. *)
+
 val observations_to_string : Types.observation list -> string
 val observations_of_string : string -> Types.observation list
+
+val observations_of_string_lenient :
+  string -> Types.observation list * (int * string) list
 
 val write_events :
   out_channel -> (Types.epoch * int * Rfid_geom.Vec3.t) list -> unit

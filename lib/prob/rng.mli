@@ -19,6 +19,18 @@ val copy : t -> t
 (** Independent copy of the current state: the copy and the original
     produce the same subsequent stream but advance independently. *)
 
+val state : t -> int64
+(** The raw 64-bit generator state. Together with {!of_state} /
+    {!set_state} this makes a generator checkpointable: restoring the
+    state restores the exact remaining stream. *)
+
+val of_state : int64 -> t
+(** A generator whose next outputs continue the stream of the generator
+    whose {!state} was captured. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the generator state in place (checkpoint restore). *)
+
 val split : t -> t
 (** [split t] advances [t] and derives a new generator whose stream is
     (statistically) independent of the remainder of [t]'s stream. Use to

@@ -1,0 +1,88 @@
+let magic = "rfid_streams-checkpoint"
+let version = 1
+
+(* Adler-32 (RFC 1950), hand-rolled so the checkpoint format needs no
+   zlib binding. Fast enough: payloads are tens of kilobytes. *)
+let adler32 s =
+  let base = 65521 in
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod base;
+      b := (!b + !a) mod base)
+    s;
+  (!b lsl 16) lor !a
+
+(* File layout (header is plain text so `head -2 FILE` identifies a
+   checkpoint; payload is Marshal output, which is binary):
+
+     rfid_streams-checkpoint v<version>\n
+     epoch=<E> bytes=<N> adler32=<08x>\n
+     <N bytes of Marshal payload>
+
+   The payload is the plain-data Engine.snapshot — no closures, no
+   custom blocks beyond int64 — so Marshal round-trips it exactly. *)
+
+let save ~path snapshot =
+  let payload = Marshal.to_string (snapshot : Rfid_core.Engine.snapshot) [] in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s v%d\n" magic version;
+      Printf.fprintf oc "epoch=%d bytes=%d adler32=%08x\n"
+        (Rfid_core.Engine.snapshot_epoch snapshot)
+        (String.length payload) (adler32 payload);
+      output_string oc payload);
+  (* Write-then-rename so a crash mid-save never leaves a truncated
+     file at [path]. *)
+  Sys.rename tmp path
+
+let read_line_opt ic = try Some (input_line ic) with End_of_file -> None
+
+let parse_header2 line =
+  (* "epoch=<E> bytes=<N> adler32=<hex>" *)
+  try Scanf.sscanf line "epoch=%d bytes=%d adler32=%x%!" (fun e n c -> Some (e, n, c))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let load ~path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match (read_line_opt ic, read_line_opt ic) with
+          | Some l1, Some l2 when l1 = Printf.sprintf "%s v%d" magic version -> (
+              match parse_header2 l2 with
+              | None -> Error (path ^ ": malformed checkpoint header")
+              | Some (_epoch, nbytes, expected_sum) -> (
+                  match really_input_string ic nbytes with
+                  | exception End_of_file ->
+                      Error (path ^ ": truncated checkpoint payload")
+                  | payload ->
+                      let actual = adler32 payload in
+                      if actual <> expected_sum then
+                        Error
+                          (Printf.sprintf
+                             "%s: checkpoint checksum mismatch (stored %08x, \
+                              computed %08x)"
+                             path expected_sum actual)
+                      else (
+                        match
+                          (Marshal.from_string payload 0
+                            : Rfid_core.Engine.snapshot)
+                        with
+                        | snapshot -> Ok snapshot
+                        | exception Failure msg ->
+                            Error (path ^ ": undecodable checkpoint payload: " ^ msg))))
+          | Some l1, _ when String.length l1 >= String.length magic
+                            && String.sub l1 0 (String.length magic) = magic ->
+              Error
+                (Printf.sprintf "%s: unsupported checkpoint version (want v%d)"
+                   path version)
+          | _ -> Error (path ^ ": not a " ^ magic ^ " file"))
+
+let load_exn ~path =
+  match load ~path with Ok s -> s | Error msg -> failwith msg

@@ -1,0 +1,29 @@
+(** Durable engine checkpoints, so a long-running inference process can
+    be killed and resumed without replaying its whole input — and
+    resume {e bit-identically}: the snapshot captures every piece of
+    dynamic state (RNG streams included), so the event stream after a
+    resume equals the uninterrupted one exactly.
+
+    Format: a two-line text header — magic + version, then
+    [epoch=<E> bytes=<N> adler32=<checksum>] — followed by [N] bytes of
+    marshaled {!Rfid_core.Engine.snapshot}. The checksum is verified on
+    load, so a truncated or corrupted file yields a clean [Error]
+    rather than a garbage engine state. Checkpoints are
+    version-stamped; a file from a different format version is refused.
+
+    Checkpoints are written atomically (write to [path ^ ".tmp"], then
+    rename), so a crash during {!save} cannot destroy the previous
+    checkpoint at [path]. *)
+
+val version : int
+
+val save : path:string -> Rfid_core.Engine.snapshot -> unit
+(** @raise Sys_error if the file cannot be written. *)
+
+val load : path:string -> (Rfid_core.Engine.snapshot, string) result
+(** Read and verify a checkpoint. All failure modes — missing file,
+    wrong magic, unsupported version, truncation, checksum mismatch,
+    undecodable payload — return [Error] with a descriptive message. *)
+
+val load_exn : path:string -> Rfid_core.Engine.snapshot
+(** @raise Failure on any [Error] from {!load}. *)

@@ -1,0 +1,105 @@
+(** Validating front door for observation streams.
+
+    Real deployments do not deliver the clean, strictly-increasing
+    epoch sequence the inference engine's contract assumes: positioning
+    units emit NaN during outages, middleware duplicates and reorders
+    records, and readers pick up tags from outside the deployment's
+    universe. The guard classifies each incoming observation against a
+    small fault taxonomy and applies a configurable per-fault policy —
+    repair, discard, or stop — so the engine behind it only ever sees
+    admissible input, and every intervention is counted. *)
+
+type fault =
+  | Nonfinite_fix  (** NaN/infinite coordinate in the reported fix *)
+  | Out_of_bounds_fix  (** finite fix far outside the deployment bounds *)
+  | Negative_epoch
+  | Duplicate_epoch  (** same epoch as the last admitted record *)
+  | Out_of_order_epoch  (** epoch earlier than the last admitted record *)
+  | Epoch_gap  (** forward jump larger than [max_gap] epochs *)
+  | Out_of_range_tag  (** negative tag id, or object id >= [max_object_id] *)
+
+val all_faults : fault list
+val fault_name : fault -> string
+
+(** What to do when a fault trips. [Clamp] repairs the record in place
+    (substitute the last good fix, clamp coordinates into bounds,
+    re-time a bad epoch to [last + 1], strip invalid tags — for a gap it
+    just counts and admits). [Drop] discards the offending part: the
+    whole record for epoch/tag faults, only the fix for location faults
+    (the epoch is then processed in degraded dead-reckoning mode).
+    [Halt] stops the stream with an error value. *)
+type policy = Drop | Clamp | Halt
+
+val policy_name : policy -> string
+
+type policies = {
+  on_nonfinite_fix : policy;
+  on_out_of_bounds_fix : policy;
+  on_negative_epoch : policy;
+  on_duplicate_epoch : policy;
+  on_out_of_order_epoch : policy;
+  on_epoch_gap : policy;
+  on_out_of_range_tag : policy;
+}
+
+val default_policies : policies
+(** Conservative defaults: repair what is safely repairable
+    (out-of-bounds fixes, bad tags, gaps), drop what is not (non-finite
+    fixes — degrading the epoch — plus negative and duplicate epochs),
+    and halt on out-of-order epochs, which usually indicate a broken
+    transport rather than a noisy sensor. *)
+
+val uniform_policies : policy -> policies
+(** The same policy for every fault — used by the fault-matrix tests. *)
+
+type decision =
+  | Accept of Rfid_model.Types.observation
+      (** possibly repaired; feed to {!Rfid_core.Engine.step} *)
+  | Degraded of Rfid_model.Types.epoch
+      (** fix rejected but timeline advanced; feed to
+          {!Rfid_core.Engine.step_degraded} *)
+  | Rejected  (** record discarded entirely *)
+  | Halted of fault * string  (** a [Halt] policy tripped *)
+
+type t
+
+val create :
+  ?policies:policies ->
+  ?bounds:Rfid_geom.Box2.t ->
+  ?bounds_margin:float ->
+  ?max_object_id:int ->
+  ?max_gap:int ->
+  unit ->
+  t
+(** [bounds] (typically {!Rfid_model.World.bounding_box}) enables the
+    out-of-bounds check, with [bounds_margin] slack (default 10) on
+    every side. [max_object_id] enables the object-id range check
+    (valid ids are [0 .. max_object_id - 1]). [max_gap] (default 100)
+    is the largest tolerated forward epoch jump. *)
+
+val admit : t -> Rfid_model.Types.observation -> decision
+(** Classify one observation, update the guard's timeline state and
+    counters, and say what to do with it. Never raises. *)
+
+val count : t -> fault -> int
+val counters : t -> (fault * int) list
+val total_faults : t -> int
+
+val step_engine :
+  t ->
+  Rfid_core.Engine.t ->
+  Rfid_model.Types.observation ->
+  (Rfid_core.Event.t list, fault * string) result
+(** {!admit} one observation and route it to the engine: [Accept] →
+    {!Rfid_core.Engine.step}, [Degraded] →
+    {!Rfid_core.Engine.step_degraded}, [Rejected] → no-op. *)
+
+val run_engine :
+  t ->
+  Rfid_core.Engine.t ->
+  Rfid_model.Types.observation list ->
+  (Rfid_core.Event.t list, fault * string) result
+(** Run a whole stream through {!step_engine} and finish with
+    {!Rfid_core.Engine.flush}; stops at the first [Halted] decision. *)
+
+val pp_counters : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+open Rfid_model
+
+type spec = {
+  drop_prob : float;
+  duplicate_prob : float;
+  nan_fix_prob : float;
+  spurious_tag_prob : float;
+  reorder_prob : float;
+  outage : (int * int) option;
+}
+
+let none =
+  {
+    drop_prob = 0.;
+    duplicate_prob = 0.;
+    nan_fix_prob = 0.;
+    spurious_tag_prob = 0.;
+    reorder_prob = 0.;
+    outage = None;
+  }
+
+let make ?(drop_prob = 0.) ?(duplicate_prob = 0.) ?(nan_fix_prob = 0.)
+    ?(spurious_tag_prob = 0.) ?(reorder_prob = 0.) ?outage () =
+  let check what p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Faults.make: %s must be in [0, 1]" what)
+  in
+  check "drop_prob" drop_prob;
+  check "duplicate_prob" duplicate_prob;
+  check "nan_fix_prob" nan_fix_prob;
+  check "spurious_tag_prob" spurious_tag_prob;
+  check "reorder_prob" reorder_prob;
+  (match outage with
+  | Some (start, len) when start < 0 || len < 0 ->
+      invalid_arg "Faults.make: outage start and length must be non-negative"
+  | Some _ | None -> ());
+  { drop_prob; duplicate_prob; nan_fix_prob; spurious_tag_prob; reorder_prob; outage }
+
+let is_none spec = spec = none
+
+let nan_fix = Rfid_geom.Vec3.make Float.nan Float.nan Float.nan
+
+let in_outage spec e =
+  match spec.outage with
+  | Some (start, len) -> e >= start && e < start + len
+  | None -> false
+
+(* Corruption is applied record by record in stream order from one
+   seeded generator, so a given (spec, seed, stream) always yields the
+   same corrupted stream — the bench and the fault-matrix tests depend
+   on replaying identical fault patterns. Draw order per record is
+   fixed: outage check (no draw), NaN fix, spurious tag, duplicate,
+   drop; adjacent reordering runs as a final pass. *)
+let apply spec ~seed observations =
+  let rng = Rfid_prob.Rng.create ~seed in
+  let out = ref [] in
+  List.iter
+    (fun (o : Types.observation) ->
+      let o =
+        if in_outage spec o.Types.o_epoch then { o with Types.o_reported_loc = nan_fix }
+        else o
+      in
+      let o =
+        if Rfid_prob.Rng.bernoulli rng ~p:spec.nan_fix_prob then
+          { o with Types.o_reported_loc = nan_fix }
+        else o
+      in
+      let o =
+        if Rfid_prob.Rng.bernoulli rng ~p:spec.spurious_tag_prob then
+          {
+            o with
+            Types.o_read_tags =
+              Types.Object_tag (1_000_000 + Rfid_prob.Rng.int rng 1000)
+              :: o.Types.o_read_tags;
+          }
+        else o
+      in
+      let dup = Rfid_prob.Rng.bernoulli rng ~p:spec.duplicate_prob in
+      if not (Rfid_prob.Rng.bernoulli rng ~p:spec.drop_prob) then begin
+        out := o :: !out;
+        if dup then out := o :: !out
+      end)
+    observations;
+  let arr = Array.of_list (List.rev !out) in
+  let i = ref 0 in
+  while !i < Array.length arr - 1 do
+    if Rfid_prob.Rng.bernoulli rng ~p:spec.reorder_prob then begin
+      let tmp = arr.(!i) in
+      arr.(!i) <- arr.(!i + 1);
+      arr.(!i + 1) <- tmp;
+      i := !i + 2
+    end
+    else incr i
+  done;
+  Array.to_list arr
+
+let pp ppf spec =
+  Format.fprintf ppf
+    "@[drop=%.0f%% dup=%.0f%% nan-fix=%.0f%% spurious=%.0f%% reorder=%.0f%%%t@]"
+    (100. *. spec.drop_prob) (100. *. spec.duplicate_prob) (100. *. spec.nan_fix_prob)
+    (100. *. spec.spurious_tag_prob)
+    (100. *. spec.reorder_prob)
+    (fun ppf ->
+      match spec.outage with
+      | Some (start, len) -> Format.fprintf ppf " outage=[%d,%d)" start (start + len)
+      | None -> ())

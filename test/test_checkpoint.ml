@@ -1,0 +1,162 @@
+(* Checkpoint/resume: a restored engine must reproduce the
+   uninterrupted event stream bit-identically, for every filter variant
+   and domain count, including runs with degraded (dead-reckoned)
+   epochs on both sides of the cut. *)
+open Rfid_model
+
+let scenario =
+  lazy
+    (let wh = Rfid_sim.Warehouse.layout ~num_objects:5 () in
+     let trace =
+       Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+         ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+         ~start:(Rfid_sim.Warehouse.reader_start wh)
+         ~path:(Rfid_sim.Trace_gen.straight_pass wh ~rounds:1)
+         ~config:(Rfid_sim.Trace_gen.default_config ())
+         (Rfid_prob.Rng.create ~seed:29)
+     in
+     (wh, trace))
+
+let config_for variant num_domains =
+  Rfid_core.Config.create ~variant ~num_reader_particles:30 ~num_object_particles:40
+    ~num_domains ()
+
+let make_engine ~variant ~num_domains =
+  let wh, trace = Lazy.force scenario in
+  Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world ~params:Params.default
+    ~config:(config_for variant num_domains)
+    ~init_reader:trace.Trace.steps.(0).Trace.true_reader ~num_objects:5 ~seed:23 ()
+
+(* Degrade a few epochs straddling the cut, so dead-reckoning state is
+   part of what the checkpoint must carry. *)
+let step_one ~degraded engine (o : Types.observation) =
+  if List.mem o.Types.o_epoch degraded then
+    Rfid_core.Engine.step_degraded engine ~epoch:o.Types.o_epoch
+  else Rfid_core.Engine.step engine o
+
+let events_equal what (a : Rfid_core.Event.t list) (b : Rfid_core.Event.t list) =
+  Alcotest.(check int) (what ^ ": event count") (List.length a) (List.length b);
+  List.iteri
+    (fun i (x : Rfid_core.Event.t) ->
+      let y = List.nth b i in
+      if x <> y then
+        Alcotest.failf "%s: event %d differs:@ %a@ vs@ %a" what i Rfid_core.Event.pp x
+          Rfid_core.Event.pp y)
+    a
+
+let resume_bit_identical ~variant ~num_domains () =
+  let wh, trace = Lazy.force scenario in
+  let stream = Trace.observations trace in
+  let n = List.length stream in
+  let cut = n / 2 in
+  let degraded = [ cut - 2; cut - 1; cut + 2 ] in
+  let run_all engine stream =
+    (* Bind the stepped events first: [@] evaluates right-to-left, and
+       [flush] must not run before the steps. *)
+    let stepped = List.concat_map (step_one ~degraded engine) stream in
+    stepped @ Rfid_core.Engine.flush engine
+  in
+  (* Uninterrupted reference run. *)
+  let reference = run_all (make_engine ~variant ~num_domains) stream in
+  (* Interrupted run: first half, checkpoint to disk, restore, rest. *)
+  let first, second =
+    List.partition (fun (o : Types.observation) -> o.Types.o_epoch < cut) stream
+  in
+  let e1 = make_engine ~variant ~num_domains in
+  let head = List.concat_map (step_one ~degraded e1) first in
+  let path = Filename.temp_file "rfid_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rfid_robust.Checkpoint.save ~path (Rfid_core.Engine.snapshot e1);
+      Alcotest.(check int) "snapshot epoch"
+        (Rfid_core.Engine.epoch e1)
+        (Rfid_core.Engine.snapshot_epoch (Rfid_robust.Checkpoint.load_exn ~path));
+      (* The original engine keeps running: the snapshot must be a deep
+         copy, unaffected by (and not affecting) e1's continuation. *)
+      let tail_live = run_all e1 second in
+      let e2 =
+        Rfid_core.Engine.restore ~world:wh.Rfid_sim.Warehouse.world
+          ~params:Params.default
+          ~config:(config_for variant num_domains)
+          (Rfid_robust.Checkpoint.load_exn ~path)
+      in
+      let tail_restored = run_all e2 second in
+      events_equal "live continuation vs reference" reference (head @ tail_live);
+      events_equal "restored continuation vs reference" reference (head @ tail_restored))
+
+let test_resume_matrix () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun num_domains -> resume_bit_identical ~variant ~num_domains ())
+        [ 1; 2 ])
+    [
+      Rfid_core.Config.Unfactorized;
+      Rfid_core.Config.Factorized;
+      Rfid_core.Config.Factorized_indexed;
+      Rfid_core.Config.Factorized_compressed;
+    ]
+
+let test_variant_mismatch_rejected () =
+  let e = make_engine ~variant:Rfid_core.Config.Factorized_indexed ~num_domains:1 in
+  let wh, _ = Lazy.force scenario in
+  Util.check_raises_invalid "variant mismatch" (fun () ->
+      ignore
+        (Rfid_core.Engine.restore ~world:wh.Rfid_sim.Warehouse.world
+           ~params:Params.default
+           ~config:(config_for Rfid_core.Config.Unfactorized 1)
+           (Rfid_core.Engine.snapshot e)))
+
+let test_corrupt_checkpoint_rejected () =
+  let e = make_engine ~variant:Rfid_core.Config.Factorized_indexed ~num_domains:1 in
+  let path = Filename.temp_file "rfid_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rfid_robust.Checkpoint.save ~path (Rfid_core.Engine.snapshot e);
+      (match Rfid_robust.Checkpoint.load ~path with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "pristine checkpoint rejected: %s" msg);
+      let contents =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let expect_error what contents' =
+        let oc = open_out_bin path in
+        output_string oc contents';
+        close_out oc;
+        match Rfid_robust.Checkpoint.load ~path with
+        | Ok _ -> Alcotest.failf "%s: corrupted checkpoint accepted" what
+        | Error msg ->
+            Alcotest.(check bool) (what ^ ": message non-empty") true (msg <> "")
+      in
+      (* Flip one payload byte: the checksum must catch it. *)
+      let flipped = Bytes.of_string contents in
+      let pos = String.length contents - 10 in
+      Bytes.set flipped pos (Char.chr (Char.code (Bytes.get flipped pos) lxor 0xff));
+      expect_error "bit flip" (Bytes.to_string flipped);
+      (* Truncation. *)
+      expect_error "truncation" (String.sub contents 0 (String.length contents - 20));
+      (* Wrong version: rewrite the first header line. *)
+      let nl = String.index contents '\n' in
+      expect_error "wrong version"
+        ("rfid_streams-checkpoint v999"
+        ^ String.sub contents nl (String.length contents - nl));
+      (* Not a checkpoint at all. *)
+      expect_error "garbage" "not a checkpoint\nat all\n";
+      (* Missing file. *)
+      match Rfid_robust.Checkpoint.load ~path:(path ^ ".does-not-exist") with
+      | Ok _ -> Alcotest.fail "missing file accepted"
+      | Error _ -> ())
+
+let suite =
+  ( "checkpoint",
+    [
+      Alcotest.test_case "resume matrix (variants x domains)" `Slow test_resume_matrix;
+      Alcotest.test_case "variant mismatch rejected" `Quick test_variant_mismatch_rejected;
+      Alcotest.test_case "corrupt checkpoint rejected" `Quick
+        test_corrupt_checkpoint_rejected;
+    ] )

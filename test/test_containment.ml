@@ -22,6 +22,28 @@ let test_uf_idempotent_union () =
   Union_find.union uf 1 0;
   Alcotest.(check (list (list int))) "single group" [ [ 0; 1 ] ] (Union_find.groups uf)
 
+let test_uf_edges () =
+  (* Empty universe: legal, no groups, any access is out of range. *)
+  let uf0 = Union_find.create 0 in
+  Alcotest.(check (list (list int))) "empty universe" [] (Union_find.groups uf0);
+  Util.check_raises_invalid "find in empty" (fun () -> ignore (Union_find.find uf0 0));
+  (* Singleton universe and self-union. *)
+  let uf1 = Union_find.create 1 in
+  Union_find.union uf1 0 0;
+  Alcotest.(check int) "self root" 0 (Union_find.find uf1 0);
+  Alcotest.(check (list (list int))) "no group of one" [] (Union_find.groups uf1);
+  (* Last valid element participates; one past it does not. *)
+  let uf = Union_find.create 4 in
+  Union_find.union uf 0 3;
+  Alcotest.(check bool) "last element joins" true (Union_find.same uf 3 0);
+  Util.check_raises_invalid "one past last" (fun () -> Union_find.union uf 0 4);
+  Util.check_raises_invalid "negative element" (fun () -> ignore (Union_find.find uf (-1)));
+  (* Everything merged: one group listing the whole universe. *)
+  Union_find.union uf 1 2;
+  Union_find.union uf 2 3;
+  Alcotest.(check (list (list int))) "total merge" [ [ 0; 1; 2; 3 ] ]
+    (Union_find.groups uf)
+
 let prop_uf_union_is_equivalence =
   Util.qcheck ~count:100 "union-find implements an equivalence closure"
     QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_bound 9) (int_bound 9)))
@@ -107,6 +129,31 @@ let test_of_events_rounds () =
   Alcotest.(check (list (list int))) "grouped from events" [ [ 0; 1 ] ]
     (Containment.groups c)
 
+let test_observe_round_edges () =
+  let c = Containment.create ~num_objects:4 () in
+  (* An empty round is a legal no-op. *)
+  Containment.observe_round c [];
+  Alcotest.(check (list (list int))) "empty round" [] (Containment.groups c);
+  (* A single-object round yields no pairs, and no self-evidence. *)
+  for _ = 1 to 8 do
+    Containment.observe_round c [ (2, Util.vec3 1. 1. 0.) ]
+  done;
+  Alcotest.(check (list (list int))) "single-object rounds" [] (Containment.groups c);
+  Util.check_close "no self support" 0. (Containment.support c 2 2);
+  (* The highest valid id (num_objects - 1) accumulates evidence like
+     any other object. *)
+  for _ = 1 to 4 do
+    Containment.observe_round c [ (0, Util.vec3 0. 0. 0.); (3, Util.vec3 0.3 0.2 0.) ]
+  done;
+  Alcotest.(check (list (list int))) "boundary id grouped" [ [ 0; 3 ] ]
+    (Containment.groups c);
+  (* num_objects = 0: rounds must be empty, and anything else rejects. *)
+  let c0 = Containment.create ~num_objects:0 () in
+  Containment.observe_round c0 [];
+  Alcotest.(check (list (list int))) "zero objects" [] (Containment.groups c0);
+  Util.check_raises_invalid "id into empty universe" (fun () ->
+      Containment.observe_round c0 [ (0, Rfid_geom.Vec3.zero) ])
+
 let test_validation () =
   Util.check_raises_invalid "bad id" (fun () ->
       let c = Containment.create ~num_objects:2 () in
@@ -188,12 +235,14 @@ let suite =
     [
       Alcotest.test_case "union-find basics" `Quick test_uf_basics;
       Alcotest.test_case "union-find idempotence" `Quick test_uf_idempotent_union;
+      Alcotest.test_case "union-find edges" `Quick test_uf_edges;
       prop_uf_union_is_equivalence;
       Alcotest.test_case "co-location groups" `Quick test_co_location_groups;
       Alcotest.test_case "insufficient support" `Quick test_insufficient_support;
       Alcotest.test_case "co-movement evidence" `Quick test_co_movement_strong_evidence;
       Alcotest.test_case "divergent movement" `Quick test_divergent_movement_is_no_evidence;
       Alcotest.test_case "of_events rounds" `Quick test_of_events_rounds;
+      Alcotest.test_case "observe_round edges" `Quick test_observe_round_edges;
       Alcotest.test_case "validation" `Quick test_validation;
       Alcotest.test_case "containment pipeline" `Slow test_containment_pipeline;
     ] )

@@ -124,7 +124,15 @@ let test_epoch_order_enforced () =
   in
   let obs = List.hd (Trace.observations trace) in
   ignore (Engine.step engine obs);
-  Util.check_raises_invalid "same epoch twice" (fun () -> Engine.step engine obs)
+  (* An equal-epoch duplicate is middleware noise: skipped and counted,
+     not fatal. *)
+  Alcotest.(check int) "duplicate produces nothing" 0
+    (List.length (Engine.step engine obs));
+  Alcotest.(check int) "duplicate counted" 1
+    (Engine.stats engine).Engine.duplicate_epochs_skipped;
+  (* A strictly earlier epoch still violates the contract by default. *)
+  Util.check_raises_invalid "earlier epoch" (fun () ->
+      Engine.step engine { obs with Types.o_epoch = obs.Types.o_epoch - 1 })
 
 let test_missed_readings_still_reported () =
   (* At 60% read rate objects are missed often; smoothing must still

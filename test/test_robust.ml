@@ -1,0 +1,380 @@
+(* Tests of the robustness layer: the ingest guard's per-fault
+   policies, fault injection, and degraded-mode inference. *)
+open Rfid_model
+open Rfid_robust
+
+let obs e loc tags = { Types.o_epoch = e; o_reported_loc = loc; o_read_tags = tags }
+let v = Util.vec3
+let nan3 = Util.vec3 Float.nan 0. 0.
+
+let small_scenario =
+  lazy
+    (let wh = Rfid_sim.Warehouse.layout ~num_objects:4 () in
+     let trace =
+       Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+         ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+         ~start:(Rfid_sim.Warehouse.reader_start wh)
+         ~path:(Rfid_sim.Trace_gen.straight_pass wh ~rounds:1)
+         ~config:(Rfid_sim.Trace_gen.default_config ())
+         (Rfid_prob.Rng.create ~seed:41)
+     in
+     (wh, trace))
+
+let small_engine ?(variant = Rfid_core.Config.Factorized_indexed) ?(seed = 11) () =
+  let wh, trace = Lazy.force small_scenario in
+  let engine =
+    Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world ~params:Params.default
+      ~config:
+        (Rfid_core.Config.create ~variant ~num_reader_particles:30
+           ~num_object_particles:40 ())
+      ~init_reader:trace.Trace.steps.(0).Trace.true_reader ~num_objects:4 ~seed ()
+  in
+  (wh, trace, engine)
+
+(* ------------------------------------------------------------------ *)
+(* Ingest guard decisions                                              *)
+
+let check_decision what expected actual =
+  let show = function
+    | Ingest.Accept o -> Printf.sprintf "Accept@%d" o.Types.o_epoch
+    | Ingest.Degraded e -> Printf.sprintf "Degraded@%d" e
+    | Ingest.Rejected -> "Rejected"
+    | Ingest.Halted (f, _) -> "Halted:" ^ Ingest.fault_name f
+  in
+  Alcotest.(check string) what (show expected) (show actual)
+
+let test_guard_clean_passthrough () =
+  let g = Ingest.create () in
+  let o = obs 0 (v 1. 2. 0.) [ Types.Object_tag 1 ] in
+  check_decision "clean accepted" (Ingest.Accept o) (Ingest.admit g o);
+  let o1 = obs 1 (v 1. 2.1 0.) [] in
+  check_decision "next accepted" (Ingest.Accept o1) (Ingest.admit g o1);
+  Alcotest.(check int) "no faults" 0 (Ingest.total_faults g)
+
+let test_guard_epoch_faults () =
+  (* Default policies: duplicates and negative epochs are dropped,
+     out-of-order halts. *)
+  let g = Ingest.create () in
+  ignore (Ingest.admit g (obs 5 (v 0. 0. 0.) []));
+  check_decision "duplicate rejected" Ingest.Rejected
+    (Ingest.admit g (obs 5 (v 0. 0. 0.) []));
+  check_decision "negative rejected" Ingest.Rejected
+    (Ingest.admit g (obs (-1) (v 0. 0. 0.) []));
+  (match Ingest.admit g (obs 3 (v 0. 0. 0.) []) with
+  | Ingest.Halted (Ingest.Out_of_order_epoch, msg) ->
+      Alcotest.(check bool) "message mentions epochs" true
+        (String.length msg > 0)
+  | d ->
+      check_decision "out-of-order halts"
+        (Ingest.Halted (Ingest.Out_of_order_epoch, "")) d);
+  Alcotest.(check int) "duplicate counted" 1 (Ingest.count g Ingest.Duplicate_epoch);
+  Alcotest.(check int) "negative counted" 1 (Ingest.count g Ingest.Negative_epoch);
+  Alcotest.(check int) "ooo counted" 1 (Ingest.count g Ingest.Out_of_order_epoch);
+  (* Clamp policy re-times bad epochs to last + 1 instead. *)
+  let g = Ingest.create ~policies:(Ingest.uniform_policies Ingest.Clamp) () in
+  ignore (Ingest.admit g (obs 5 (v 0. 0. 0.) []));
+  (match Ingest.admit g (obs 5 (v 1. 1. 0.) []) with
+  | Ingest.Accept o -> Alcotest.(check int) "re-timed to 6" 6 o.Types.o_epoch
+  | _ -> Alcotest.fail "clamped duplicate must be accepted");
+  match Ingest.admit g (obs 2 (v 1. 1. 0.) []) with
+  | Ingest.Accept o -> Alcotest.(check int) "re-timed to 7" 7 o.Types.o_epoch
+  | _ -> Alcotest.fail "clamped out-of-order must be accepted"
+
+let test_guard_gap () =
+  let g = Ingest.create ~max_gap:10 () in
+  ignore (Ingest.admit g (obs 0 (v 0. 0. 0.) []));
+  (* Default policy Clamp: counted but admitted unchanged. *)
+  (match Ingest.admit g (obs 100 (v 0. 0. 0.) []) with
+  | Ingest.Accept o -> Alcotest.(check int) "gap kept epoch" 100 o.Types.o_epoch
+  | _ -> Alcotest.fail "gap must be admitted under clamp");
+  Alcotest.(check int) "gap counted" 1 (Ingest.count g Ingest.Epoch_gap);
+  let g =
+    Ingest.create
+      ~policies:{ Ingest.default_policies with Ingest.on_epoch_gap = Ingest.Drop }
+      ~max_gap:10 ()
+  in
+  ignore (Ingest.admit g (obs 0 (v 0. 0. 0.) []));
+  check_decision "gap dropped" Ingest.Rejected (Ingest.admit g (obs 100 (v 0. 0. 0.) []))
+
+let test_guard_fix_faults () =
+  (* Non-finite fix, default (Drop): the epoch survives as degraded. *)
+  let g = Ingest.create () in
+  ignore (Ingest.admit g (obs 0 (v 1. 1. 0.) []));
+  check_decision "nan fix degrades" (Ingest.Degraded 1)
+    (Ingest.admit g (obs 1 nan3 [ Types.Object_tag 2 ]));
+  (* The degraded epoch advanced the timeline: same epoch again is now
+     a duplicate. *)
+  check_decision "timeline advanced" Ingest.Rejected (Ingest.admit g (obs 1 nan3 []));
+  (* Clamp substitutes the last good fix... *)
+  let g = Ingest.create ~policies:(Ingest.uniform_policies Ingest.Clamp) () in
+  ignore (Ingest.admit g (obs 0 (v 1. 1. 0.) []));
+  (match Ingest.admit g (obs 1 nan3 []) with
+  | Ingest.Accept o ->
+      Alcotest.(check (float 0.)) "substituted x" 1. o.Types.o_reported_loc.Rfid_geom.Vec3.x
+  | _ -> Alcotest.fail "clamped NaN must be accepted");
+  (* ... unless there is no good fix yet. *)
+  let g = Ingest.create ~policies:(Ingest.uniform_policies Ingest.Clamp) () in
+  check_decision "no fix to clamp to" (Ingest.Degraded 0) (Ingest.admit g (obs 0 nan3 []))
+
+let test_guard_bounds () =
+  let bounds = Rfid_geom.Box2.make ~min_x:0. ~min_y:0. ~max_x:10. ~max_y:10. in
+  let g = Ingest.create ~bounds ~bounds_margin:1. () in
+  (* Inside (with margin): untouched. *)
+  (match Ingest.admit g (obs 0 (v 10.5 5. 0.) []) with
+  | Ingest.Accept o ->
+      Alcotest.(check (float 0.)) "margin respected" 10.5
+        o.Types.o_reported_loc.Rfid_geom.Vec3.x
+  | _ -> Alcotest.fail "in-margin fix must pass");
+  (* Far outside: clamped onto the inflated box (default policy). *)
+  (match Ingest.admit g (obs 1 (v 500. (-500.) 0.) []) with
+  | Ingest.Accept o ->
+      Alcotest.(check (float 1e-9)) "x clamped" 11. o.Types.o_reported_loc.Rfid_geom.Vec3.x;
+      Alcotest.(check (float 1e-9)) "y clamped" (-1.)
+        o.Types.o_reported_loc.Rfid_geom.Vec3.y
+  | _ -> Alcotest.fail "out-of-bounds fix must be clamped");
+  Alcotest.(check int) "bounds fault counted" 1 (Ingest.count g Ingest.Out_of_bounds_fix);
+  (* Drop policy: degraded epoch instead. *)
+  let g =
+    Ingest.create ~bounds
+      ~policies:
+        { Ingest.default_policies with Ingest.on_out_of_bounds_fix = Ingest.Drop }
+      ()
+  in
+  ignore (Ingest.admit g (obs 0 (v 1. 1. 0.) []));
+  check_decision "oob dropped to degraded" (Ingest.Degraded 1)
+    (Ingest.admit g (obs 1 (v 500. 500. 0.) []))
+
+let test_guard_tags () =
+  let g = Ingest.create ~max_object_id:10 () in
+  (* Clamp (default): invalid tags stripped, valid ones kept. *)
+  (match
+     Ingest.admit g
+       (obs 0 (v 0. 0. 0.)
+          [ Types.Object_tag 3; Types.Object_tag 999; Types.Shelf_tag (-1) ])
+   with
+  | Ingest.Accept o ->
+      Alcotest.(check int) "only valid tag kept" 1 (List.length o.Types.o_read_tags);
+      Alcotest.(check bool) "the right one" true
+        (List.mem (Types.Object_tag 3) o.Types.o_read_tags)
+  | _ -> Alcotest.fail "tag fault under clamp must accept");
+  Alcotest.(check int) "tag fault counted" 1 (Ingest.count g Ingest.Out_of_range_tag);
+  (* Boundary: id = max_object_id - 1 is valid, id = max_object_id is not. *)
+  (match Ingest.admit g (obs 1 (v 0. 0. 0.) [ Types.Object_tag 9 ]) with
+  | Ingest.Accept o -> Alcotest.(check int) "boundary id kept" 1 (List.length o.Types.o_read_tags)
+  | _ -> Alcotest.fail "boundary id must pass");
+  let g =
+    Ingest.create ~max_object_id:10
+      ~policies:
+        { Ingest.default_policies with Ingest.on_out_of_range_tag = Ingest.Drop }
+      ()
+  in
+  check_decision "tag fault under drop" Ingest.Rejected
+    (Ingest.admit g (obs 0 (v 0. 0. 0.) [ Types.Object_tag 10 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let test_faults_deterministic () =
+  let _, trace = Lazy.force small_scenario in
+  let stream = Trace.observations trace in
+  let spec =
+    Rfid_sim.Faults.make ~drop_prob:0.2 ~duplicate_prob:0.1 ~nan_fix_prob:0.1
+      ~spurious_tag_prob:0.1 ~reorder_prob:0.1 ~outage:(5, 5) ()
+  in
+  let a = Rfid_sim.Faults.apply spec ~seed:3 stream in
+  let b = Rfid_sim.Faults.apply spec ~seed:3 stream in
+  (* [compare], not [=]: the corrupted streams contain NaN fixes. *)
+  Alcotest.(check bool) "same seed, same corruption" true (compare a b = 0);
+  let c = Rfid_sim.Faults.apply spec ~seed:4 stream in
+  Alcotest.(check bool) "different seed differs" true (compare a c <> 0);
+  Alcotest.(check bool) "identity spec" true
+    (compare (Rfid_sim.Faults.apply Rfid_sim.Faults.none ~seed:3 stream) stream = 0);
+  (* The outage window really is NaN. *)
+  let in_outage =
+    List.filter (fun (o : Types.observation) -> o.Types.o_epoch >= 5 && o.Types.o_epoch < 10) a
+  in
+  Alcotest.(check bool) "outage fixes are non-finite" true
+    (in_outage <> []
+    && List.for_all
+         (fun (o : Types.observation) ->
+           Float.is_nan o.Types.o_reported_loc.Rfid_geom.Vec3.x)
+         in_outage);
+  Util.check_raises_invalid "bad probability" (fun () ->
+      ignore (Rfid_sim.Faults.make ~drop_prob:1.5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Fault matrix: every fault kind x every policy runs to completion.   *)
+
+let with_policy fault policy =
+  let d = Ingest.default_policies in
+  match fault with
+  | Ingest.Nonfinite_fix -> { d with Ingest.on_nonfinite_fix = policy }
+  | Ingest.Out_of_bounds_fix -> { d with Ingest.on_out_of_bounds_fix = policy }
+  | Ingest.Negative_epoch -> { d with Ingest.on_negative_epoch = policy }
+  | Ingest.Duplicate_epoch -> { d with Ingest.on_duplicate_epoch = policy }
+  | Ingest.Out_of_order_epoch -> { d with Ingest.on_out_of_order_epoch = policy }
+  | Ingest.Epoch_gap -> { d with Ingest.on_epoch_gap = policy }
+  | Ingest.Out_of_range_tag -> { d with Ingest.on_out_of_range_tag = policy }
+
+(* A short clean stream with one instance of the given fault spliced in. *)
+let stream_with fault =
+  let base = List.init 12 (fun e -> obs e (v (float_of_int e) 1. 0.) [ Types.Object_tag 0 ]) in
+  match fault with
+  | Ingest.Nonfinite_fix ->
+      List.map (fun (o : Types.observation) ->
+          if o.Types.o_epoch = 6 then { o with Types.o_reported_loc = nan3 } else o)
+        base
+  | Ingest.Out_of_bounds_fix ->
+      List.map (fun (o : Types.observation) ->
+          if o.Types.o_epoch = 6 then { o with Types.o_reported_loc = v 1e5 1e5 0. } else o)
+        base
+  | Ingest.Negative_epoch ->
+      List.concat_map (fun (o : Types.observation) ->
+          if o.Types.o_epoch = 6 then [ obs (-3) (v 0. 0. 0.) []; o ] else [ o ])
+        base
+  | Ingest.Duplicate_epoch ->
+      List.concat_map (fun (o : Types.observation) ->
+          if o.Types.o_epoch = 6 then [ o; o ] else [ o ])
+        base
+  | Ingest.Out_of_order_epoch ->
+      List.concat_map (fun (o : Types.observation) ->
+          if o.Types.o_epoch = 6 then [ o; obs 2 (v 2. 1. 0.) [] ] else [ o ])
+        base
+  | Ingest.Epoch_gap ->
+      base @ [ obs 500 (v 12. 1. 0.) [] ]
+  | Ingest.Out_of_range_tag ->
+      List.map (fun (o : Types.observation) ->
+          if o.Types.o_epoch = 6 then
+            { o with Types.o_read_tags = [ Types.Object_tag 99999 ] }
+          else o)
+        base
+
+let test_fault_matrix () =
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun policy ->
+          let what =
+            Printf.sprintf "%s x %s" (Ingest.fault_name fault)
+              (Ingest.policy_name policy)
+          in
+          let wh, _ = Lazy.force small_scenario in
+          let _, _, engine = small_engine ~seed:17 () in
+          let guard =
+            Ingest.create
+              ~policies:(with_policy fault policy)
+              ~bounds:(World.bounding_box wh.Rfid_sim.Warehouse.world)
+              ~max_object_id:4 ~max_gap:100 ()
+          in
+          (* Must run to completion — Ok, or a clean Error for the
+             injected fault under Halt — without any exception. *)
+          (match Ingest.run_engine guard engine (stream_with fault) with
+          | Ok _ -> ()
+          | Error (f, _) ->
+              Alcotest.(check string) (what ^ ": halt names the fault")
+                (Ingest.fault_name fault) (Ingest.fault_name f);
+              Alcotest.(check string) (what ^ ": only halt stops") "halt"
+                (Ingest.policy_name policy));
+          Alcotest.(check bool) (what ^ ": fault counted") true
+            (Ingest.count guard fault >= 1))
+        [ Ingest.Drop; Ingest.Clamp; Ingest.Halt ])
+    Ingest.all_faults
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-mode inference                                             *)
+
+let test_degraded_mode () =
+  let _, trace, engine = small_engine () in
+  let stream = Trace.observations trace in
+  let n = List.length stream in
+  let outage_lo = n / 3 and outage_hi = (n / 3) + 15 in
+  let events = ref [] in
+  let widened_before = ref None in
+  List.iter
+    (fun (o : Types.observation) ->
+      let e = o.Types.o_epoch in
+      if e >= outage_lo && e < outage_hi then begin
+        if e = outage_lo then
+          widened_before := Rfid_core.Engine.estimate engine 0;
+        events := List.rev_append (Rfid_core.Engine.step_degraded engine ~epoch:e) !events
+      end
+      else events := List.rev_append (Rfid_core.Engine.step engine o) !events)
+    stream;
+  events := List.rev_append (Rfid_core.Engine.flush engine) !events;
+  let events = List.rev !events in
+  let stats = Rfid_core.Engine.stats engine in
+  Alcotest.(check int) "degraded epochs counted" 15
+    stats.Rfid_core.Engine.degraded_epochs;
+  Alcotest.(check int) "degraded events counted"
+    stats.Rfid_core.Engine.degraded_events
+    (List.length (List.filter (fun e -> e.Rfid_core.Event.ev_degraded) events));
+  (* Posterior widening: after 15 dead-reckoned epochs (widen_after is
+     10), object 0's posterior must not have tightened. *)
+  (match (!widened_before, Rfid_core.Engine.estimate engine 0) with
+  | Some (_, cov0), Some (_, cov1) ->
+      let spread c = c.(0).(0) +. c.(1).(1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "posterior widened (%.4f -> %.4f)" (spread cov0) (spread cov1))
+        true
+        (spread cov1 > spread cov0)
+  | _ -> ());
+  (* Dead reckoning must still advance the clock. *)
+  Alcotest.(check bool) "epoch advanced" true
+    (Rfid_core.Engine.epoch engine >= outage_hi - 1);
+  (* step_degraded polices epoch order like step. *)
+  Util.check_raises_invalid "degraded epoch regression" (fun () ->
+      ignore (Rfid_core.Engine.step_degraded engine ~epoch:0))
+
+let test_degraded_recovery () =
+  (* After an outage, fresh fixes must pull the estimates back in: the
+     engine keeps producing events and does not blow up numerically. *)
+  let _, trace, engine = small_engine ~variant:Rfid_core.Config.Factorized_compressed () in
+  let stream = Trace.observations trace in
+  let n = List.length stream in
+  let stepped =
+    List.concat_map
+      (fun (o : Types.observation) ->
+        if o.Types.o_epoch >= n / 2 && o.Types.o_epoch < (n / 2) + 8 then
+          Rfid_core.Engine.step_degraded engine ~epoch:o.Types.o_epoch
+        else Rfid_core.Engine.step engine o)
+      stream
+  in
+  let events = stepped @ Rfid_core.Engine.flush engine in
+  Alcotest.(check bool) "events produced" true (events <> []);
+  List.iter
+    (fun (ev : Rfid_core.Event.t) ->
+      Alcotest.(check bool) "event locations finite" true
+        (Float.is_finite ev.Rfid_core.Event.ev_loc.Rfid_geom.Vec3.x
+        && Float.is_finite ev.Rfid_core.Event.ev_loc.Rfid_geom.Vec3.y))
+    events
+
+let test_engine_ooo_drop_policy () =
+  let wh, trace = Lazy.force small_scenario in
+  let engine =
+    Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world ~params:Params.default
+      ~config:
+        (Rfid_core.Config.create ~num_reader_particles:30 ~num_object_particles:40
+           ~drop_out_of_order:true ())
+      ~init_reader:trace.Trace.steps.(0).Trace.true_reader ~seed:11 ()
+  in
+  ignore (Rfid_core.Engine.step engine (obs 5 (v 0. 0. 0.) []));
+  Alcotest.(check int) "ooo dropped silently" 0
+    (List.length (Rfid_core.Engine.step engine (obs 2 (v 0. 0. 0.) [])));
+  Alcotest.(check int) "ooo counted" 1
+    (Rfid_core.Engine.stats engine).Rfid_core.Engine.out_of_order_dropped
+
+let suite =
+  ( "robust",
+    [
+      Alcotest.test_case "guard passthrough" `Quick test_guard_clean_passthrough;
+      Alcotest.test_case "guard epoch faults" `Quick test_guard_epoch_faults;
+      Alcotest.test_case "guard gap" `Quick test_guard_gap;
+      Alcotest.test_case "guard fix faults" `Quick test_guard_fix_faults;
+      Alcotest.test_case "guard bounds" `Quick test_guard_bounds;
+      Alcotest.test_case "guard tags" `Quick test_guard_tags;
+      Alcotest.test_case "fault injection deterministic" `Quick test_faults_deterministic;
+      Alcotest.test_case "fault matrix" `Slow test_fault_matrix;
+      Alcotest.test_case "degraded mode" `Quick test_degraded_mode;
+      Alcotest.test_case "degraded recovery" `Quick test_degraded_recovery;
+      Alcotest.test_case "engine ooo drop policy" `Quick test_engine_ooo_drop_policy;
+    ] )

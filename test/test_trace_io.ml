@@ -70,7 +70,70 @@ let test_malformed_rejected () =
   bad "x,0,0,0,\n";
   bad "1,a,0,0,\n";
   bad "1,0,0,0,weird:3\n";
-  bad "1,0,0,0,obj:xyz\n"
+  bad "1,0,0,0,obj:xyz\n";
+  (* Hardened checks: values that parse but poison the pipeline. *)
+  bad "-1,0,0,0,\n";
+  bad "1,nan,0,0,\n";
+  bad "1,0,inf,0,\n";
+  bad "1,0,0,0,obj:-3\n";
+  bad "1,0,0,0,shelf:-1\n"
+
+let test_messy_but_valid_accepted () =
+  (* Trailing whitespace, CRLF endings and padded fields are transport
+     noise, not data errors. *)
+  let s = "5 , 1.0 ,\t2.0 , 3.0 , obj:7 ; shelf:2 \r\n\r\n  \n6,0,0,0,\r\n" in
+  match Trace_io.observations_of_string s with
+  | [ a; b ] ->
+      Alcotest.(check int) "first epoch" 5 a.Types.o_epoch;
+      Alcotest.(check int) "two tags" 2 (List.length a.Types.o_read_tags);
+      Alcotest.(check bool) "tags parsed" true
+        (List.mem (Types.Object_tag 7) a.Types.o_read_tags
+        && List.mem (Types.Shelf_tag 2) a.Types.o_read_tags);
+      Alcotest.(check int) "second epoch" 6 b.Types.o_epoch
+  | l -> Alcotest.failf "expected two observations, got %d" (List.length l)
+
+let test_lenient_reader () =
+  let s =
+    "# header comment\n\
+     0,0,0,0,obj:1\n\
+     broken line\n\
+     -4,0,0,0,\n\
+     2,nan,0,0,\n\
+     3,1,1,0,obj:2\n"
+  in
+  let good, errors = Trace_io.observations_of_string_lenient s in
+  Alcotest.(check (list int)) "good epochs" [ 0; 3 ]
+    (List.map (fun (o : Types.observation) -> o.Types.o_epoch) good);
+  Alcotest.(check (list int)) "error line numbers" [ 3; 4; 5 ]
+    (List.map fst errors);
+  List.iter
+    (fun (_, msg) -> Alcotest.(check bool) "message non-empty" true (msg <> ""))
+    errors;
+  (* Strict reader fails on the same input, with a line number. *)
+  (match Trace_io.observations_of_string s with
+  | _ -> Alcotest.fail "strict reader must reject"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line number in %S" msg)
+        true
+        (String.length msg > 0 && String.contains msg '3'));
+  (* Lenient file reader agrees with the string reader. *)
+  let path = Filename.temp_file "rfid_io_lenient" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      let ic = open_in path in
+      let good2, errors2 =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Trace_io.read_observations_lenient ic)
+      in
+      Alcotest.(check int) "file good count" (List.length good) (List.length good2);
+      Alcotest.(check (list int)) "file error lines" (List.map fst errors)
+        (List.map fst errors2))
 
 let test_comments_and_blank_lines_skipped () =
   let s = "# comment\n\nepoch,reported_x,reported_y,reported_z,tags\n5,1,2,3,obj:7\n" in
@@ -152,6 +215,8 @@ let suite =
       Alcotest.test_case "simulated-trace roundtrip" `Quick test_roundtrip_simulated;
       Alcotest.test_case "file roundtrip" `Quick test_roundtrip_files;
       Alcotest.test_case "malformed input rejected" `Quick test_malformed_rejected;
+      Alcotest.test_case "messy but valid accepted" `Quick test_messy_but_valid_accepted;
+      Alcotest.test_case "lenient reader" `Quick test_lenient_reader;
       Alcotest.test_case "comments skipped" `Quick test_comments_and_blank_lines_skipped;
       Alcotest.test_case "replay through engine" `Quick test_replay_through_engine;
       prop_random_roundtrip;
