@@ -2,15 +2,18 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench bench-json fuzz fmt clean
+.PHONY: all build test bench bench-json perf-gate perf-baseline fuzz fmt clean
 
 all: build
 
 build:
 	$(DUNE) build
 
+# The perf gate rides along non-fatally (leading -): an allocation
+# regression prints loudly but does not mask a test failure.
 test:
 	$(DUNE) build && $(DUNE) runtest && $(DUNE) exec fuzz/fuzz_main.exe -- 10
+	-$(MAKE) perf-gate
 
 # Randomized corrupted-input fuzz (seeds are logged; reproduce any
 # failure with `dune exec fuzz/fuzz_main.exe -- ITERS BASE_SEED`).
@@ -25,6 +28,16 @@ bench:
 # the perf trajectory is diffable across PRs.
 bench-json:
 	$(DUNE) exec bench/main.exe -- --json BENCH_filter.json
+
+# Allocation regression gate: measure a small fixed workload and fail
+# if per-epoch allocated words exceed the committed baseline by >10%.
+perf-gate:
+	$(DUNE) exec bench/main.exe -- --perf-gate BENCH_baseline.json
+
+# Refresh the gate baseline after a deliberate allocation-profile
+# change; commit BENCH_baseline.json together with that change.
+perf-baseline:
+	$(DUNE) exec bench/main.exe -- --perf-baseline BENCH_baseline.json
 
 fmt:
 	$(DUNE) build @fmt --auto-promote 2>/dev/null || true

@@ -15,6 +15,11 @@ type point = {
   pt_readings : int;
   pt_elapsed_s : float;
   pt_err_xy : float;
+  pt_minor_words : float;  (* per epoch *)
+  pt_major_words : float;  (* per epoch, promotions excluded *)
+  pt_lat_p50_us : float;
+  pt_lat_p95_us : float;
+  pt_lat_p99_us : float;
 }
 
 let ns_per_epoch p =
@@ -40,6 +45,11 @@ let run_point ~variant ~label ~objects ~num_domains ~params ~trace =
     pt_readings = r.Rfid_eval.Runner.total_readings;
     pt_elapsed_s = r.Rfid_eval.Runner.elapsed_s;
     pt_err_xy = r.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy;
+    pt_minor_words = r.Rfid_eval.Runner.minor_words_per_epoch;
+    pt_major_words = r.Rfid_eval.Runner.major_words_per_epoch;
+    pt_lat_p50_us = r.Rfid_eval.Runner.lat_p50_us;
+    pt_lat_p95_us = r.Rfid_eval.Runner.lat_p95_us;
+    pt_lat_p99_us = r.Rfid_eval.Runner.lat_p99_us;
   }
 
 (* One fault-injected run through the ingest guard, so the bench file
@@ -122,13 +132,16 @@ let emit oc points robust =
     Printf.sprintf
       "    {\"variant\": %S, \"objects\": %d, \"num_domains\": %d, \"epochs\": %d, \
        \"readings\": %d, \"elapsed_s\": %.6f, \"ns_per_epoch\": %.1f, \
-       \"epochs_per_sec\": %.2f, \"err_xy_ft\": %.4f}"
+       \"epochs_per_sec\": %.2f, \"err_xy_ft\": %.4f, \
+       \"minor_words_per_epoch\": %.1f, \"major_words_per_epoch\": %.1f, \
+       \"lat_p50_us\": %.1f, \"lat_p95_us\": %.1f, \"lat_p99_us\": %.1f}"
       p.pt_variant p.pt_objects p.pt_domains p.pt_epochs p.pt_readings p.pt_elapsed_s
-      (ns_per_epoch p) (epochs_per_sec p) p.pt_err_xy
+      (ns_per_epoch p) (epochs_per_sec p) p.pt_err_xy p.pt_minor_words p.pt_major_words
+      p.pt_lat_p50_us p.pt_lat_p95_us p.pt_lat_p99_us
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"bench_filter/v1\",\n\
+    \  \"schema\": \"bench_filter/v2\",\n\
     \  \"workload\": \"warehouse straight pass, J=100, K=200, seed 7\",\n\
     \  \"host_cores\": %d,\n\
     \  \"points\": [\n%s\n\
@@ -182,3 +195,111 @@ let run ~path ~large =
     ~finally:(fun () -> close_out oc)
     (fun () -> emit oc (List.rev !points) robust);
   Printf.printf "wrote %d points to %s\n%!" (List.length !points) path
+
+(* Allocation regression gate. A small fixed workload is measured and
+   its per-epoch allocated words compared against the committed
+   baseline (BENCH_baseline.json); more than [tolerance] over fails.
+   The workload is deliberately modest (~1 s) so the gate can ride
+   along with `make test`. Update the baseline deliberately — after a
+   change that legitimately shifts the allocation profile — with
+   `make perf-baseline`, and commit the file with that change. *)
+
+let gate_workload = "warehouse straight pass, 200 objects, factorized+index, J=100, K=200, seed 7"
+let gate_tolerance = 0.10
+
+let measure_gate () =
+  let params = Scenarios.cone_params () in
+  let built = Scenarios.warehouse_trace ~num_objects:200 ~seed:111 () in
+  let config =
+    Scenarios.engine_config ~variant:Rfid_core.Config.Factorized_indexed
+      ~num_domains:1 ()
+  in
+  Rfid_eval.Runner.run_engine ~params ~config ~seed:7 built.Scenarios.trace
+
+let write_baseline ~path =
+  Printf.printf "bench --perf-baseline: measuring %s\n%!" gate_workload;
+  let r = measure_gate () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"bench_baseline/v1\",\n\
+        \  \"workload\": %S,\n\
+        \  \"epochs\": %d,\n\
+        \  \"minor_words_per_epoch\": %.1f,\n\
+        \  \"major_words_per_epoch\": %.1f,\n\
+        \  \"allocated_words_per_epoch\": %.1f\n\
+         }\n"
+        gate_workload r.Rfid_eval.Runner.epochs
+        r.Rfid_eval.Runner.minor_words_per_epoch
+        r.Rfid_eval.Runner.major_words_per_epoch
+        r.Rfid_eval.Runner.allocated_words_per_epoch);
+  Printf.printf "wrote baseline (%.0f allocated words/epoch) to %s\n%!"
+    r.Rfid_eval.Runner.allocated_words_per_epoch path
+
+(* Minimal JSON number extraction — enough for the flat baseline file
+   this module itself writes; no JSON library in the dependency set. *)
+let json_number ~key s =
+  let pat = Printf.sprintf "\"%s\"" key in
+  let plen = String.length pat and slen = String.length s in
+  let rec find i =
+    if i + plen > slen then None
+    else if String.sub s i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while !i < slen && (s.[!i] = ':' || s.[!i] = ' ' || s.[!i] = '\t') do incr i done;
+      let j = ref !i in
+      while
+        !j < slen
+        && (match s.[!j] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+      do
+        incr j
+      done;
+      if !j = !i then None else float_of_string_opt (String.sub s !i (!j - !i))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_gate ~baseline_path =
+  let baseline =
+    match read_file baseline_path with
+    | exception Sys_error msg ->
+        Printf.eprintf "perf-gate: cannot read %s (%s)\n" baseline_path msg;
+        exit 2
+    | s -> (
+        match json_number ~key:"allocated_words_per_epoch" s with
+        | Some v when v > 0. -> v
+        | _ ->
+            Printf.eprintf "perf-gate: no allocated_words_per_epoch in %s\n"
+              baseline_path;
+            exit 2)
+  in
+  Printf.printf "perf-gate: measuring %s\n%!" gate_workload;
+  let r = measure_gate () in
+  let current = r.Rfid_eval.Runner.allocated_words_per_epoch in
+  let limit = baseline *. (1. +. gate_tolerance) in
+  Printf.printf
+    "perf-gate: %.0f allocated words/epoch (baseline %.0f, limit %.0f, minor %.0f, \
+     major %.0f)\n\
+     %!"
+    current baseline limit r.Rfid_eval.Runner.minor_words_per_epoch
+    r.Rfid_eval.Runner.major_words_per_epoch;
+  if current > limit then begin
+    Printf.eprintf
+      "perf-gate: FAIL — per-epoch allocation regressed more than %.0f%% over the \
+       committed baseline.\n\
+       If the increase is intended, refresh the baseline with `make perf-baseline` \
+       and commit BENCH_baseline.json.\n"
+      (100. *. gate_tolerance);
+    exit 1
+  end
+  else Printf.printf "perf-gate: OK\n%!"

@@ -7,24 +7,33 @@
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --large # include the 10k-object sweep
      dune exec bench/main.exe -- --json BENCH_filter.json
-                                         # machine-readable throughput bench *)
+                                         # machine-readable throughput bench
+     dune exec bench/main.exe -- --perf-gate BENCH_baseline.json
+                                         # fail on per-epoch allocation regression
+     dune exec bench/main.exe -- --perf-baseline BENCH_baseline.json
+                                         # refresh the committed gate baseline *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let large = List.mem "--large" args in
   let args = List.filter (fun a -> a <> "--large") args in
-  let json_path, args =
-    let rec take acc = function
-      | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
-      | "--json" :: [] -> (Some "BENCH_filter.json", List.rev acc)
-      | a :: rest -> take (a :: acc) rest
+  let take flag ~default args =
+    let rec go acc = function
+      | f :: path :: rest when f = flag -> (Some path, List.rev_append acc rest)
+      | [ f ] when f = flag -> (Some default, List.rev acc)
+      | a :: rest -> go (a :: acc) rest
       | [] -> (None, List.rev acc)
     in
-    take [] args
+    go [] args
   in
-  match json_path with
-  | Some path -> Bench_json.run ~path ~large
-  | None ->
+  let json_path, args = take "--json" ~default:"BENCH_filter.json" args in
+  let gate_path, args = take "--perf-gate" ~default:"BENCH_baseline.json" args in
+  let baseline_path, args = take "--perf-baseline" ~default:"BENCH_baseline.json" args in
+  match (json_path, gate_path, baseline_path) with
+  | _, Some path, _ -> Bench_json.check_gate ~baseline_path:path
+  | _, _, Some path -> Bench_json.write_baseline ~path
+  | Some path, _, _ -> Bench_json.run ~path ~large
+  | None, None, None ->
   if List.mem "--list" args then begin
     Printf.printf "available experiments:\n";
     List.iter

@@ -1,19 +1,32 @@
 open Rfid_geom
 open Rfid_model
+module Ps = Rfid_prob.Particle_store
 
-type particle = {
-  mutable reader : Reader_state.t;
-  locs : Vec3.t array;
-  mutable log_w : float;
-}
-
+(* Joint particles in structure-of-arrays form: particle [p]'s object
+   locations live in row [p] of a single [J * N] slab (slot
+   [p * num_objects + i] for object [i]), its reader hypothesis in
+   [readers.(p)], and its log weight in [log_ws.(p)]. The per-epoch hot
+   loops (proposal, weighting, normalization, resampling) run over
+   these slabs and a set of persistent buffers, so the steady state
+   allocates nothing per epoch; every loop performs the identical
+   floating-point operations in the identical order as the former
+   array-of-records code (golden-trace tests hold it there). *)
 type t = {
   world : World.t;
   params : Params.t;
   config : Config.t;
   rng : Rfid_prob.Rng.t;
   num_objects : int;
-  mutable particles : particle array;
+  mutable readers : Reader_state.t array;  (* J reader hypotheses *)
+  mutable spare_readers : Reader_state.t array;  (* resample double-buffer *)
+  store : Ps.t;  (* J*N object locations, row-major by particle *)
+  spare : Ps.t;  (* resample double-buffer for [store] *)
+  log_ws : float array;  (* J per-particle log weights *)
+  wbuf : float array;  (* J normalized weights (scratch) *)
+  idxbuf : int array;  (* J resample indices (scratch) *)
+  obj_read : bool array;  (* N per-epoch read flags (scratch) *)
+  shelf_read : (int, unit) Hashtbl.t;  (* per-epoch, cleared not rebuilt *)
+  pre : Sensor_model.pre;  (* J reader poses, refreshed each epoch *)
   cache : Common.Sensor_cache.t;
   shelf_tags : (Types.tag * Vec3.t) array;
   mutable last_reported : Vec3.t option;
@@ -25,20 +38,23 @@ type t = {
   mutable degraded_total : int;
 }
 
+let slot t p i = (p * t.num_objects) + i
+
 let create ~world ~params ~config ~init_reader ~num_objects ~rng =
   if num_objects < 0 then invalid_arg "Basic_filter.create: negative num_objects";
   let j = config.Config.num_reader_particles in
-  let particles =
-    Array.init j (fun _ ->
+  let store = Ps.create ~n:(j * num_objects) in
+  let readers =
+    Array.init j (fun p ->
         let loc =
           Common.jitter init_reader.Reader_state.loc
             ~sigma:params.Params.sensing.Location_sensing.sigma rng
         in
-        {
-          reader = Reader_state.make ~loc ~heading:init_reader.Reader_state.heading;
-          locs = Array.init num_objects (fun _ -> World.sample_on_shelves world rng);
-          log_w = 0.;
-        })
+        for i = 0 to num_objects - 1 do
+          let l = World.sample_on_shelves world rng in
+          Ps.set_loc store ((p * num_objects) + i) ~x:l.Vec3.x ~y:l.Vec3.y ~z:l.Vec3.z
+        done;
+        Reader_state.make ~loc ~heading:init_reader.Reader_state.heading)
   in
   {
     world;
@@ -46,7 +62,16 @@ let create ~world ~params ~config ~init_reader ~num_objects ~rng =
     config;
     rng;
     num_objects;
-    particles;
+    readers;
+    spare_readers = Array.copy readers;
+    store;
+    spare = Ps.create ~n:(j * num_objects);
+    log_ws = Array.make j 0.;
+    wbuf = Array.make j 0.;
+    idxbuf = Array.make j 0;
+    obj_read = Array.make num_objects false;
+    shelf_read = Hashtbl.create 8;
+    pre = Sensor_model.precompute params.Params.sensor ~n:j;
     cache =
       Common.Sensor_cache.create ~threshold:config.Config.detection_threshold
         ~max_range:config.Config.max_sensing_range
@@ -61,26 +86,40 @@ let create ~world ~params ~config ~init_reader ~num_objects ~rng =
     degraded_total = 0;
   }
 
-let reinit_object t p obj =
-  p.locs.(obj) <-
+let num_particles t = Array.length t.readers
+
+let refresh_memo t =
+  for p = 0 to num_particles t - 1 do
+    let r = t.readers.(p) in
+    let loc = r.Reader_state.loc in
+    Sensor_model.pre_set_pose t.pre p ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z
+      ~heading:r.Reader_state.heading
+  done
+
+let reinit_object t p i =
+  let r = t.readers.(p) in
+  let loc =
     Common.sample_initial_location t.cache
       ~overestimate:t.config.Config.init_overestimate ~world:t.world
-      ~reader_loc:p.reader.Reader_state.loc ~heading:p.reader.Reader_state.heading t.rng
+      ~reader_loc:r.Reader_state.loc ~heading:r.Reader_state.heading t.rng
+  in
+  Ps.set_loc t.store (slot t p i) ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z
 
 let step t (obs : Types.observation) =
   if obs.Types.o_epoch <= t.epoch then
     invalid_arg "Basic_filter.step: observations out of epoch order";
   let e = obs.Types.o_epoch in
   let reported = obs.Types.o_reported_loc in
+  let j = num_particles t in
   t.newly_seen <- [];
-  (* Split readings. *)
-  let obj_read = Array.make t.num_objects false in
-  let shelf_read = Hashtbl.create 8 in
+  (* Split readings (into the persistent per-epoch scratch). *)
+  Array.fill t.obj_read 0 t.num_objects false;
+  Hashtbl.clear t.shelf_read;
   List.iter
     (fun tag ->
       match tag with
-      | Types.Object_tag i -> if i >= 0 && i < t.num_objects then obj_read.(i) <- true
-      | Types.Shelf_tag i -> Hashtbl.replace shelf_read i ())
+      | Types.Object_tag i -> if i >= 0 && i < t.num_objects then t.obj_read.(i) <- true
+      | Types.Shelf_tag i -> Hashtbl.replace t.shelf_read i ())
     obs.Types.o_read_tags;
   (* Proposal: move readers and objects. *)
   let delta =
@@ -95,95 +134,122 @@ let step t (obs : Types.observation) =
         Common.proposal_sigma t.config.Config.proposal ~motion
           ~sensing:t.params.Params.sensing
   in
-  Array.iter
-    (fun p ->
-      let loc =
-        match t.config.Config.proposal with
-        | Config.From_reported_location -> Common.jitter reported ~sigma t.rng
-        | Config.From_velocity | Config.From_reported_displacement ->
-            Common.jitter (Vec3.add p.reader.Reader_state.loc delta) ~sigma t.rng
-      in
-      let heading =
-        Common.propose_heading t.config.Config.heading_model ~motion ~epoch:e
-          ~current:p.reader.Reader_state.heading t.rng
-      in
-      p.reader <- Reader_state.make ~loc ~heading;
-      (* Move hypotheses only where evidence can judge them — see the
-         matching comment in Factored_filter. *)
-      for i = 0 to t.num_objects - 1 do
-        if obj_read.(i) then
-          p.locs.(i) <-
-            Object_model.sample_next t.params.Params.objects t.world t.rng p.locs.(i)
-      done)
-    t.particles;
+  let move_prob = t.params.Params.objects.Object_model.move_prob in
+  for p = 0 to j - 1 do
+    let r = t.readers.(p) in
+    let loc =
+      match t.config.Config.proposal with
+      | Config.From_reported_location -> Common.jitter reported ~sigma t.rng
+      | Config.From_velocity | Config.From_reported_displacement ->
+          Common.jitter (Vec3.add r.Reader_state.loc delta) ~sigma t.rng
+    in
+    let heading =
+      Common.propose_heading t.config.Config.heading_model ~motion ~epoch:e
+        ~current:r.Reader_state.heading t.rng
+    in
+    t.readers.(p) <- Reader_state.make ~loc ~heading;
+    (* Move hypotheses only where evidence can judge them — see the
+       matching comment in Factored_filter. [Object_model.sample_next]
+       is inlined so a particle that stays put writes nothing. *)
+    for i = 0 to t.num_objects - 1 do
+      if t.obj_read.(i) then
+        if Rfid_prob.Rng.bernoulli t.rng ~p:move_prob then begin
+          let l = World.sample_on_shelves t.world t.rng in
+          Ps.set_loc t.store (slot t p i) ~x:l.Vec3.x ~y:l.Vec3.y ~z:l.Vec3.z
+        end
+    done
+  done;
   (* Detection-driven (re)initialization of object hypotheses. *)
   for i = 0 to t.num_objects - 1 do
-    if obj_read.(i) then begin
+    if t.obj_read.(i) then begin
       if t.last_read.(i) < 0 then
-        Array.iter (fun p -> reinit_object t p i) t.particles
+        for p = 0 to j - 1 do
+          reinit_object t p i
+        done
       else begin
         let d = Vec3.dist reported t.last_read_reader.(i) in
         if d >= t.config.Config.reinit_far then
-          Array.iter (fun p -> reinit_object t p i) t.particles
+          for p = 0 to j - 1 do
+            reinit_object t p i
+          done
         else if d >= t.config.Config.reinit_near then
           (* Keep half the hypotheses, spread the other half at the new
              location (§IV-A). *)
-          Array.iter
-            (fun p -> if Rfid_prob.Rng.bool t.rng then reinit_object t p i)
-            t.particles
+          for p = 0 to j - 1 do
+            if Rfid_prob.Rng.bool t.rng then reinit_object t p i
+          done
       end
     end
   done;
-  (* Weighting. *)
-  let sensor = t.params.Params.sensor in
-  Array.iter
-    (fun p ->
-      let reader_loc = p.reader.Reader_state.loc in
-      let heading = p.reader.Reader_state.heading in
-      let lw = ref (Location_sensing.log_pdf t.params.Params.sensing ~true_loc:reader_loc ~reported) in
-      Array.iter
-        (fun (tag, tag_loc) ->
-          let read =
-            match tag with Types.Shelf_tag i -> Hashtbl.mem shelf_read i | _ -> false
-          in
-          let l =
-            Sensor_model.log_prob sensor ~reader_loc ~reader_heading:heading ~tag_loc
-              ~read
-          in
-          let l = if read then l else t.config.Config.shelf_miss_weight *. l in
-          lw := !lw +. l)
-        t.shelf_tags;
-      for i = 0 to t.num_objects - 1 do
-        (* Objects never read are still latent but carry no evidence
-           coupling beyond the miss term; include it — this is the full
-           joint model. *)
-        lw :=
-          !lw
-          +. Sensor_model.log_prob sensor ~reader_loc ~reader_heading:heading
-               ~tag_loc:p.locs.(i) ~read:obj_read.(i)
-      done;
-      p.log_w <- p.log_w +. !lw)
-    t.particles;
-  (* Normalize in log space, resample on degeneracy. *)
-  let lws = Array.map (fun p -> p.log_w) t.particles in
-  let w = Rfid_prob.Stats.normalize_log_weights lws in
-  let j = Array.length t.particles in
-  if Rfid_prob.Stats.effective_sample_size w < t.config.Config.resample_ratio *. float_of_int j
+  (* Weighting, against the freshly proposed poses via the memo. *)
+  refresh_memo t;
+  for p = 0 to j - 1 do
+    let lw =
+      ref
+        (Location_sensing.log_pdf t.params.Params.sensing
+           ~true_loc:t.readers.(p).Reader_state.loc ~reported)
+    in
+    Array.iter
+      (fun (tag, tag_loc) ->
+        let read =
+          match tag with Types.Shelf_tag i -> Hashtbl.mem t.shelf_read i | _ -> false
+        in
+        let l =
+          Sensor_model.log_prob_pre t.pre p ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
+            ~tz:tag_loc.Vec3.z ~read
+        in
+        let l = if read then l else t.config.Config.shelf_miss_weight *. l in
+        lw := !lw +. l)
+      t.shelf_tags;
+    for i = 0 to t.num_objects - 1 do
+      (* Objects never read are still latent but carry no evidence
+         coupling beyond the miss term; include it — this is the full
+         joint model. *)
+      let s = slot t p i in
+      lw :=
+        !lw
+        +. Sensor_model.log_prob_pre t.pre p ~tx:(Ps.unsafe_x t.store s)
+             ~ty:(Ps.unsafe_y t.store s) ~tz:(Ps.unsafe_z t.store s)
+             ~read:t.obj_read.(i)
+    done;
+    t.log_ws.(p) <- t.log_ws.(p) +. !lw
+  done;
+  Sensor_model.pre_note_hits t.pre (j * (Array.length t.shelf_tags + t.num_objects));
+  (* Normalize in log space, resample on degeneracy. All buffers are
+     persistent: [log_ws] is the log-weight vector itself, [wbuf] its
+     normalized image, [idxbuf] the resample indices. *)
+  Rfid_prob.Stats.normalize_log_weights_into ~src:t.log_ws ~dst:t.wbuf;
+  if
+    Rfid_prob.Stats.effective_sample_size t.wbuf
+    < t.config.Config.resample_ratio *. float_of_int j
   then begin
-    let idx = Common.resample t.config.Config.resample_scheme t.rng w ~n:j in
-    t.particles <-
-      Array.map
-        (fun k ->
-          let src = t.particles.(k) in
-          { reader = src.reader; locs = Array.copy src.locs; log_w = 0. })
-        idx
+    Common.resample_into t.config.Config.resample_scheme t.rng t.wbuf ~n:j
+      ~out:t.idxbuf;
+    for p = 0 to j - 1 do
+      t.spare_readers.(p) <- t.readers.(t.idxbuf.(p))
+    done;
+    let tmp = t.readers in
+    t.readers <- t.spare_readers;
+    t.spare_readers <- tmp;
+    for p = 0 to j - 1 do
+      Ps.blit ~src:t.store ~src_pos:(t.idxbuf.(p) * t.num_objects) ~dst:t.spare
+        ~dst_pos:(p * t.num_objects) ~len:t.num_objects
+    done;
+    Ps.swap t.store t.spare;
+    Array.fill t.log_ws 0 j 0.
   end
-  else
-    (* Keep weights centred to avoid underflow. *)
-    Array.iter (fun p -> p.log_w <- p.log_w -. Rfid_prob.Stats.log_sum_exp lws) t.particles;
+  else begin
+    (* Keep weights centred to avoid underflow. The former code
+       recomputed [log_sum_exp] per particle over the same snapshot —
+       one evaluation, reused, is the identical value. *)
+    let z = Rfid_prob.Stats.log_sum_exp t.log_ws in
+    for p = 0 to j - 1 do
+      t.log_ws.(p) <- t.log_ws.(p) -. z
+    done
+  end;
   (* Bookkeeping for scope tracking. *)
   for i = 0 to t.num_objects - 1 do
-    if obj_read.(i) then begin
+    if t.obj_read.(i) then begin
       if t.last_read.(i) < 0 || e - t.last_read.(i) > t.config.Config.out_of_scope_after
       then t.newly_seen <- i :: t.newly_seen;
       t.last_read.(i) <- e;
@@ -218,26 +284,30 @@ let dead_reckon t ~epoch:e =
     let w = t.config.Config.degraded_widen_sigma in
     Vec3.make w w 0.
   in
-  Array.iter
-    (fun p ->
-      let loc =
-        Common.jitter (Vec3.add p.reader.Reader_state.loc motion.Motion_model.velocity)
-          ~sigma t.rng
-      in
-      let heading =
-        Common.propose_heading t.config.Config.heading_model ~motion ~epoch:e
-          ~current:p.reader.Reader_state.heading t.rng
-      in
-      p.reader <- Reader_state.make ~loc ~heading;
-      if widen then
-        for i = 0 to t.num_objects - 1 do
-          if t.last_read.(i) >= 0 then begin
-            let l = Common.jitter p.locs.(i) ~sigma:wsigma t.rng in
-            p.locs.(i) <-
-              (if World.contains t.world l then l else World.clamp_to_shelves t.world l)
-          end
-        done)
-    t.particles;
+  for p = 0 to num_particles t - 1 do
+    let r = t.readers.(p) in
+    let loc =
+      Common.jitter (Vec3.add r.Reader_state.loc motion.Motion_model.velocity) ~sigma
+        t.rng
+    in
+    let heading =
+      Common.propose_heading t.config.Config.heading_model ~motion ~epoch:e
+        ~current:r.Reader_state.heading t.rng
+    in
+    t.readers.(p) <- Reader_state.make ~loc ~heading;
+    if widen then
+      for i = 0 to t.num_objects - 1 do
+        if t.last_read.(i) >= 0 then begin
+          let s = slot t p i in
+          let cur = Vec3.make (Ps.x t.store s) (Ps.y t.store s) (Ps.z t.store s) in
+          let l = Common.jitter cur ~sigma:wsigma t.rng in
+          let l =
+            if World.contains t.world l then l else World.clamp_to_shelves t.world l
+          in
+          Ps.set_loc t.store s ~x:l.Vec3.x ~y:l.Vec3.y ~z:l.Vec3.z
+        end
+      done
+  done;
   t.epoch <- e
 
 let degraded_epochs t = t.degraded_total
@@ -245,7 +315,10 @@ let consecutive_degraded t = t.consecutive_degraded
 
 (* Checkpointable state: everything [step]/[dead_reckon] read or write,
    as plain data. Static structure (world, params, config, sensor
-   cache) is reconstructed by [restore] from the same creation inputs. *)
+   cache) is reconstructed by [restore] from the same creation inputs.
+   The slab is serialized to the same logical (reader, locations,
+   log weight) rows as before the SoA layout, so snapshots stay
+   layout-independent. *)
 type snapshot = {
   s_rng : int64;
   s_num_objects : int;
@@ -264,7 +337,12 @@ let snapshot t =
     s_rng = Rfid_prob.Rng.state t.rng;
     s_num_objects = t.num_objects;
     s_particles =
-      Array.map (fun p -> (p.reader, Array.copy p.locs, p.log_w)) t.particles;
+      Array.init (num_particles t) (fun p ->
+          ( t.readers.(p),
+            Array.init t.num_objects (fun i ->
+                let s = slot t p i in
+                Vec3.make (Ps.x t.store s) (Ps.y t.store s) (Ps.z t.store s)),
+            t.log_ws.(p) ));
     s_last_reported = t.last_reported;
     s_epoch = t.epoch;
     s_last_read = Array.copy t.last_read;
@@ -277,16 +355,36 @@ let snapshot t =
 let snapshot_epoch s = s.s_epoch
 
 let restore ~world ~params ~config s =
+  let j = Array.length s.s_particles in
+  let n = s.s_num_objects in
+  let store = Ps.create ~n:(j * n) in
+  let log_ws = Array.make j 0. in
+  let readers =
+    Array.init j (fun p ->
+        let reader, locs, log_w = s.s_particles.(p) in
+        Array.iteri
+          (fun i (l : Vec3.t) ->
+            Ps.set_loc store ((p * n) + i) ~x:l.Vec3.x ~y:l.Vec3.y ~z:l.Vec3.z)
+          locs;
+        log_ws.(p) <- log_w;
+        reader)
+  in
   {
     world;
     params;
     config;
     rng = Rfid_prob.Rng.of_state s.s_rng;
-    num_objects = s.s_num_objects;
-    particles =
-      Array.map
-        (fun (reader, locs, log_w) -> { reader; locs = Array.copy locs; log_w })
-        s.s_particles;
+    num_objects = n;
+    readers;
+    spare_readers = Array.copy readers;
+    store;
+    spare = Ps.create ~n:(j * n);
+    log_ws;
+    wbuf = Array.make j 0.;
+    idxbuf = Array.make j 0;
+    obj_read = Array.make n false;
+    shelf_read = Hashtbl.create 8;
+    pre = Sensor_model.precompute params.Params.sensor ~n:j;
     cache =
       Common.Sensor_cache.create ~threshold:config.Config.detection_threshold
         ~max_range:config.Config.max_sensing_range
@@ -301,14 +399,17 @@ let restore ~world ~params ~config s =
     degraded_total = s.s_degraded_total;
   }
 
-let weights t =
-  Rfid_prob.Stats.normalize_log_weights (Array.map (fun p -> p.log_w) t.particles)
+let weights t = Rfid_prob.Stats.normalize_log_weights t.log_ws
 
 let estimate t obj =
   if obj < 0 || obj >= t.num_objects || t.last_read.(obj) < 0 then None
   else begin
     let w = weights t in
-    let pts = Array.map (fun p -> Vec3.to_array p.locs.(obj)) t.particles in
+    let pts =
+      Array.init (num_particles t) (fun p ->
+          let s = slot t p obj in
+          [| Ps.x t.store s; Ps.y t.store s; Ps.z t.store s |])
+    in
     let g = Rfid_prob.Gaussian.fit ~w pts in
     Some (Vec3.of_array (Rfid_prob.Gaussian.mean g), Rfid_prob.Gaussian.cov g)
   end
@@ -317,9 +418,12 @@ let reader_estimate t =
   let w = weights t in
   let acc = ref Vec3.zero in
   Array.iteri
-    (fun i p -> acc := Vec3.add !acc (Vec3.scale w.(i) p.reader.Reader_state.loc))
-    t.particles;
+    (fun p r -> acc := Vec3.add !acc (Vec3.scale w.(p) r.Reader_state.loc))
+    t.readers;
   !acc
+
+let sensor_memo_hits t = Sensor_model.pre_hits t.pre
+let sensor_memo_size t = Sensor_model.pre_size t.pre
 
 let newly_seen t = t.newly_seen
 

@@ -66,6 +66,13 @@ val consecutive_degraded : t -> int
 (** Length of the current dead-reckoning run; 0 after any normal
     {!step}. *)
 
+val sensor_memo_hits : t -> int
+(** Total sensor-likelihood evaluations served through the per-epoch
+    reader-pose memo ({!Rfid_model.Sensor_model.precompute}). *)
+
+val sensor_memo_size : t -> int
+(** Pose slots held by the sensor memo (= the joint particle count). *)
+
 (** {1 Checkpointing} *)
 
 type snapshot

@@ -63,3 +63,11 @@ let resample scheme rng w ~n =
   | Config.Systematic -> Rfid_prob.Resample.systematic rng w ~n
   | Config.Multinomial -> Rfid_prob.Resample.multinomial rng w ~n
   | Config.Residual -> Rfid_prob.Resample.residual rng w ~n
+
+(* Same dispatch into the scratch-buffer variants: identical draws and
+   indices, no allocation. *)
+let resample_into scheme rng w ~n ~out =
+  match scheme with
+  | Config.Systematic -> Rfid_prob.Resample.systematic_into rng w ~n ~out
+  | Config.Multinomial -> Rfid_prob.Resample.multinomial_into rng w ~n ~out
+  | Config.Residual -> Rfid_prob.Resample.residual_into rng w ~n ~out

@@ -69,3 +69,13 @@ val jitter : Rfid_geom.Vec3.t -> sigma:Rfid_geom.Vec3.t -> Rfid_prob.Rng.t -> Rf
 val resample :
   Config.resample_scheme -> Rfid_prob.Rng.t -> float array -> n:int -> int array
 (** Dispatch to the configured {!Rfid_prob.Resample} scheme. *)
+
+val resample_into :
+  Config.resample_scheme ->
+  Rfid_prob.Rng.t ->
+  float array ->
+  n:int ->
+  out:int array ->
+  unit
+(** {!resample} into a scratch buffer of length at least [n]: identical
+    draws and indices, no allocation. *)

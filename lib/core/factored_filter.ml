@@ -1,16 +1,20 @@
 open Rfid_geom
 open Rfid_model
 module Int_set = Set.Make (Int)
+module Ps = Rfid_prob.Particle_store
+module Scratch = Rfid_par.Scratch
 
 type reader_particle = { mutable state : Reader_state.t; mutable log_w : float }
 
-type obj_particle = {
-  mutable loc : Vec3.t;
-  mutable reader_idx : int;
-  mutable log_w : float;
-}
-
-type belief = Active of obj_particle array | Compressed of Rfid_prob.Gaussian.t
+(* Object particles live in structure-of-arrays slabs
+   ([Rfid_prob.Particle_store]): x/y/z/log-weight columns plus a flat
+   reader-pointer array, per object. The hot per-epoch loops
+   (proposal, weighting, normalization, resampling) run over the slabs
+   with zero steady-state allocation; every loop performs the identical
+   floating-point operations in the identical order as the former
+   array-of-records code, so the event stream is bit-identical (the
+   golden-trace suite holds it there). *)
+type belief = Active of Ps.t | Compressed of Rfid_prob.Gaussian.t
 
 type obj_state = {
   obj_id : int;
@@ -38,6 +42,9 @@ type t = {
       (* frozen base for per-(object, epoch) keyed substreams; never
          advanced after [create], so derivations commute across domains *)
   pool : Rfid_par.Pool.t;
+  pre : Sensor_model.pre;
+      (* per-epoch memo of reader-particle poses, refreshed once per
+         [step] before the parallel pass *)
   mutable readers : reader_particle array;
   mutable reader_gen : int;
   objects : (int, obj_state) Hashtbl.t;
@@ -53,6 +60,18 @@ type t = {
   mutable consecutive_degraded : int;
   mutable degraded_total : int;
 }
+
+(* Scratch-arena slot conventions (see [Rfid_par.Scratch]): float slot 0
+   holds per-object normalized weights inside the parallel body; float
+   slot 3 holds reader weights and is touched only by the coordinator,
+   so it never aliases slot 0 even when the reader and object particle
+   counts coincide. Int slot 0 holds resample indices. *)
+let slot_obj_weights = 0
+let slot_reader_scratch = 1  (* weight_readers accumulator; resample sum/combined *)
+let slot_reader_adj = 2
+let slot_reader_weights = 3
+let slot_resample_idx = 0
+let slot_reader_cnt = 1
 
 let make_shelf_rtree world =
   let shelf_rtree = Rtree.create () in
@@ -96,6 +115,7 @@ let create ~world ~params ~config ~init_reader ~rng =
     rng;
     substream;
     pool = Rfid_par.Pool.get ~num_domains:config.Config.num_domains;
+    pre = Sensor_model.precompute params.Params.sensor ~n:config.Config.num_reader_particles;
     readers;
     reader_gen = 0;
     objects = Hashtbl.create 64;
@@ -126,9 +146,15 @@ let create ~world ~params ~config ~init_reader ~rng =
 
 let num_readers t = Array.length t.readers
 
+let reader_weights_into t w =
+  for i = 0 to Array.length w - 1 do
+    w.(i) <- t.readers.(i).log_w
+  done;
+  Rfid_prob.Stats.normalize_log_weights_in_place w
+
 let reader_weights t =
-  let w = Array.map (fun (r : reader_particle) -> r.log_w) t.readers in
-  Rfid_prob.Stats.normalize_log_weights_in_place w;
+  let w = Array.make (num_readers t) 0. in
+  reader_weights_into t w;
   w
 
 (* Draw a reader-particle index proportionally to current weights.
@@ -136,12 +162,20 @@ let reader_weights t =
    object's keyed substream, coordinator phases pass [t.rng]. *)
 let sample_reader_idx rng rw = Rfid_prob.Rng.categorical rng rw
 
-let obj_weights parts =
-  let w = Array.map (fun p -> p.log_w) parts in
-  Rfid_prob.Stats.normalize_log_weights_in_place w;
-  w
+(* Refresh the sensor memo from the current reader poses — once per
+   epoch, after the reader proposal, before the parallel per-object
+   pass. *)
+let refresh_memo t =
+  let j = num_readers t in
+  Sensor_model.pre_resize t.pre j;
+  for i = 0 to j - 1 do
+    let s = t.readers.(i).state in
+    let loc = s.Reader_state.loc in
+    Sensor_model.pre_set_pose t.pre i ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z
+      ~heading:s.Reader_state.heading
+  done
 
-let fresh_particle t rng rw =
+let fresh_particle_into t rng rw store i =
   let idx = sample_reader_idx rng rw in
   let reader = t.readers.(idx).state in
   let loc =
@@ -149,15 +183,27 @@ let fresh_particle t rng rw =
       ~overestimate:t.config.Config.init_overestimate ~world:t.world
       ~reader_loc:reader.Reader_state.loc ~heading:reader.Reader_state.heading rng
   in
-  { loc; reader_idx = idx; log_w = 0. }
+  Ps.set_loc store i ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z;
+  Ps.set_reader store i idx;
+  Ps.set_log_w store i 0.
 
-let init_object_particles t rng rw n = Array.init n (fun _ -> fresh_particle t rng rw)
+let init_object_particles_into t rng rw store n =
+  Ps.resize store n;
+  for i = 0 to n - 1 do
+    fresh_particle_into t rng rw store i
+  done
 
-let decompress t rng rw g =
-  Array.init t.config.Config.decompress_particles (fun _ ->
-      let p = Vec3.of_array (Rfid_prob.Gaussian.sample g rng) in
-      let p = if World.contains t.world p then p else World.clamp_to_shelves t.world p in
-      { loc = p; reader_idx = sample_reader_idx rng rw; log_w = 0. })
+let decompress_into t rng rw store g =
+  let n = t.config.Config.decompress_particles in
+  Ps.resize store n;
+  for i = 0 to n - 1 do
+    let p = Vec3.of_array (Rfid_prob.Gaussian.sample g rng) in
+    let p = if World.contains t.world p then p else World.clamp_to_shelves t.world p in
+    let idx = sample_reader_idx rng rw in
+    Ps.set_loc store i ~x:p.Vec3.x ~y:p.Vec3.y ~z:p.Vec3.z;
+    Ps.set_reader store i idx;
+    Ps.set_log_w store i 0.
+  done
 
 (* The probe/insertion box for the sensing region around a reader
    location: heading-independent square of side 2 * detection range,
@@ -187,30 +233,30 @@ let shelf_evidence_tags t reported shelf_read =
   in
   near @ extra
 
+(* Requires the memo to hold the current (freshly proposed) poses: the
+   per-tag accumulation below evaluates the sensor term against every
+   pose in one batched call. Miss evidence is tempered by
+   [Config.shelf_miss_weight]: it flows through the sensor model's soft
+   boundary, where a fitted logistic deviates most from the true
+   region. *)
 let weight_readers t reported shelf_read =
   let tags = shelf_evidence_tags t reported shelf_read in
   let sensing = t.params.Params.sensing in
-  let sensor = t.params.Params.sensor in
-  Array.iter
-    (fun r ->
-      let reader_loc = r.state.Reader_state.loc in
-      let heading = r.state.Reader_state.heading in
-      let lw = ref (Location_sensing.log_pdf sensing ~true_loc:reader_loc ~reported) in
-      List.iter
-        (fun (id, tag_loc) ->
-          let read = Hashtbl.mem shelf_read id in
-          let l =
-            Sensor_model.log_prob sensor ~reader_loc ~reader_heading:heading ~tag_loc
-              ~read
-          in
-          (* Miss evidence is tempered: it flows through the sensor
-             model's soft boundary, where a fitted logistic deviates
-             most from the true region (see Config.shelf_miss_weight). *)
-          let l = if read then l else t.config.Config.shelf_miss_weight *. l in
-          lw := !lw +. l)
-        tags;
-      r.log_w <- r.log_w +. !lw)
+  let j = num_readers t in
+  let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
+  let acc = Scratch.float_buf scratch0 ~slot:slot_reader_scratch j in
+  Array.iteri
+    (fun i r ->
+      acc.(i) <-
+        Location_sensing.log_pdf sensing ~true_loc:r.state.Reader_state.loc ~reported)
     t.readers;
+  List.iter
+    (fun (id, tag_loc) ->
+      let read = Hashtbl.mem shelf_read id in
+      Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
+        ~tz:tag_loc.Vec3.z ~read ~miss_weight:t.config.Config.shelf_miss_weight acc)
+    tags;
+  Array.iteri (fun i (r : reader_particle) -> r.log_w <- r.log_w +. acc.(i)) t.readers;
   (* Centre to avoid drift to -inf over long streams. *)
   let m =
     Array.fold_left
@@ -267,53 +313,55 @@ let case2_objects t reported ~case1 =
 let refresh_pointers t rng rw (obj : obj_state) =
   if obj.reader_gen <> t.reader_gen then begin
     (match obj.belief with
-    | Active parts ->
-        Array.iter (fun p -> p.reader_idx <- sample_reader_idx rng rw) parts
+    | Active store ->
+        for i = 0 to Ps.length store - 1 do
+          Ps.set_reader store i (sample_reader_idx rng rw)
+        done
     | Compressed _ -> ());
     obj.reader_gen <- t.reader_gen
   end
 
-let propose_and_weight_object t rng (obj : obj_state) ~read =
+let propose_and_weight_object t scratch rng (obj : obj_state) ~read =
   match obj.belief with
   | Compressed _ -> ()
-  | Active parts ->
-      let sensor = t.params.Params.sensor in
-      let obj_model = t.params.Params.objects in
-      Array.iter
-        (fun p ->
-          (* The move-hypothesis transition (uniform over all shelves,
-             probability alpha) is injected only on epochs that carry a
-             reading of this tag: a hypothesis born on a miss-only epoch
-             lands far from the reader, where misses are certain anyway,
-             so nothing can ever refute it — and one such runaway
-             particle drags the posterior mean by (warehouse size / K).
-             Evidence-bearing epochs crush wrong move hypotheses
-             immediately, which is all the diversity the model needs. *)
-          if read then p.loc <- Object_model.sample_next obj_model t.world rng p.loc;
-          let reader = t.readers.(p.reader_idx).state in
-          p.log_w <-
-            p.log_w
-            +. Sensor_model.log_prob sensor ~reader_loc:reader.Reader_state.loc
-                 ~reader_heading:reader.Reader_state.heading ~tag_loc:p.loc ~read)
-        parts;
-      let m = Array.fold_left (fun acc p -> Float.max acc p.log_w) neg_infinity parts in
-      if Float.is_finite m then Array.iter (fun p -> p.log_w <- p.log_w -. m) parts;
+  | Active store ->
+      let k = Ps.length store in
+      (* The move-hypothesis transition (uniform over all shelves,
+         probability alpha) is injected only on epochs that carry a
+         reading of this tag: a hypothesis born on a miss-only epoch
+         lands far from the reader, where misses are certain anyway,
+         so nothing can ever refute it — and one such runaway
+         particle drags the posterior mean by (warehouse size / K).
+         Evidence-bearing epochs crush wrong move hypotheses
+         immediately, which is all the diversity the model needs.
+         [Object_model.sample_next] is inlined so a particle that
+         stays put (the overwhelming majority) writes nothing. *)
+      (if read then begin
+         let move_prob = t.params.Params.objects.Object_model.move_prob in
+         for i = 0 to k - 1 do
+           if Rfid_prob.Rng.bernoulli rng ~p:move_prob then begin
+             let l = World.sample_on_shelves t.world rng in
+             Ps.set_loc store i ~x:l.Vec3.x ~y:l.Vec3.y ~z:l.Vec3.z
+           end
+         done
+       end);
+      (* Sensor terms for the whole store in one batched call (each
+         particle against its own reader pointer's memoized pose). *)
+      Sensor_model.pre_accumulate_store t.pre store ~read;
+      let m = Ps.max_log_w store in
+      if Float.is_finite m then Ps.shift_log_w store m;
       (* Per-object resampling, pointer-preserving (§IV-B). *)
-      let w = obj_weights parts in
-      let k = Array.length parts in
+      let w = Scratch.float_buf scratch ~slot:slot_obj_weights k in
+      Ps.weights_into store w;
       if
         Rfid_prob.Stats.effective_sample_size w
         < t.config.Config.resample_ratio *. float_of_int k
       then begin
-        let idx = Common.resample t.config.Config.resample_scheme rng w ~n:k in
-        let fresh =
-          Array.map
-            (fun i ->
-              let src = parts.(i) in
-              { loc = src.loc; reader_idx = src.reader_idx; log_w = 0. })
-            idx
-        in
-        obj.belief <- Active fresh
+        let idx = Scratch.int_buf scratch ~slot:slot_resample_idx k in
+        Common.resample_into t.config.Config.resample_scheme rng w ~n:k ~out:idx;
+        let slab = Scratch.slab scratch in
+        Ps.gather ~src:store ~dst:slab idx ~n:k;
+        Ps.swap store slab
       end
 
 (* Reader resampling instrumented to favor readers associated with good
@@ -321,54 +369,64 @@ let propose_and_weight_object t rng (obj : obj_state) ~read =
    mean normalized weight of its particles pointing there. *)
 let maybe_resample_readers t scope =
   let j = num_readers t in
-  let rw = reader_weights t in
+  let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
+  let rw = Scratch.float_buf scratch0 ~slot:slot_reader_weights j in
+  reader_weights_into t rw;
   if
     Rfid_prob.Stats.effective_sample_size rw
     >= t.config.Config.resample_ratio *. float_of_int j
   then ()
   else begin
-    let adj = Array.make j 0. in
+    (* Everything transient here lives in the coordinator's scratch
+       arena: per-reader mean object weights are recomputed from
+       sum/count (bit-identical to materializing them) and the combined
+       log weights are normalized in place. *)
+    let adj = Scratch.float_buf scratch0 ~slot:slot_reader_adj j in
+    Array.fill adj 0 j 0.;
     let consider (obj : obj_state) =
       match obj.belief with
       | Compressed _ -> ()
-      | Active parts when obj.reader_gen = t.reader_gen ->
-          let w = obj_weights parts in
-          let sum = Array.make j 0. and cnt = Array.make j 0 in
-          Array.iteri
-            (fun i p ->
-              sum.(p.reader_idx) <- sum.(p.reader_idx) +. w.(i);
-              cnt.(p.reader_idx) <- cnt.(p.reader_idx) + 1)
-            parts;
-          let means =
-            Array.init j (fun r ->
-                if cnt.(r) = 0 then None else Some (sum.(r) /. float_of_int cnt.(r)))
-          in
+      | Active store when obj.reader_gen = t.reader_gen ->
+          let k = Ps.length store in
+          let w = Scratch.float_buf scratch0 ~slot:slot_obj_weights k in
+          Ps.weights_into store w;
+          let sum = Scratch.float_buf scratch0 ~slot:slot_reader_scratch j in
+          let cnt = Scratch.int_buf scratch0 ~slot:slot_reader_cnt j in
+          Array.fill sum 0 j 0.;
+          Array.fill cnt 0 j 0;
+          for i = 0 to k - 1 do
+            let r = Ps.reader store i in
+            sum.(r) <- sum.(r) +. w.(i);
+            cnt.(r) <- cnt.(r) + 1
+          done;
           let avg =
             let s = ref 0. and n = ref 0 in
-            Array.iter
-              (function
-                | Some m ->
-                    s := !s +. m;
-                    incr n
-                | None -> ())
-              means;
+            for r = 0 to j - 1 do
+              if cnt.(r) <> 0 then begin
+                s := !s +. (sum.(r) /. float_of_int cnt.(r));
+                incr n
+              end
+            done;
             if !n = 0 then 0. else !s /. float_of_int !n
           in
           if avg > 0. then
-            Array.iteri
-              (fun r m ->
-                match m with
-                | Some m -> adj.(r) <- adj.(r) +. log (Float.max 1e-12 (m /. avg))
-                | None -> ())
-              means
+            for r = 0 to j - 1 do
+              if cnt.(r) <> 0 then
+                adj.(r) <-
+                  adj.(r) +. log (Float.max 1e-12 (sum.(r) /. float_of_int cnt.(r) /. avg))
+            done
       | Active _ -> ()
     in
     Int_set.iter
       (fun id -> match Hashtbl.find_opt t.objects id with Some o -> consider o | None -> ())
       scope;
-    let combined = Array.mapi (fun i w -> log (Float.max 1e-300 w) +. adj.(i)) rw in
-    let w = Rfid_prob.Stats.normalize_log_weights combined in
-    let idx = Common.resample t.config.Config.resample_scheme t.rng w ~n:j in
+    let combined = Scratch.float_buf scratch0 ~slot:slot_reader_scratch j in
+    for i = 0 to j - 1 do
+      combined.(i) <- log (Float.max 1e-300 rw.(i)) +. adj.(i)
+    done;
+    Rfid_prob.Stats.normalize_log_weights_in_place combined;
+    let idx = Scratch.int_buf scratch0 ~slot:slot_resample_idx j in
+    Common.resample_into t.config.Config.resample_scheme t.rng combined ~n:j ~out:idx;
     let old = t.readers in
     t.readers <-
       Array.map (fun i -> { state = old.(i).state; log_w = 0. }) idx;
@@ -380,16 +438,15 @@ let maybe_resample_readers t scope =
     let remap (obj : obj_state) =
       match obj.belief with
       | Compressed _ -> ()
-      | Active parts when obj.reader_gen = t.reader_gen - 1 ->
-          Array.iter
-            (fun p ->
-              match copies.(p.reader_idx) with
-              | [] -> p.reader_idx <- Rfid_prob.Rng.int t.rng j
-              | [ one ] -> p.reader_idx <- one
-              | many ->
-                  let k = Rfid_prob.Rng.int t.rng (List.length many) in
-                  p.reader_idx <- List.nth many k)
-            parts;
+      | Active store when obj.reader_gen = t.reader_gen - 1 ->
+          for i = 0 to Ps.length store - 1 do
+            match copies.(Ps.reader store i) with
+            | [] -> Ps.set_reader store i (Rfid_prob.Rng.int t.rng j)
+            | [ one ] -> Ps.set_reader store i one
+            | many ->
+                let k = Rfid_prob.Rng.int t.rng (List.length many) in
+                Ps.set_reader store i (List.nth many k)
+          done;
           obj.reader_gen <- t.reader_gen
       | Active _ -> ()
     in
@@ -423,8 +480,14 @@ let update_index t reported scope =
               | None -> false
               | Some { belief = Compressed g; _ } ->
                   Box2.contains_point b (Vec3.of_array (Rfid_prob.Gaussian.mean g))
-              | Some { belief = Active parts; _ } ->
-                  Array.exists (fun p -> Box2.contains_point b p.loc) parts
+              | Some { belief = Active store; _ } ->
+                  let n = Ps.length store in
+                  let rec scan i =
+                    i < n
+                    && (Box2.contains_xy b ~x:(Ps.x store i) ~y:(Ps.y store i)
+                       || scan (i + 1))
+                  in
+                  scan 0
             in
             let inside = Int_set.filter has_particle_in idx.pending_objs in
             if not (Int_set.is_empty inside) then Rtree.insert idx.rtree b inside
@@ -437,15 +500,14 @@ let update_index t reported scope =
 let compress_object t (obj : obj_state) =
   match obj.belief with
   | Compressed _ -> ()
-  | Active parts when Array.length parts = 0 -> ()
-  | Active parts ->
-      let w = obj_weights parts in
-      let pts = Array.map (fun p -> Vec3.to_array p.loc) parts in
-      let g = Rfid_prob.Gaussian.fit ~w pts in
+  | Active store when Ps.length store = 0 -> ()
+  | Active store ->
+      let w = Ps.normalized_weights store in
+      let g = Ps.fit_gaussian ~w store in
       let ok =
         match t.config.Config.compress_max_nll with
         | None -> true
-        | Some bound -> Rfid_prob.Gaussian.avg_nll ~w g pts <= bound
+        | Some bound -> Ps.avg_nll ~w g store <= bound
       in
       if ok then obj.belief <- Compressed g
 
@@ -475,6 +537,8 @@ type init_action =
 
 type work_item = { w_obj : obj_state; w_action : init_action; w_read : bool }
 
+
+
 let step t (obs : Types.observation) =
   if obs.Types.o_epoch <= t.epoch then
     invalid_arg "Factored_filter.step: observations out of epoch order";
@@ -492,10 +556,15 @@ let step t (obs : Types.observation) =
             acc)
       Int_set.empty obs.Types.o_read_tags
   in
-  (* 1–2. Reader proposal and weighting (Eq. 5 reader factor). *)
+  (* 1–2. Reader proposal and weighting (Eq. 5 reader factor). The
+     pose memo is refreshed between the two: [weight_readers] and the
+     parallel pass both evaluate sensor terms through it. *)
   propose_readers t e reported;
+  refresh_memo t;
   weight_readers t reported shelf_read;
-  let rw = reader_weights t in
+  let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
+  let rw = Scratch.float_buf scratch0 ~slot:slot_reader_weights (num_readers t) in
+  reader_weights_into t rw;
   (* 3. Scope. *)
   let case2 = case2_objects t reported ~case1 in
   let scope = Int_set.union case1 case2 in
@@ -513,7 +582,7 @@ let step t (obs : Types.observation) =
           Hashtbl.replace t.objects id
             {
               obj_id = id;
-              belief = Active [||];
+              belief = Active (Ps.create ~n:0);
               reader_gen = t.reader_gen;
               last_read = e;
               last_read_reader = reported;
@@ -535,12 +604,13 @@ let step t (obs : Types.observation) =
                  if not read then No_init
                  else
                    match obj.belief with
-                   | Active [||] -> Init_fresh t.config.Config.num_object_particles
+                   | Active store when Ps.length store = 0 ->
+                       Init_fresh t.config.Config.num_object_particles
                    | Compressed g -> Init_decompress g
-                   | Active parts ->
+                   | Active store ->
                        let d = Vec3.dist reported obj.last_read_reader in
                        if d >= t.config.Config.reinit_far then
-                         Init_fresh (Array.length parts)
+                         Init_fresh (Ps.length store)
                        else if d >= t.config.Config.reinit_near then Init_half
                        else No_init
                in
@@ -551,45 +621,64 @@ let step t (obs : Types.observation) =
      given the reader particles): initialization action, pointer
      refresh, proposal, weighting and per-object resampling all run in
      the pool over the snapshot above. Each object draws from its own
-     substream keyed by (object id, epoch), and every write lands in
-     that object's own state, so the result is bit-identical for any
-     domain count or chunk schedule. The reader array and [rw] are read
+     substream keyed by (object id, epoch) — re-derived into the
+     domain's scratch generator, so no generator is allocated — and
+     every write lands in that object's own store or the domain's own
+     scratch arena, so the result is bit-identical for any domain count
+     or chunk schedule. The reader array, the memo and [rw] are read
      shared but never written until the pass completes. *)
-  let process_item it =
+  let process_item scratch it =
     let obj = it.w_obj in
-    let rng =
-      Rfid_prob.Rng.for_key t.substream ~key:(Rfid_prob.Rng.key_pair obj.obj_id e)
-    in
+    let rng = Scratch.rng scratch in
+    Rfid_prob.Rng.for_key_into t.substream
+      ~key:(Rfid_prob.Rng.key_pair obj.obj_id e)
+      rng;
     (match it.w_action with
     | No_init -> ()
     | Init_fresh n ->
-        obj.belief <- Active (init_object_particles t rng rw n);
+        let store =
+          match obj.belief with
+          | Active store -> store
+          | Compressed _ ->
+              let s = Ps.create ~n:0 in
+              obj.belief <- Active s;
+              s
+        in
+        init_object_particles_into t rng rw store n;
         obj.reader_gen <- t.reader_gen
     | Init_decompress g ->
-        obj.belief <- Active (decompress t rng rw g);
+        let store = Ps.create ~n:0 in
+        decompress_into t rng rw store g;
+        obj.belief <- Active store;
         obj.reader_gen <- t.reader_gen
     | Init_half -> (
         (* Keep half, move half to the new location (§IV-A). *)
         match obj.belief with
         | Compressed _ -> ()
-        | Active parts ->
+        | Active store ->
             refresh_pointers t rng rw obj;
-            Array.iteri
-              (fun i p ->
-                if i mod 2 = 0 then begin
-                  let np = fresh_particle t rng rw in
-                  p.loc <- np.loc;
-                  p.reader_idx <- np.reader_idx;
-                  p.log_w <- 0.
-                end)
-              parts));
+            for i = 0 to Ps.length store - 1 do
+              if i mod 2 = 0 then fresh_particle_into t rng rw store i
+            done));
     refresh_pointers t rng rw obj;
-    propose_and_weight_object t rng obj ~read:it.w_read
+    propose_and_weight_object t scratch rng obj ~read:it.w_read
   in
-  Rfid_par.Pool.parallel_for_chunked t.pool ~n:(Array.length work) (fun lo hi ->
+  Rfid_par.Pool.parallel_for_chunked_did t.pool ~n:(Array.length work)
+    (fun did lo hi ->
+      let scratch = Rfid_par.Pool.get_scratch t.pool did in
       for i = lo to hi - 1 do
-        process_item work.(i)
+        process_item scratch work.(i)
       done);
+  (* Memo accounting happens on the coordinator after the pass (never
+     inside bodies), so the counters are deterministic. *)
+  let hits = ref 0 in
+  Array.iter
+    (fun it ->
+      match it.w_obj.belief with
+      | Active store -> hits := !hits + Ps.length store
+      | Compressed _ -> ())
+    work;
+  Sensor_model.pre_note_hits t.pre !hits;
   (* 6. Reader resampling (rare; ESS-triggered). *)
   maybe_resample_readers t scope;
   (* 7. Spatial index bookkeeping. *)
@@ -649,14 +738,15 @@ let dead_reckon t ~epoch:e =
           Rfid_prob.Rng.for_key t.substream ~key:(Rfid_prob.Rng.key_pair id e)
         in
         match obj.belief with
-        | Active parts ->
-            Array.iter
-              (fun p ->
-                let l = Common.jitter p.loc ~sigma:wsigma rng in
-                p.loc <-
-                  (if World.contains t.world l then l
-                   else World.clamp_to_shelves t.world l))
-              parts
+        | Active store ->
+            for i = 0 to Ps.length store - 1 do
+              let p = Vec3.make (Ps.x store i) (Ps.y store i) (Ps.z store i) in
+              let l = Common.jitter p ~sigma:wsigma rng in
+              let l =
+                if World.contains t.world l then l else World.clamp_to_shelves t.world l
+              in
+              Ps.set_loc store i ~x:l.Vec3.x ~y:l.Vec3.y ~z:l.Vec3.z
+            done
         | Compressed g ->
             let cov = Rfid_prob.Gaussian.cov g in
             let cov = Array.map Array.copy cov in
@@ -679,10 +769,9 @@ let estimate t obj_id =
       match obj.belief with
       | Compressed g ->
           Some (Vec3.of_array (Rfid_prob.Gaussian.mean g), Rfid_prob.Gaussian.cov g)
-      | Active parts ->
-          let w = obj_weights parts in
-          let pts = Array.map (fun p -> Vec3.to_array p.loc) parts in
-          let g = Rfid_prob.Gaussian.fit ~w pts in
+      | Active store ->
+          let w = Ps.normalized_weights store in
+          let g = Ps.fit_gaussian ~w store in
           Some (Vec3.of_array (Rfid_prob.Gaussian.mean g), Rfid_prob.Gaussian.cov g))
 
 let reader_estimate t =
@@ -705,6 +794,9 @@ let is_compressed t obj_id =
 
 let num_index_boxes t = match t.index with None -> 0 | Some idx -> Rtree.size idx.rtree
 
+let sensor_memo_hits t = Sensor_model.pre_hits t.pre
+let sensor_memo_size t = Sensor_model.pre_size t.pre
+
 let iter_reader_particles t f =
   let rw = reader_weights t in
   Array.iteri (fun i r -> f r.state rw.(i)) t.readers
@@ -715,7 +807,9 @@ let iter_reader_particles t f =
    domain pool) is rebuilt by [restore] from the same creation inputs;
    the spatial index is rebuilt by re-inserting its recorded entries —
    queries are consumed as sets, so the exact tree shape is
-   unobservable. *)
+   unobservable. The particle slabs are serialized to the same logical
+   (loc, reader pointer, log weight) tuples as before the SoA layout,
+   so snapshots stay layout-independent. *)
 
 type belief_snapshot =
   | Snap_active of (Vec3.t * int * float) array  (* loc, reader_idx, log_w *)
@@ -757,8 +851,12 @@ let everything_box =
 
 let snapshot t =
   let snap_belief = function
-    | Active parts ->
-        Snap_active (Array.map (fun p -> (p.loc, p.reader_idx, p.log_w)) parts)
+    | Active store ->
+        Snap_active
+          (Array.init (Ps.length store) (fun i ->
+               ( Vec3.make (Ps.x store i) (Ps.y store i) (Ps.z store i),
+                 Ps.reader store i,
+                 Ps.log_w store i )))
     | Compressed g ->
         Snap_compressed
           (Rfid_prob.Gaussian.mean g, Array.map Array.copy (Rfid_prob.Gaussian.cov g))
@@ -826,8 +924,14 @@ let restore ~world ~params ~config s =
   | true, Some _ | false, None -> ());
   let restore_belief = function
     | Snap_active parts ->
-        Active
-          (Array.map (fun (loc, reader_idx, log_w) -> { loc; reader_idx; log_w }) parts)
+        let store = Ps.create ~n:(Array.length parts) in
+        Array.iteri
+          (fun i (loc, reader_idx, log_w) ->
+            Ps.set_loc store i ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z;
+            Ps.set_reader store i reader_idx;
+            Ps.set_log_w store i log_w)
+          parts;
+        Active store
     | Snap_compressed (mean, cov) ->
         Compressed (Rfid_prob.Gaussian.create ~mean ~cov)
   in
@@ -867,6 +971,7 @@ let restore ~world ~params ~config s =
     rng = Rfid_prob.Rng.of_state s.fs_rng;
     substream = Rfid_prob.Rng.of_state s.fs_substream;
     pool = Rfid_par.Pool.get ~num_domains:config.Config.num_domains;
+    pre = Sensor_model.precompute params.Params.sensor ~n:config.Config.num_reader_particles;
     readers = Array.map (fun (state, log_w) -> { state; log_w }) s.fs_readers;
     reader_gen = s.fs_reader_gen;
     objects;
@@ -889,6 +994,11 @@ let restore ~world ~params ~config s =
 let iter_object_particles t obj_id f =
   match Hashtbl.find_opt t.objects obj_id with
   | None | Some { belief = Compressed _; _ } -> ()
-  | Some { belief = Active parts; _ } ->
-      let w = obj_weights parts in
-      Array.iteri (fun i p -> f p.loc w.(i) t.readers.(p.reader_idx).state) parts
+  | Some { belief = Active store; _ } ->
+      let w = Ps.normalized_weights store in
+      for i = 0 to Ps.length store - 1 do
+        f
+          (Vec3.make (Ps.x store i) (Ps.y store i) (Ps.z store i))
+          w.(i)
+          t.readers.(Ps.reader store i).state
+      done

@@ -110,6 +110,15 @@ val num_index_boxes : t -> int
 (** Sensing-region boxes currently held by the spatial index (0 without
     an index). *)
 
+val sensor_memo_hits : t -> int
+(** Total sensor-likelihood evaluations served through the per-epoch
+    reader-pose memo ({!Rfid_model.Sensor_model.precompute}), counted
+    deterministically on the coordinator after each parallel pass. *)
+
+val sensor_memo_size : t -> int
+(** Pose slots currently held by the sensor memo (= the reader particle
+    count). *)
+
 val iter_reader_particles :
   t -> (Rfid_model.Reader_state.t -> float -> unit) -> unit
 (** Visit every reader particle with its normalized weight — the E-step

@@ -6,7 +6,20 @@ type result = {
   ms_per_reading : float;
   max_objects_processed : int;
   live_heap_mb : float;
+  epochs : int;
+  minor_words_per_epoch : float;
+  major_words_per_epoch : float;
+  allocated_words_per_epoch : float;
+  lat_p50_us : float;
+  lat_p95_us : float;
+  lat_p99_us : float;
 }
+
+(* Nearest-rank percentile over a sorted copy; 0 for an empty run. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(Int.min (n - 1) (int_of_float (q *. float_of_int n)))
 
 let run_engine ?(params = Rfid_model.Params.default) ~config ?init_reader ?(seed = 0)
     (trace : Rfid_model.Trace.t) =
@@ -29,14 +42,24 @@ let run_engine ?(params = Rfid_model.Params.default) ~config ?init_reader ?(seed
         acc + List.length o.Rfid_model.Types.o_read_tags)
       0 observations
   in
+  let epochs = List.length observations in
+  (* Per-epoch latencies land in a preallocated buffer so the
+     measurement loop itself stays off the allocation counters (modulo
+     a boxed float per gettimeofday call, identical across variants). *)
+  let lat = Array.make (Int.max epochs 1) 0. in
   Gc.full_major ();
   let baseline_words = (Gc.stat ()).Gc.live_words in
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let max_scope = ref 0 in
+  let i = ref 0 in
   let events =
     List.concat_map
       (fun obs ->
+        let e0 = Unix.gettimeofday () in
         let evs = Rfid_core.Engine.step engine obs in
+        lat.(!i) <- Unix.gettimeofday () -. e0;
+        incr i;
         max_scope :=
           Int.max !max_scope (Rfid_core.Engine.objects_processed_last_step engine);
         evs)
@@ -44,12 +67,24 @@ let run_engine ?(params = Rfid_model.Params.default) ~config ?init_reader ?(seed
   in
   let events = events @ Rfid_core.Engine.flush engine in
   let elapsed_s = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
   Gc.full_major ();
   let live_heap_mb =
     float_of_int (Int.max 0 ((Gc.stat ()).Gc.live_words - baseline_words))
     *. float_of_int (Sys.word_size / 8)
     /. 1_048_576.
   in
+  let per_epoch x = if epochs = 0 then 0. else x /. float_of_int epochs in
+  let minor_alloc = g1.Gc.minor_words -. g0.Gc.minor_words in
+  (* Words allocated directly on the major heap: major growth minus what
+     the minor collector promoted into it. *)
+  let major_alloc =
+    Float.max 0.
+      (g1.Gc.major_words -. g0.Gc.major_words
+      -. (g1.Gc.promoted_words -. g0.Gc.promoted_words))
+  in
+  let sorted = Array.sub lat 0 epochs in
+  Array.sort compare sorted;
   let error = Metrics.inference_error events trace in
   {
     events;
@@ -60,4 +95,11 @@ let run_engine ?(params = Rfid_model.Params.default) ~config ?init_reader ?(seed
       (if total_readings = 0 then 0. else 1000. *. elapsed_s /. float_of_int total_readings);
     max_objects_processed = !max_scope;
     live_heap_mb;
+    epochs;
+    minor_words_per_epoch = per_epoch minor_alloc;
+    major_words_per_epoch = per_epoch major_alloc;
+    allocated_words_per_epoch = per_epoch (minor_alloc +. major_alloc);
+    lat_p50_us = 1e6 *. percentile sorted 0.50;
+    lat_p95_us = 1e6 *. percentile sorted 0.95;
+    lat_p99_us = 1e6 *. percentile sorted 0.99;
   }

@@ -14,6 +14,20 @@ type result = {
           — the §V-D memory claim is about exactly this: compression
           keeps idle objects' beliefs at 9 floats instead of K
           particles *)
+  epochs : int;  (** observations streamed *)
+  minor_words_per_epoch : float;
+      (** words allocated on the minor heap per observation — the
+          number the zero-allocation hot path drives toward the fixed
+          per-event cost (steady-state filter loops allocate nothing) *)
+  major_words_per_epoch : float;
+      (** words allocated directly on the major heap per observation
+          (promotions excluded, so minor + major is total allocation) *)
+  allocated_words_per_epoch : float;
+      (** minor + major words per observation — what the perf gate
+          compares against the committed baseline *)
+  lat_p50_us : float;  (** per-epoch wall-clock latency percentiles *)
+  lat_p95_us : float;
+  lat_p99_us : float;
 }
 
 val run_engine :

@@ -26,6 +26,8 @@ let of_center (c : Vec3.t) ~half_width ~half_height =
 let contains_point t (p : Vec3.t) =
   p.x >= t.min_x && p.x <= t.max_x && p.y >= t.min_y && p.y <= t.max_y
 
+let contains_xy t ~x ~y = x >= t.min_x && x <= t.max_x && y >= t.min_y && y <= t.max_y
+
 let intersects a b =
   a.min_x <= b.max_x && b.min_x <= a.max_x && a.min_y <= b.max_y && b.min_y <= a.max_y
 

@@ -19,6 +19,10 @@ val of_center : Vec3.t -> half_width:float -> half_height:float -> t
 val contains_point : t -> Vec3.t -> bool
 (** XY containment, inclusive. *)
 
+val contains_xy : t -> x:float -> y:float -> bool
+(** {!contains_point} on raw coordinates — for callers holding particle
+    positions in unboxed slabs rather than [Vec3.t]s. *)
+
 val intersects : t -> t -> bool
 (** Closed-box overlap test (shared edges count). *)
 

@@ -47,6 +47,203 @@ let log_prob t ~reader_loc ~reader_heading ~tag_loc ~read =
   let z = logit t ~d ~theta in
   if read then Rfid_prob.Logistic.log_sigmoid z else Rfid_prob.Logistic.log_sigmoid (-.z)
 
+(* Per-epoch memo of reader-particle poses for the filter hot paths:
+   the pose-dependent inputs of the logit live in flat unboxed slabs
+   (one slot per reader particle), so the per-object-particle weight
+   evaluation reads four floats by index instead of chasing a boxed
+   [Vec3.t] through a particle record, and builds no intermediate
+   vector. [log_prob_pre] replicates [geometry] + [logit] + the
+   log-sigmoid branch operation for operation, so its result is
+   bit-identical to [log_prob] on the memoized pose. *)
+
+type pre = {
+  pm : t;
+  mutable pn : int;
+  mutable prx : floatarray;
+  mutable pry : floatarray;
+  mutable prz : floatarray;
+  mutable phead : floatarray;
+  mutable hits : int;
+}
+
+let precompute t ~n =
+  if n < 0 then invalid_arg "Sensor_model.precompute: negative size";
+  let cap = Int.max n 1 in
+  {
+    pm = t;
+    pn = n;
+    prx = Float.Array.make cap 0.;
+    pry = Float.Array.make cap 0.;
+    prz = Float.Array.make cap 0.;
+    phead = Float.Array.make cap 0.;
+    hits = 0;
+  }
+
+let pre_size p = p.pn
+
+let pre_resize p n =
+  if n < 0 then invalid_arg "Sensor_model.pre_resize: negative size";
+  if n > Float.Array.length p.prx then begin
+    let cap = Int.max n (2 * Float.Array.length p.prx) in
+    p.prx <- Float.Array.make cap 0.;
+    p.pry <- Float.Array.make cap 0.;
+    p.prz <- Float.Array.make cap 0.;
+    p.phead <- Float.Array.make cap 0.
+  end;
+  p.pn <- n
+
+let pre_set_pose p i ~x ~y ~z ~heading =
+  if i < 0 || i >= p.pn then invalid_arg "Sensor_model.pre_set_pose: index out of range";
+  Float.Array.unsafe_set p.prx i x;
+  Float.Array.unsafe_set p.pry i y;
+  Float.Array.unsafe_set p.prz i z;
+  Float.Array.unsafe_set p.phead i heading
+
+let log_prob_pre p i ~tx ~ty ~tz ~read =
+  if i < 0 || i >= p.pn then invalid_arg "Sensor_model.log_prob_pre: index out of range";
+  let dx = tx -. Float.Array.unsafe_get p.prx i in
+  let dy = ty -. Float.Array.unsafe_get p.pry i in
+  let dz = tz -. Float.Array.unsafe_get p.prz i in
+  (* [Vec3.norm (sub tag reader)] and [geometry]'s angle, verbatim. *)
+  let d = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+  let theta =
+    if dx = 0. && dy = 0. then 0.
+    else Float.abs (wrap (atan2 dy dx -. Float.Array.unsafe_get p.phead i))
+  in
+  let m = p.pm in
+  let z =
+    m.a0 +. (m.a1 *. d) +. (m.a2 *. d *. d) +. (m.b1 *. theta) +. (m.b2 *. theta *. theta)
+  in
+  if read then Rfid_prob.Logistic.log_sigmoid z else Rfid_prob.Logistic.log_sigmoid (-.z)
+
+(* Batched memo accumulation. One cross-module call per (object, epoch)
+   or (tag, epoch) that loops over a whole particle store / pose set
+   internally, instead of one [log_prob_pre] call per particle: without
+   flambda every float crossing a module boundary is boxed, so the
+   call-per-particle shape allocates ~30 words per sensor term while
+   these loops allocate nothing. The body is [log_prob_pre] verbatim
+   (same ops, same order, [Logistic.log_sigmoid]'s formula inlined
+   textually), so results are bit-identical. *)
+
+(* The sensor term below appears three times, textually identical:
+   without flambda, `[@inline]` is ignored and even a same-module call
+   to a shared helper boxes its float arguments and result (~7 words
+   per particle), so the body is hand-inlined into each loop. Any edit
+   to one copy must be applied to all three. *)
+
+let pre_accumulate_store p store ~read =
+  let n = Rfid_prob.Particle_store.length store in
+  let xs, ys, zs, lw, ridx = Rfid_prob.Particle_store.backing store in
+  for i = 0 to n - 1 do
+    let r = Array.unsafe_get ridx i in
+    if r < 0 || r >= p.pn then
+      invalid_arg "Sensor_model.pre_accumulate_store: reader index out of range";
+    let dx = Float.Array.unsafe_get xs i -. Float.Array.unsafe_get p.prx r in
+    let dy = Float.Array.unsafe_get ys i -. Float.Array.unsafe_get p.pry r in
+    let dz = Float.Array.unsafe_get zs i -. Float.Array.unsafe_get p.prz r in
+    let d = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+    let theta =
+      if dx = 0. && dy = 0. then 0.
+      else begin
+        (* [wrap], inlined: a same-module call still boxes its float
+           argument and result without flambda. *)
+        let a = atan2 dy dx -. Float.Array.unsafe_get p.phead r in
+        let two_pi = 2. *. Float.pi in
+        let a = Float.rem a two_pi in
+        let a =
+          if a > Float.pi then a -. two_pi
+          else if a <= -.Float.pi then a +. two_pi
+          else a
+        in
+        Float.abs a
+      end
+    in
+    let m = p.pm in
+    let z =
+      m.a0 +. (m.a1 *. d) +. (m.a2 *. d *. d) +. (m.b1 *. theta) +. (m.b2 *. theta *. theta)
+    in
+    let z = if read then z else -.z in
+    (* Rfid_prob.Logistic.log_sigmoid, inlined to keep the float unboxed. *)
+    let l = if z >= 0. then -.log1p (exp (-.z)) else z -. log1p (exp z) in
+    Float.Array.unsafe_set lw i (Float.Array.unsafe_get lw i +. l)
+  done
+
+let pre_accumulate_tag p ~tx ~ty ~tz ~read ~miss_weight acc =
+  if Array.length acc < p.pn then
+    invalid_arg "Sensor_model.pre_accumulate_tag: accumulator shorter than pose set";
+  for r = 0 to p.pn - 1 do
+    let dx = tx -. Float.Array.unsafe_get p.prx r in
+    let dy = ty -. Float.Array.unsafe_get p.pry r in
+    let dz = tz -. Float.Array.unsafe_get p.prz r in
+    let d = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+    let theta =
+      if dx = 0. && dy = 0. then 0.
+      else begin
+        (* [wrap], inlined: a same-module call still boxes its float
+           argument and result without flambda. *)
+        let a = atan2 dy dx -. Float.Array.unsafe_get p.phead r in
+        let two_pi = 2. *. Float.pi in
+        let a = Float.rem a two_pi in
+        let a =
+          if a > Float.pi then a -. two_pi
+          else if a <= -.Float.pi then a +. two_pi
+          else a
+        in
+        Float.abs a
+      end
+    in
+    let m = p.pm in
+    let z =
+      m.a0 +. (m.a1 *. d) +. (m.a2 *. d *. d) +. (m.b1 *. theta) +. (m.b2 *. theta *. theta)
+    in
+    let z = if read then z else -.z in
+    let l = if z >= 0. then -.log1p (exp (-.z)) else z -. log1p (exp z) in
+    let l = if read then l else miss_weight *. l in
+    Array.unsafe_set acc r (Array.unsafe_get acc r +. l)
+  done
+
+let pre_accumulate_joint_obj p store ~obj ~num_objects ~read acc =
+  if Array.length acc < p.pn then
+    invalid_arg "Sensor_model.pre_accumulate_joint_obj: accumulator shorter than pose set";
+  if obj < 0 || obj >= num_objects then
+    invalid_arg "Sensor_model.pre_accumulate_joint_obj: object out of range";
+  if p.pn * num_objects > Rfid_prob.Particle_store.length store then
+    invalid_arg "Sensor_model.pre_accumulate_joint_obj: store shorter than pose set";
+  let xs, ys, zs, _, _ = Rfid_prob.Particle_store.backing store in
+  for r = 0 to p.pn - 1 do
+    let s = (r * num_objects) + obj in
+    let dx = Float.Array.unsafe_get xs s -. Float.Array.unsafe_get p.prx r in
+    let dy = Float.Array.unsafe_get ys s -. Float.Array.unsafe_get p.pry r in
+    let dz = Float.Array.unsafe_get zs s -. Float.Array.unsafe_get p.prz r in
+    let d = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+    let theta =
+      if dx = 0. && dy = 0. then 0.
+      else begin
+        (* [wrap], inlined: a same-module call still boxes its float
+           argument and result without flambda. *)
+        let a = atan2 dy dx -. Float.Array.unsafe_get p.phead r in
+        let two_pi = 2. *. Float.pi in
+        let a = Float.rem a two_pi in
+        let a =
+          if a > Float.pi then a -. two_pi
+          else if a <= -.Float.pi then a +. two_pi
+          else a
+        in
+        Float.abs a
+      end
+    in
+    let m = p.pm in
+    let z =
+      m.a0 +. (m.a1 *. d) +. (m.a2 *. d *. d) +. (m.b1 *. theta) +. (m.b2 *. theta *. theta)
+    in
+    let z = if read then z else -.z in
+    let l = if z >= 0. then -.log1p (exp (-.z)) else z -. log1p (exp z) in
+    Array.unsafe_set acc r (Array.unsafe_get acc r +. l)
+  done
+
+let pre_note_hits p k = p.hits <- p.hits + k
+let pre_hits p = p.hits
+
 let max_search_range = 100.
 
 let detection_range ?(threshold = 0.02) t =

@@ -60,6 +60,84 @@ val log_prob :
 (** Log-likelihood of one sensing outcome — the factored particle weight
     of Eq. 5, computed stably in log space. *)
 
+(** {1 Per-epoch pose memo}
+
+    The filter hot paths evaluate [log_prob] once per (object particle,
+    epoch) against the pose of the reader particle the object particle
+    is conditioned on. A [pre] memoizes those poses — x/y/z/heading in
+    flat unboxed [floatarray] slabs, one slot per reader particle —
+    refreshed once per epoch, so the inner loop reads four floats by
+    index and allocates nothing. [log_prob_pre] is bit-identical to
+    [log_prob] at the memoized pose. *)
+
+type pre
+
+val precompute : t -> n:int -> pre
+(** Memo with [n] pose slots (initially all zero) for this model.
+    @raise Invalid_argument on negative [n]. *)
+
+val pre_size : pre -> int
+(** Current number of pose slots. *)
+
+val pre_resize : pre -> int -> unit
+(** Set the slot count, reallocating slabs only on growth; slot
+    contents are unspecified after a growing resize. *)
+
+val pre_set_pose : pre -> int -> x:float -> y:float -> z:float -> heading:float -> unit
+(** Fill one pose slot. @raise Invalid_argument out of range. *)
+
+val log_prob_pre : pre -> int -> tx:float -> ty:float -> tz:float -> read:bool -> float
+(** [log_prob_pre p i ~tx ~ty ~tz ~read] is
+    [log_prob m ~reader_loc ~reader_heading ~tag_loc:(tx,ty,tz) ~read]
+    for the pose in slot [i], bit for bit.
+    @raise Invalid_argument out of range. *)
+
+val pre_accumulate_store : pre -> Rfid_prob.Particle_store.t -> read:bool -> unit
+(** Add the sensor term to every particle's log weight in one pass:
+    for each particle, [log_prob_pre] at its reader-pointer slot
+    against its own location. One cross-module call per (object,
+    epoch) — the loop runs over the store's backing slabs with no
+    boxing, where a call per particle would allocate ~30 words each.
+    Bit-identical to the per-particle calls.
+    @raise Invalid_argument if a reader index exceeds the pose set. *)
+
+val pre_accumulate_tag :
+  pre ->
+  tx:float ->
+  ty:float ->
+  tz:float ->
+  read:bool ->
+  miss_weight:float ->
+  float array ->
+  unit
+(** Add one tag's sensor term against {e every} pose to a per-pose
+    accumulator: [acc.(r) <- acc.(r) +. l] where [l] is
+    [log_prob_pre r] scaled by [miss_weight] when [not read] (pass
+    [1.0] for unscaled terms). @raise Invalid_argument if the
+    accumulator is shorter than the pose set. *)
+
+val pre_accumulate_joint_obj :
+  pre ->
+  Rfid_prob.Particle_store.t ->
+  obj:int ->
+  num_objects:int ->
+  read:bool ->
+  float array ->
+  unit
+(** Joint-filter variant of {!pre_accumulate_tag}: pose [r]'s tag
+    location is row [r]'s entry for [obj] in a row-major
+    [poses * num_objects] slab, and the (unscaled) term accumulates
+    into [acc.(r)]. @raise Invalid_argument on shape mismatch. *)
+
+val pre_note_hits : pre -> int -> unit
+(** Add to the served-evaluation counter. The filters count hits on the
+    coordinator after each parallel pass (never inside loop bodies), so
+    the counter is deterministic. *)
+
+val pre_hits : pre -> int
+(** Total evaluations served via this memo, as counted by
+    {!pre_note_hits}. *)
+
 val detection_range : ?threshold:float -> t -> float
 (** Head-on distance at which the read probability falls below
     [threshold] (default 0.02): the radius used for sensing-region

@@ -7,7 +7,7 @@
 type job = {
   n : int;
   chunk : int;
-  body : int -> int -> unit;
+  body : int -> int -> int -> unit;  (* did, lo, hi *)
   next : int Atomic.t;  (* next chunk ordinal to claim *)
   mutable running : int;  (* domains not yet finished with this job *)
   mutable error : exn option;  (* first exception raised by a body *)
@@ -18,20 +18,21 @@ type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
+  scratch : Scratch.t array;  (* one arena per domain, index = did *)
   mutable job : job option;
   mutable generation : int;  (* bumped once per published job *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
 }
 
-let run_chunks pool (job : job) =
+let run_chunks pool (job : job) ~did =
   let nchunks = (job.n + job.chunk - 1) / job.chunk in
   let rec loop () =
     let c = Atomic.fetch_and_add job.next 1 in
     if c < nchunks then begin
       let lo = c * job.chunk in
       let hi = Int.min job.n (lo + job.chunk) in
-      (try job.body lo hi
+      (try job.body did lo hi
        with e ->
          Mutex.lock pool.mutex;
          if job.error = None then job.error <- Some e;
@@ -41,7 +42,7 @@ let run_chunks pool (job : job) =
   in
   loop ()
 
-let rec worker_loop pool last_gen =
+let rec worker_loop pool ~did last_gen =
   Mutex.lock pool.mutex;
   while pool.generation = last_gen && not pool.stopping do
     Condition.wait pool.work_ready pool.mutex
@@ -51,12 +52,12 @@ let rec worker_loop pool last_gen =
     let gen = pool.generation in
     let job = Option.get pool.job in
     Mutex.unlock pool.mutex;
-    run_chunks pool job;
+    run_chunks pool job ~did;
     Mutex.lock pool.mutex;
     job.running <- job.running - 1;
     if job.running = 0 then Condition.broadcast pool.work_done;
     Mutex.unlock pool.mutex;
-    worker_loop pool gen
+    worker_loop pool ~did gen
   end
 
 let sequential =
@@ -65,6 +66,7 @@ let sequential =
     mutex = Mutex.create ();
     work_ready = Condition.create ();
     work_done = Condition.create ();
+    scratch = [| Scratch.create () |];
     job = None;
     generation = 0;
     stopping = false;
@@ -90,14 +92,19 @@ let create ~num_domains =
         mutex = Mutex.create ();
         work_ready = Condition.create ();
         work_done = Condition.create ();
+        scratch = Array.init num_domains (fun _ -> Scratch.create ());
         job = None;
         generation = 0;
         stopping = false;
         workers = [];
       }
     in
+    (* Worker i carries the stable domain id i + 1; the coordinator is
+       always did 0. Scratch arenas are indexed by did, so bodies on
+       different domains never share working memory. *)
     pool.workers <-
-      List.init (num_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+      List.init (num_domains - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop pool ~did:(i + 1) 0));
     (* Workers must be joined before the runtime tears down; a pool
        abandoned without [shutdown] would otherwise block process
        exit on domains parked in [Condition.wait]. *)
@@ -106,6 +113,11 @@ let create ~num_domains =
   end
 
 let num_domains pool = 1 + List.length pool.workers
+
+let get_scratch pool did =
+  if did < 0 || did >= Array.length pool.scratch then
+    invalid_arg "Pool.get_scratch: domain id out of range";
+  pool.scratch.(did)
 
 let cache : (int, t) Hashtbl.t = Hashtbl.create 4
 let cache_mutex = Mutex.create ()
@@ -133,10 +145,10 @@ let shutdown_cached () =
   Mutex.unlock cache_mutex;
   List.iter shutdown pools
 
-let parallel_for_chunked pool ?chunk ~n body =
+let parallel_for_chunked_did pool ?chunk ~n body =
   if n > 0 then begin
     let workers = num_domains pool - 1 in
-    if workers = 0 then body 0 n
+    if workers = 0 then body 0 0 n
     else begin
       let chunk =
         match chunk with
@@ -152,7 +164,7 @@ let parallel_for_chunked pool ?chunk ~n body =
       pool.generation <- pool.generation + 1;
       Condition.broadcast pool.work_ready;
       Mutex.unlock pool.mutex;
-      run_chunks pool job;
+      run_chunks pool job ~did:0;
       Mutex.lock pool.mutex;
       job.running <- job.running - 1;
       while job.running > 0 do
@@ -164,6 +176,9 @@ let parallel_for_chunked pool ?chunk ~n body =
       match error with Some e -> raise e | None -> ()
     end
   end
+
+let parallel_for_chunked pool ?chunk ~n body =
+  parallel_for_chunked_did pool ?chunk ~n (fun _did lo hi -> body lo hi)
 
 let map_array pool f a =
   let n = Array.length a in

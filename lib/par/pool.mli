@@ -45,6 +45,20 @@ val parallel_for_chunked : t -> ?chunk:int -> n:int -> (int -> int -> unit) -> u
     If any [body] raises, one of the exceptions is re-raised on the
     coordinator after all chunks finish or are abandoned. *)
 
+val parallel_for_chunked_did : t -> ?chunk:int -> n:int -> (int -> int -> int -> unit) -> unit
+(** [parallel_for_chunked_did pool ~n body] is {!parallel_for_chunked}
+    where [body did lo hi] also receives the stable id of the domain
+    running the chunk: 0 for the coordinator, [1 .. num_domains - 1]
+    for workers. Pass [did] to {!get_scratch} for a per-domain arena.
+    Which chunks land on which id is schedule-dependent; only state
+    private to [did] (the scratch arena) may key off it. *)
+
+val get_scratch : t -> int -> Scratch.t
+(** [get_scratch pool did] is the scratch arena owned by domain [did]
+    of this pool. Arenas are created with the pool and live as long as
+    it does, so buffers cached in them are reused across epochs.
+    @raise Invalid_argument if [did] is outside the pool's domains. *)
+
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array pool f a] is [Array.map f a] with [f] applied across
     domains. [f] must be safe to call concurrently on distinct

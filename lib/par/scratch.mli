@@ -1,0 +1,43 @@
+(** Per-domain scratch arenas for the filter hot paths.
+
+    A scratch arena owns the reusable working memory one domain needs to
+    process one work item (one object, one particle set) of a parallel
+    filter pass: normalized-weight buffers, resample index buffers, a
+    double-buffer particle slab for gather-and-swap resampling, and a
+    re-keyable RNG. Buffers are handed out by (slot, length) and cached
+    forever, so after the first epoch touches every length in play, the
+    steady-state allocation of a filter's parallel body is zero.
+
+    Arenas are owned by {!Pool}: [Pool.get_scratch pool did] returns the
+    arena private to domain [did], so bodies running concurrently never
+    share buffers. Contents are transient — valid only between a fill
+    and the reads of the same work item; nothing is preserved across
+    items, epochs, or [parallel_for] calls. *)
+
+type t
+
+val create : unit -> t
+(** A fresh arena with no cached buffers. Normally obtained via
+    {!Pool.get_scratch} rather than created directly. *)
+
+val float_buf : t -> slot:int -> int -> float array
+(** [float_buf t ~slot n] is a float buffer of exactly length [n],
+    cached per (slot, length). Distinct slots (0–3) never alias, so a
+    body needing two same-length buffers at once takes them from
+    different slots. Contents are whatever the previous use left.
+    @raise Invalid_argument on a slot outside [0, 4). *)
+
+val int_buf : t -> slot:int -> int -> int array
+(** As {!float_buf} for int buffers (resample indices); slots 0–1. *)
+
+val slab : t -> Rfid_prob.Particle_store.t
+(** The arena's spare particle slab: gather a resampled particle set
+    into it, then [Particle_store.swap] it with the live store. *)
+
+val rng : t -> Rfid_prob.Rng.t
+(** A reusable generator for {!Rfid_prob.Rng.for_key_into}; state is
+    meaningless until re-keyed. *)
+
+val allocations : t -> int
+(** Number of buffers ever allocated by this arena — a steady-state hot
+    path stops increasing it after warm-up (asserted by the tests). *)

@@ -1,0 +1,116 @@
+(** Structure-of-arrays particle storage.
+
+    A store holds [n] particles as parallel unboxed slabs — [floatarray]
+    columns for x/y/z and log weight plus a flat [int array] of reader
+    indices — instead of an array of boxed records. The filter hot
+    paths (weighting, normalization, resampling) run over these slabs
+    with zero steady-state allocation: stores are created once per
+    object (or filter), then {!resize}d, {!gather}ed and {!swap}ped in
+    place.
+
+    Every routine that replaces an array-of-records loop from the
+    filters performs bit-identical floating-point arithmetic in the
+    identical order, so adopting the store changes the allocation
+    profile of a filter and nothing about its output. *)
+
+type t
+
+val create : n:int -> t
+(** Store of [n] particles, all fields zero. [n = 0] is legal (the
+    placeholder belief of a just-discovered object).
+    @raise Invalid_argument on negative [n]. *)
+
+val length : t -> int
+(** Live particle count [n]. *)
+
+val capacity : t -> int
+(** Allocated slab length ([>= length]); grows geometrically, never
+    shrinks. *)
+
+val resize : t -> int -> unit
+(** Set the live count, reallocating slabs only when the capacity is
+    exceeded. Slab contents are unspecified after a growing resize —
+    callers fill [0, n) before reading. *)
+
+val swap : t -> t -> unit
+(** Exchange the entire contents (counts and slabs) of two stores in
+    O(1) — the second half of a resample {!gather} into a scratch
+    slab. *)
+
+(** {1 Element access} *)
+
+val x : t -> int -> float
+val y : t -> int -> float
+val z : t -> int -> float
+val log_w : t -> int -> float
+val reader : t -> int -> int
+
+val set_loc : t -> int -> x:float -> y:float -> z:float -> unit
+val set_log_w : t -> int -> float -> unit
+val add_log_w : t -> int -> float -> unit
+val set_reader : t -> int -> int -> unit
+
+val unsafe_x : t -> int -> float
+(** Unchecked accessors for inner loops whose bounds were already
+    validated; indexing past [length] is undefined behaviour. *)
+
+val unsafe_y : t -> int -> float
+val unsafe_z : t -> int -> float
+val unsafe_reader : t -> int -> int
+
+(** {1 Weight operations (in place)} *)
+
+val max_log_w : t -> float
+(** Running [Float.max] over the log weights; [neg_infinity] when
+    empty. *)
+
+val shift_log_w : t -> float -> unit
+(** Subtract a constant from every log weight (centring). *)
+
+val reset_log_w : t -> unit
+(** Zero every log weight (post-resample reset). *)
+
+val weights_into : t -> float array -> unit
+(** Write the normalized linear weights of the current log weights into
+    a caller buffer of length exactly [length t] — the zero-allocation
+    replacement for materializing a log-weight array and normalizing a
+    copy. @raise Invalid_argument on length mismatch. *)
+
+val normalized_weights : t -> float array
+(** Allocating variant of {!weights_into} for cold paths. *)
+
+(** {1 Resampling and moments} *)
+
+val gather : src:t -> dst:t -> int array -> n:int -> unit
+(** [gather ~src ~dst idx ~n] resizes [dst] to [n] and sets
+    [dst.(i) <- src.(idx.(i))] with log weight 0 — rebuilding a
+    particle set from resampled source indices without allocating.
+    @raise Invalid_argument if [src == dst], the index buffer is
+    shorter than [n], or an index is out of range. *)
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Copy a contiguous range of particles (every column) between stores
+    — row-wise resampling for callers that pack a matrix of particles
+    into one slab. Overlapping self-blit behaves like [Array.blit].
+    @raise Invalid_argument if either range exceeds its store's
+    length. *)
+
+val backing : t -> floatarray * floatarray * floatarray * floatarray * int array
+(** The live slabs (xs, ys, zs, log weights, reader indices), for
+    batched consumers that loop over the whole store in one call —
+    avoiding a boxing call per particle. Indices [< length t] are
+    valid; {!resize} and {!swap} invalidate the returned arrays. *)
+
+val fit_gaussian : w:float array -> t -> Gaussian.t
+(** Moment-matched 3-D Gaussian of the weighted cloud, bit-identical to
+    fitting over per-particle [[|x; y; z|]] rows.
+    @raise Invalid_argument on an empty store or weight length
+    mismatch. *)
+
+val avg_nll : w:float array -> Gaussian.t -> t -> float
+(** Weighted average negative log-likelihood of the particles under a
+    Gaussian (the compression acceptance test), with a reused probe
+    buffer. @raise Invalid_argument on an empty store. *)
+
+val copy : t -> t
+(** Deep copy trimmed to [length]. *)

@@ -1,21 +1,38 @@
 let check w =
   if Array.length w = 0 then invalid_arg "Resample: empty weights"
 
+let check_out out ~n =
+  if Array.length out < n then invalid_arg "Resample: output buffer shorter than n"
+
+(* The [_into] variants consume identical RNG draws and produce
+   identical indices to their allocating counterparts; they exist so
+   the filter hot paths can resample into scratch-arena buffers with
+   zero steady-state allocation. *)
+
+let multinomial_into rng w ~n ~out =
+  check w;
+  check_out out ~n;
+  for i = 0 to n - 1 do
+    out.(i) <- Rng.categorical rng w
+  done
+
 let multinomial rng w ~n =
   check w;
   Array.init n (fun _ -> Rng.categorical rng w)
 
-let systematic rng w ~n =
+let systematic_into rng w ~n ~out =
   check w;
+  check_out out ~n;
   let total = Array.fold_left ( +. ) 0. w in
   if not (total > 0.) then
     (* Degenerate weights: fall back to uniform stride over indices. *)
-    Array.init n (fun i -> i mod Array.length w)
+    for i = 0 to n - 1 do
+      out.(i) <- i mod Array.length w
+    done
   else begin
     let m = Array.length w in
     let step = total /. float_of_int n in
     let u0 = Rng.float rng *. step in
-    let out = Array.make n 0 in
     let acc = ref w.(0) in
     let j = ref 0 in
     for i = 0 to n - 1 do
@@ -25,15 +42,20 @@ let systematic rng w ~n =
         acc := !acc +. w.(!j)
       done;
       out.(i) <- !j
-    done;
-    out
+    done
   end
 
-let residual rng w ~n =
+let systematic rng w ~n =
   check w;
+  let out = Array.make n 0 in
+  systematic_into rng w ~n ~out;
+  out
+
+let residual_into rng w ~n ~out =
+  check w;
+  check_out out ~n;
   let w = Stats.normalize w in
   let m = Array.length w in
-  let out = Array.make n 0 in
   let filled = ref 0 in
   let residuals = Array.make m 0. in
   for i = 0 to m - 1 do
@@ -50,7 +72,12 @@ let residual rng w ~n =
   while !filled < n do
     out.(!filled) <- Rng.categorical rng residuals;
     incr filled
-  done;
+  done
+
+let residual rng w ~n =
+  check w;
+  let out = Array.make n 0 in
+  residual_into rng w ~n ~out;
   out
 
 let ess_below w ~ratio =

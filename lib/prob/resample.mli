@@ -19,6 +19,18 @@ val residual : Rng.t -> float array -> n:int -> int array
 (** Deterministic copies of [floor (n * w_i)] per particle, multinomial
     on the remainder. *)
 
+(** {1 In-place variants}
+
+    Identical RNG consumption and identical output indices to the
+    allocating schemes above, written into a caller buffer (of length
+    at least [n]) — the filter hot paths resample into scratch-arena
+    buffers with zero steady-state allocation.
+    @raise Invalid_argument if the buffer is shorter than [n]. *)
+
+val multinomial_into : Rng.t -> float array -> n:int -> out:int array -> unit
+val systematic_into : Rng.t -> float array -> n:int -> out:int array -> unit
+val residual_into : Rng.t -> float array -> n:int -> out:int array -> unit
+
 val ess_below : float array -> ratio:float -> bool
 (** [ess_below w ~ratio] is true when the effective sample size of the
     normalized weights [w] has fallen below [ratio *. length w] — the

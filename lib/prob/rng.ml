@@ -1,4 +1,21 @@
-type t = { mutable state : int64 }
+(* State representation: the single 64-bit SplitMix64 state, bit-cast
+   into a 1-element [floatarray]. The obvious [{ mutable state : int64 }]
+   boxes a fresh [Int64] on every write — ~3 words per draw, and the
+   filters draw millions of times per run. A [floatarray] slot is a raw
+   64-bit cell, and [Int64.bits_of_float] / [Int64.float_of_bits] are
+   [@@unboxed] [@@noalloc] externals, so advancing the state is a pure
+   register/memory move: no FP arithmetic ever touches the value, every
+   64-bit pattern (including NaN payloads) round-trips exactly.
+
+   The sampling hot paths ([float], [int], [bernoulli], [uniform],
+   [gaussian], [exponential], [for_key_into]) hand-inline the
+   advance-and-mix sequence: without flambda, even a same-module call to
+   a [mix64] helper boxes its [int64] argument, intermediates and result.
+   The inlined bodies are the original [bits64]/[mix64] operations
+   verbatim, in the same order, so streams are bit-identical to the
+   record-based implementation. Cold paths (create/split/checkpointing)
+   keep the shared helper. *)
+type t = floatarray
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -9,21 +26,23 @@ let mix64 z =
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
-let create ~seed = { state = mix64 (Int64.of_int seed) }
+let of_state s =
+  let t = Float.Array.create 1 in
+  Float.Array.unsafe_set t 0 (Int64.float_of_bits s);
+  t
 
-let copy t = { state = t.state }
+let state t = Int64.bits_of_float (Float.Array.unsafe_get t 0)
+let set_state t s = Float.Array.unsafe_set t 0 (Int64.float_of_bits s)
 
-let state t = t.state
-let of_state s = { state = s }
-let set_state t s = t.state <- s
+let create ~seed = of_state (mix64 (Int64.of_int seed))
+let copy t = of_state (state t)
 
 let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+  let s = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) golden_gamma in
+  Float.Array.unsafe_set t 0 (Int64.float_of_bits s);
+  mix64 s
 
-let split t =
-  let s = bits64 t in
-  { state = mix64 s }
+let split t = of_state (mix64 (bits64 t))
 
 (* Keyed substream derivation: a pure function of the base state and the
    key — the base generator is NOT advanced, so the substream for a
@@ -32,8 +51,22 @@ let split t =
    rounds separate keys that differ in few bits (consecutive object ids
    and epochs are exactly that case). *)
 let for_key t ~key =
-  let s = mix64 (Int64.add t.state (Int64.mul golden_gamma key)) in
-  { state = mix64 (Int64.logxor s golden_gamma) }
+  let s = mix64 (Int64.add (state t) (Int64.mul golden_gamma key)) in
+  of_state (mix64 (Int64.logxor s golden_gamma))
+
+(* Allocation-free [for_key]: same pure state derivation, written into a
+   caller-owned generator (a scratch-arena slot in the filter hot
+   paths). [mix64] inlined twice — see the header comment. *)
+let for_key_into t ~key dst =
+  let z = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) (Int64.mul golden_gamma key) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  let z = Int64.logxor z golden_gamma in
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  Float.Array.unsafe_set dst 0 (Int64.float_of_bits z)
 
 (* Pack two non-negative ints into one key. The first component is
    spread by a large odd multiplier, so distinct (id, epoch) pairs with
@@ -41,45 +74,89 @@ let for_key t ~key =
    far apart in key space. *)
 let key_pair a b = Int64.(add (mul (of_int a) 0x2545F4914F6CDD1DL) (of_int b))
 
-(* 53 random bits scaled into [0,1). *)
+(* 53 random bits scaled into [0,1). Advance + mix inlined. *)
 let float t =
-  let bits = Int64.shift_right_logical (bits64 t) 11 in
-  Int64.to_float bits *. 0x1p-53
+  let s = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) golden_gamma in
+  Float.Array.unsafe_set t 0 (Int64.float_of_bits s);
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
 
 let uniform t ~lo ~hi =
   if not (lo <= hi) then invalid_arg "Rng.uniform: lo > hi";
-  lo +. ((hi -. lo) *. float t)
+  let s = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) golden_gamma in
+  Float.Array.unsafe_set t 0 (Int64.float_of_bits s);
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  let u = Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53 in
+  lo +. ((hi -. lo) *. u)
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is < 2^-38 for any
      bound below 2^24, and all our bounds are small. Keep 62 bits so the
      value is a non-negative OCaml int. *)
-  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  let s = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) golden_gamma in
+  Float.Array.unsafe_set t 0 (Int64.float_of_bits s);
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  let bits = Int64.to_int (Int64.shift_right_logical z 2) in
   bits mod n
 
 let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
 
 let bernoulli t ~p =
   let p = Float.max 0. (Float.min 1. p) in
-  float t < p
+  let s = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) golden_gamma in
+  Float.Array.unsafe_set t 0 (Int64.float_of_bits s);
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  let u = Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53 in
+  u < p
 
 let gaussian t ?(mu = 0.) ?(sigma = 1.) () =
   if sigma < 0. then invalid_arg "Rng.gaussian: negative sigma";
   (* Marsaglia polar method; the second deviate is discarded to keep the
-     generator state independent of call interleaving. *)
-  let rec draw () =
-    let u = (2. *. float t) -. 1. in
-    let v = (2. *. float t) -. 1. in
+     generator state independent of call interleaving. The rejection
+     loop is a [while] (not a recursive closure, which would allocate)
+     and the uniform draws are inlined; the draw sequence and arithmetic
+     match the original recursive formulation exactly. *)
+  let result = ref 0. in
+  let rejected = ref true in
+  while !rejected do
+    let s1 = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) golden_gamma in
+    Float.Array.unsafe_set t 0 (Int64.float_of_bits s1);
+    let z = Int64.(mul (logxor s1 (shift_right_logical s1 30)) 0xBF58476D1CE4E5B9L) in
+    let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+    let z = Int64.(logxor z (shift_right_logical z 31)) in
+    let u = (2. *. (Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53)) -. 1. in
+    let s2 = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) golden_gamma in
+    Float.Array.unsafe_set t 0 (Int64.float_of_bits s2);
+    let z = Int64.(mul (logxor s2 (shift_right_logical s2 30)) 0xBF58476D1CE4E5B9L) in
+    let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+    let z = Int64.(logxor z (shift_right_logical z 31)) in
+    let v = (2. *. (Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53)) -. 1. in
     let s = (u *. u) +. (v *. v) in
-    if s >= 1. || s = 0. then draw ()
-    else u *. sqrt (-2. *. log s /. s)
-  in
-  mu +. (sigma *. draw ())
+    if not (s >= 1. || s = 0.) then begin
+      result := u *. sqrt (-2. *. log s /. s);
+      rejected := false
+    end
+  done;
+  mu +. (sigma *. !result)
 
 let exponential t ~rate =
   if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
-  -.log1p (-.float t) /. rate
+  let s = Int64.add (Int64.bits_of_float (Float.Array.unsafe_get t 0)) golden_gamma in
+  Float.Array.unsafe_set t 0 (Int64.float_of_bits s);
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  let u = Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53 in
+  -.log1p (-.u) /. rate
 
 let shuffle_in_place t a =
   for i = Array.length a - 1 downto 1 do
@@ -92,7 +169,13 @@ let shuffle_in_place t a =
 let categorical t w =
   let n = Array.length w in
   if n = 0 then invalid_arg "Rng.categorical: empty weights";
-  let total = Array.fold_left ( +. ) 0. w in
+  (* for-loop: [Array.fold_left] boxes the float accumulator on every
+     element, and this runs once per drawn pointer in the filters. *)
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. Array.unsafe_get w i
+  done;
+  let total = !total in
   if not (total > 0.) then invalid_arg "Rng.categorical: weights sum to 0";
   let u = float t *. total in
   let rec scan i acc =

@@ -45,6 +45,12 @@ val for_key : t -> key:int64 -> t
     backbone of parallel inference: per-object randomness is keyed by
     [key_pair obj_id epoch] so results do not depend on scheduling. *)
 
+val for_key_into : t -> key:int64 -> t -> unit
+(** [for_key_into t ~key dst] is {!for_key} writing the derived state
+    into [dst] instead of allocating a fresh generator — the hot paths
+    re-key one scratch generator per object per epoch. [t] is not
+    advanced. *)
+
 val key_pair : int -> int -> int64
 (** [key_pair a b] packs two non-negative ints into one substream key;
     distinct pairs with realistic magnitudes (ids, epochs) yield

@@ -2,7 +2,13 @@ let log_sum_exp a =
   let n = Array.length a in
   if n = 0 then neg_infinity
   else begin
-    let m = Array.fold_left Float.max neg_infinity a in
+    (* for-loop rather than [Array.fold_left Float.max]: the generic
+       fold boxes the float accumulator on every iteration. *)
+    let m = ref neg_infinity in
+    for i = 0 to n - 1 do
+      m := Float.max !m (Array.unsafe_get a i)
+    done;
+    let m = !m in
     if m = neg_infinity then neg_infinity
     else begin
       let s = ref 0. in
@@ -27,6 +33,12 @@ let normalize_log_weights lw =
   normalize_log_weights_in_place w;
   w
 
+let normalize_log_weights_into ~src ~dst =
+  if Array.length dst <> Array.length src then
+    invalid_arg "Stats.normalize_log_weights_into: length mismatch";
+  Array.blit src 0 dst 0 (Array.length src);
+  normalize_log_weights_in_place dst
+
 let normalize_in_place w =
   let n = Array.length w in
   let total = Array.fold_left ( +. ) 0. w in
@@ -42,8 +54,12 @@ let normalize w =
   w
 
 let effective_sample_size w =
-  let sumsq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. w in
-  if sumsq = 0. then 0. else 1. /. sumsq
+  let sumsq = ref 0. in
+  for i = 0 to Array.length w - 1 do
+    let x = Array.unsafe_get w i in
+    sumsq := !sumsq +. (x *. x)
+  done;
+  if !sumsq = 0. then 0. else 1. /. !sumsq
 
 let mean a =
   let n = Array.length a in

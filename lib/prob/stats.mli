@@ -18,6 +18,11 @@ val normalize_log_weights_in_place : float array -> unit
     hot path already materializes a fresh log-weight array per particle
     set per epoch, so normalizing in place halves its allocations. *)
 
+val normalize_log_weights_into : src:float array -> dst:float array -> unit
+(** [normalize_log_weights] writing into a caller buffer (a scratch
+    arena slot in the filter hot path) instead of allocating; [src] is
+    left untouched. @raise Invalid_argument on length mismatch. *)
+
 val normalize : float array -> float array
 (** Normalize non-negative linear weights to sum to 1; uniform on total
     collapse. *)

@@ -110,6 +110,57 @@ let test_pool_propagates_exceptions () =
   Alcotest.(check int) "pool usable after exception" 64 (Atomic.get total);
   Rfid_par.Pool.shutdown pool
 
+let test_scratch_reuse () =
+  let s = Rfid_par.Scratch.create () in
+  let b1 = Rfid_par.Scratch.float_buf s ~slot:0 64 in
+  let b2 = Rfid_par.Scratch.float_buf s ~slot:0 64 in
+  Alcotest.(check bool) "same slot and length reuses the buffer" true (b1 == b2);
+  Alcotest.(check int) "exact length" 64 (Array.length b1);
+  let b3 = Rfid_par.Scratch.float_buf s ~slot:1 64 in
+  Alcotest.(check bool) "distinct slots never alias" true (not (b3 == b1));
+  let i1 = Rfid_par.Scratch.int_buf s ~slot:0 16 in
+  let i2 = Rfid_par.Scratch.int_buf s ~slot:0 16 in
+  Alcotest.(check bool) "int buffers reuse" true (i1 == i2);
+  (* Warm-up touches each (slot, length) once; afterwards every request
+     is served from cache and the allocation counter freezes — the
+     arena-level statement of the zero-allocation steady state. *)
+  let warm = Rfid_par.Scratch.allocations s in
+  for _ = 1 to 100 do
+    ignore (Rfid_par.Scratch.float_buf s ~slot:0 64);
+    ignore (Rfid_par.Scratch.float_buf s ~slot:1 64);
+    ignore (Rfid_par.Scratch.int_buf s ~slot:0 16);
+    ignore (Rfid_par.Scratch.rng s);
+    ignore (Rfid_par.Scratch.slab s)
+  done;
+  Alcotest.(check int) "steady state allocates no new buffers" warm
+    (Rfid_par.Scratch.allocations s);
+  Util.check_raises_invalid "bad slot" (fun () ->
+      ignore (Rfid_par.Scratch.float_buf s ~slot:9 4))
+
+let test_chunked_did_covers_and_isolates () =
+  List.iter
+    (fun num_domains ->
+      let pool = Rfid_par.Pool.create ~num_domains in
+      let n = 513 in
+      let owner = Array.make n (-1) in
+      Rfid_par.Pool.parallel_for_chunked_did pool ~n (fun did lo hi ->
+          if did < 0 || did >= num_domains then
+            Alcotest.failf "domain id %d out of range" did;
+          for i = lo to hi - 1 do
+            owner.(i) <- did
+          done);
+      Array.iteri (fun i d -> if d < 0 then Alcotest.failf "index %d never visited" i) owner;
+      (* Each domain owns a private arena — bodies running concurrently
+         must never share buffers. *)
+      for a = 0 to num_domains - 1 do
+        for b = a + 1 to num_domains - 1 do
+          Alcotest.(check bool) "arenas distinct per domain" true
+            (not (Rfid_par.Pool.get_scratch pool a == Rfid_par.Pool.get_scratch pool b))
+        done
+      done;
+      Rfid_par.Pool.shutdown pool)
+    [ 1; 2; 4 ]
+
 let test_pool_rejects_bad_sizes () =
   Util.check_raises_invalid "zero domains" (fun () ->
       ignore (Rfid_par.Pool.create ~num_domains:0));
@@ -179,6 +230,9 @@ let suite =
       Alcotest.test_case "pool propagates exceptions" `Quick
         test_pool_propagates_exceptions;
       Alcotest.test_case "pool rejects bad sizes" `Quick test_pool_rejects_bad_sizes;
+      Alcotest.test_case "scratch arenas reuse buffers" `Quick test_scratch_reuse;
+      Alcotest.test_case "chunked_did covers range, isolates arenas" `Quick
+        test_chunked_did_covers_and_isolates;
       Alcotest.test_case "engine bit-identical across domains (indexed)" `Quick
         test_engine_bit_identical_indexed;
       Alcotest.test_case "engine bit-identical across domains (compressed)" `Quick

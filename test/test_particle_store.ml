@@ -1,0 +1,178 @@
+(* Structure-of-arrays particle storage: accessor round-trips, the
+   in-place weight/resample operations against straightforward
+   array-of-records references, and the bit-identity contract — every
+   [_into]/slab routine must match the allocating formulation it
+   replaced, bit for bit. *)
+open Rfid_prob
+
+let mk_rng seed = Rng.create ~seed
+
+(* Fill a store with a reproducible cloud and return the same data as
+   plain arrays for reference computations. *)
+let filled ~seed n =
+  let rng = mk_rng seed in
+  let s = Particle_store.create ~n in
+  let xs = Array.make n 0. and ys = Array.make n 0. and zs = Array.make n 0. in
+  let lw = Array.make n 0. and rd = Array.make n 0 in
+  for i = 0 to n - 1 do
+    xs.(i) <- Rng.uniform rng ~lo:(-5.) ~hi:5.;
+    ys.(i) <- Rng.uniform rng ~lo:(-5.) ~hi:5.;
+    zs.(i) <- Rng.uniform rng ~lo:0. ~hi:2.;
+    lw.(i) <- Rng.uniform rng ~lo:(-3.) ~hi:0.5;
+    rd.(i) <- Rng.int rng 7;
+    Particle_store.set_loc s i ~x:xs.(i) ~y:ys.(i) ~z:zs.(i);
+    Particle_store.set_log_w s i lw.(i);
+    Particle_store.set_reader s i rd.(i)
+  done;
+  (s, xs, ys, zs, lw, rd)
+
+let test_create_resize () =
+  let s = Particle_store.create ~n:0 in
+  Alcotest.(check int) "empty store legal" 0 (Particle_store.length s);
+  Particle_store.resize s 5;
+  Alcotest.(check int) "resize grows" 5 (Particle_store.length s);
+  Alcotest.(check bool) "capacity covers length" true (Particle_store.capacity s >= 5);
+  let cap = Particle_store.capacity s in
+  Particle_store.resize s 2;
+  Alcotest.(check int) "resize shrinks length" 2 (Particle_store.length s);
+  Alcotest.(check int) "shrink keeps capacity" cap (Particle_store.capacity s);
+  Util.check_raises_invalid "negative create" (fun () ->
+      ignore (Particle_store.create ~n:(-1)))
+
+let test_accessor_roundtrip () =
+  let n = 17 in
+  let s, xs, ys, zs, lw, rd = filled ~seed:3 n in
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 0.)) "x" xs.(i) (Particle_store.x s i);
+    Alcotest.(check (float 0.)) "y" ys.(i) (Particle_store.y s i);
+    Alcotest.(check (float 0.)) "z" zs.(i) (Particle_store.z s i);
+    Alcotest.(check (float 0.)) "log_w" lw.(i) (Particle_store.log_w s i);
+    Alcotest.(check int) "reader" rd.(i) (Particle_store.reader s i)
+  done;
+  Particle_store.add_log_w s 4 0.25;
+  Alcotest.(check (float 0.)) "add_log_w" (lw.(4) +. 0.25) (Particle_store.log_w s 4)
+
+let test_weight_ops () =
+  let n = 33 in
+  let s, _, _, _, lw, _ = filled ~seed:11 n in
+  let m = Array.fold_left Float.max neg_infinity lw in
+  Alcotest.(check (float 0.)) "max_log_w" m (Particle_store.max_log_w s);
+  Particle_store.shift_log_w s m;
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 0.)) "shifted" (lw.(i) -. m) (Particle_store.log_w s i)
+  done;
+  Particle_store.reset_log_w s;
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 0.)) "reset" 0. (Particle_store.log_w s i)
+  done;
+  Alcotest.(check (float 0.)) "empty max" neg_infinity
+    (Particle_store.max_log_w (Particle_store.create ~n:0))
+
+let test_weights_into_bit_identical () =
+  let n = 64 in
+  let s, _, _, _, lw, _ = filled ~seed:23 n in
+  let got = Array.make n 0. in
+  Particle_store.weights_into s got;
+  let expected = Stats.normalize_log_weights lw in
+  Alcotest.(check (array (float 0.))) "weights_into = normalize of copy" expected got;
+  Alcotest.(check (array (float 0.)))
+    "normalized_weights agrees" expected
+    (Particle_store.normalized_weights s);
+  Util.check_raises_invalid "length mismatch" (fun () ->
+      Particle_store.weights_into s (Array.make (n - 1) 0.))
+
+let test_gather_matches_reference () =
+  let n = 40 in
+  let src, xs, ys, zs, _, rd = filled ~seed:31 n in
+  let rng = mk_rng 5 in
+  let idx = Array.init n (fun _ -> Rng.int rng n) in
+  let dst = Particle_store.create ~n:0 in
+  Particle_store.gather ~src ~dst idx ~n;
+  for i = 0 to n - 1 do
+    let j = idx.(i) in
+    Alcotest.(check (float 0.)) "gathered x" xs.(j) (Particle_store.x dst i);
+    Alcotest.(check (float 0.)) "gathered y" ys.(j) (Particle_store.y dst i);
+    Alcotest.(check (float 0.)) "gathered z" zs.(j) (Particle_store.z dst i);
+    Alcotest.(check int) "gathered reader" rd.(j) (Particle_store.reader dst i);
+    Alcotest.(check (float 0.)) "gathered weight reset" 0. (Particle_store.log_w dst i)
+  done;
+  Util.check_raises_invalid "self gather" (fun () ->
+      Particle_store.gather ~src ~dst:src idx ~n);
+  Util.check_raises_invalid "index out of range" (fun () ->
+      Particle_store.gather ~src ~dst [| n |] ~n:1)
+
+let test_blit_and_swap () =
+  let n = 12 in
+  let a, xs, _, _, lw, _ = filled ~seed:41 n in
+  let b = Particle_store.create ~n in
+  Particle_store.blit ~src:a ~src_pos:3 ~dst:b ~dst_pos:0 ~len:5;
+  for i = 0 to 4 do
+    Alcotest.(check (float 0.)) "blit x" xs.(i + 3) (Particle_store.x b i);
+    Alcotest.(check (float 0.)) "blit log_w" lw.(i + 3) (Particle_store.log_w b i)
+  done;
+  Util.check_raises_invalid "blit out of range" (fun () ->
+      Particle_store.blit ~src:a ~src_pos:(n - 2) ~dst:b ~dst_pos:0 ~len:5);
+  let c, cx, _, _, _, _ = filled ~seed:43 7 in
+  Particle_store.swap a c;
+  Alcotest.(check int) "swap length a" 7 (Particle_store.length a);
+  Alcotest.(check int) "swap length c" n (Particle_store.length c);
+  Alcotest.(check (float 0.)) "swap moved contents" cx.(0) (Particle_store.x a 0);
+  Alcotest.(check (float 0.)) "swap moved contents back" xs.(0) (Particle_store.x c 0)
+
+let test_backing_views_live_slabs () =
+  let n = 9 in
+  let s, xs, _, _, _, rd = filled ~seed:47 n in
+  let bxs, _, _, blw, brd = Particle_store.backing s in
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 0.)) "backing x" xs.(i) (Float.Array.get bxs i);
+    Alcotest.(check int) "backing reader" rd.(i) brd.(i)
+  done;
+  (* Writes through the backing are the store's contents, not a copy. *)
+  Float.Array.set blw 2 (-1.5);
+  Alcotest.(check (float 0.)) "backing write visible" (-1.5) (Particle_store.log_w s 2)
+
+let test_fit_gaussian_bit_identical () =
+  let n = 50 in
+  let s, xs, ys, zs, lw, _ = filled ~seed:53 n in
+  let w = Stats.normalize_log_weights lw in
+  let rows = Array.init n (fun i -> [| xs.(i); ys.(i); zs.(i) |]) in
+  let expected = Gaussian.fit ~w rows in
+  let got = Particle_store.fit_gaussian ~w s in
+  Alcotest.(check (array (float 0.)))
+    "fit mean bit-identical" (Gaussian.mean expected) (Gaussian.mean got);
+  Array.iteri
+    (fun i row ->
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "fit cov row %d bit-identical" i)
+        row
+        (Gaussian.cov got).(i))
+    (Gaussian.cov expected);
+  let nll = Particle_store.avg_nll ~w expected s in
+  let reference =
+    let acc = ref 0. in
+    Array.iteri (fun i row -> acc := !acc +. (w.(i) *. -.log (Gaussian.pdf expected row))) rows;
+    !acc
+  in
+  Util.check_close ~eps:1e-9 "avg_nll matches row-wise reference" reference nll
+
+let test_copy_independent () =
+  let n = 8 in
+  let s, xs, _, _, _, _ = filled ~seed:59 n in
+  let c = Particle_store.copy s in
+  Particle_store.set_loc s 0 ~x:99. ~y:0. ~z:0.;
+  Alcotest.(check (float 0.)) "copy unaffected by source writes" xs.(0) (Particle_store.x c 0);
+  Alcotest.(check int) "copy length" n (Particle_store.length c)
+
+let suite =
+  ( "particle_store",
+    [
+      Alcotest.test_case "create and resize" `Quick test_create_resize;
+      Alcotest.test_case "accessor roundtrip" `Quick test_accessor_roundtrip;
+      Alcotest.test_case "weight ops" `Quick test_weight_ops;
+      Alcotest.test_case "weights_into bit-identical" `Quick test_weights_into_bit_identical;
+      Alcotest.test_case "gather matches reference" `Quick test_gather_matches_reference;
+      Alcotest.test_case "blit and swap" `Quick test_blit_and_swap;
+      Alcotest.test_case "backing views live slabs" `Quick test_backing_views_live_slabs;
+      Alcotest.test_case "fit_gaussian bit-identical" `Quick test_fit_gaussian_bit_identical;
+      Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    ] )

@@ -116,6 +116,137 @@ let prop_read_prob_in_unit =
       let p = Sensor_model.read_prob_at m ~d ~theta in
       p >= 0. && p <= 1.)
 
+(* A memo over [n] random poses, with the pose data kept as plain
+   arrays for reference computations against [log_prob]. *)
+let random_memo ?(n = 24) m rng =
+  let pre = Sensor_model.precompute m ~n in
+  let poses =
+    Array.init n (fun i ->
+        let x = Rfid_prob.Rng.uniform rng ~lo:(-10.) ~hi:10. in
+        let y = Rfid_prob.Rng.uniform rng ~lo:(-10.) ~hi:10. in
+        let z = Rfid_prob.Rng.uniform rng ~lo:0. ~hi:3. in
+        let heading = Rfid_prob.Rng.uniform rng ~lo:(-7.) ~hi:7. in
+        Sensor_model.pre_set_pose pre i ~x ~y ~z ~heading;
+        (x, y, z, heading))
+  in
+  (pre, poses)
+
+let test_memo_bit_identical () =
+  let m = Sensor_model.default in
+  let rng = Rfid_prob.Rng.create ~seed:77 in
+  let pre, poses = random_memo m rng in
+  for _ = 1 to 200 do
+    let i = Rfid_prob.Rng.int rng (Array.length poses) in
+    let x, y, z, heading = poses.(i) in
+    let tx = Rfid_prob.Rng.uniform rng ~lo:(-12.) ~hi:12. in
+    let ty = Rfid_prob.Rng.uniform rng ~lo:(-12.) ~hi:12. in
+    let tz = Rfid_prob.Rng.uniform rng ~lo:0. ~hi:3. in
+    let read = Rfid_prob.Rng.bool rng in
+    let expected =
+      Sensor_model.log_prob m ~reader_loc:(Util.vec3 x y z) ~reader_heading:heading
+        ~tag_loc:(Util.vec3 tx ty tz) ~read
+    in
+    Alcotest.(check (float 0.)) "log_prob_pre bit-identical to log_prob" expected
+      (Sensor_model.log_prob_pre pre i ~tx ~ty ~tz ~read)
+  done;
+  Util.check_raises_invalid "pose index out of range" (fun () ->
+      ignore (Sensor_model.log_prob_pre pre (-1) ~tx:0. ~ty:0. ~tz:0. ~read:true))
+
+let test_accumulate_store_matches_per_particle () =
+  let m = Sensor_model.default in
+  let rng = Rfid_prob.Rng.create ~seed:78 in
+  let pre, _ = random_memo m rng in
+  let k = 60 in
+  let store = Rfid_prob.Particle_store.create ~n:k in
+  let reference = Array.make k 0. in
+  for i = 0 to k - 1 do
+    let x = Rfid_prob.Rng.uniform rng ~lo:(-12.) ~hi:12. in
+    let y = Rfid_prob.Rng.uniform rng ~lo:(-12.) ~hi:12. in
+    let z = Rfid_prob.Rng.uniform rng ~lo:0. ~hi:3. in
+    let lw0 = Rfid_prob.Rng.uniform rng ~lo:(-1.) ~hi:0. in
+    Rfid_prob.Particle_store.set_loc store i ~x ~y ~z;
+    Rfid_prob.Particle_store.set_log_w store i lw0;
+    Rfid_prob.Particle_store.set_reader store i
+      (Rfid_prob.Rng.int rng (Sensor_model.pre_size pre));
+    reference.(i) <- lw0
+  done;
+  List.iter
+    (fun read ->
+      for i = 0 to k - 1 do
+        reference.(i) <-
+          reference.(i)
+          +. Sensor_model.log_prob_pre pre
+               (Rfid_prob.Particle_store.reader store i)
+               ~tx:(Rfid_prob.Particle_store.x store i)
+               ~ty:(Rfid_prob.Particle_store.y store i)
+               ~tz:(Rfid_prob.Particle_store.z store i)
+               ~read
+      done;
+      Sensor_model.pre_accumulate_store pre store ~read;
+      for i = 0 to k - 1 do
+        Alcotest.(check (float 0.)) "store accumulation bit-identical" reference.(i)
+          (Rfid_prob.Particle_store.log_w store i)
+      done)
+    [ true; false ]
+
+let test_accumulate_tag_matches_per_pose () =
+  let m = Sensor_model.default in
+  let rng = Rfid_prob.Rng.create ~seed:79 in
+  let pre, _ = random_memo m rng in
+  let n = Sensor_model.pre_size pre in
+  let tx = 1.5 and ty = -2.25 and tz = 1. in
+  let miss_weight = 0.35 in
+  List.iter
+    (fun read ->
+      let got = Array.make n 0.125 in
+      let expected = Array.make n 0.125 in
+      for r = 0 to n - 1 do
+        let l = Sensor_model.log_prob_pre pre r ~tx ~ty ~tz ~read in
+        let l = if read then l else miss_weight *. l in
+        expected.(r) <- expected.(r) +. l
+      done;
+      Sensor_model.pre_accumulate_tag pre ~tx ~ty ~tz ~read ~miss_weight got;
+      Alcotest.(check (array (float 0.))) "tag accumulation bit-identical" expected got)
+    [ true; false ];
+  Util.check_raises_invalid "short accumulator" (fun () ->
+      Sensor_model.pre_accumulate_tag pre ~tx ~ty ~tz ~read:true ~miss_weight:1.
+        (Array.make (n - 1) 0.))
+
+let test_accumulate_joint_matches_per_row () =
+  let m = Sensor_model.default in
+  let rng = Rfid_prob.Rng.create ~seed:80 in
+  let pre, _ = random_memo ~n:8 m rng in
+  let n = Sensor_model.pre_size pre in
+  let num_objects = 5 in
+  let store = Rfid_prob.Particle_store.create ~n:(n * num_objects) in
+  for s = 0 to (n * num_objects) - 1 do
+    Rfid_prob.Particle_store.set_loc store s
+      ~x:(Rfid_prob.Rng.uniform rng ~lo:(-12.) ~hi:12.)
+      ~y:(Rfid_prob.Rng.uniform rng ~lo:(-12.) ~hi:12.)
+      ~z:(Rfid_prob.Rng.uniform rng ~lo:0. ~hi:3.)
+  done;
+  List.iter
+    (fun read ->
+      let obj = 3 in
+      let got = Array.make n 0. in
+      let expected = Array.make n 0. in
+      for r = 0 to n - 1 do
+        let s = (r * num_objects) + obj in
+        expected.(r) <-
+          expected.(r)
+          +. Sensor_model.log_prob_pre pre r
+               ~tx:(Rfid_prob.Particle_store.x store s)
+               ~ty:(Rfid_prob.Particle_store.y store s)
+               ~tz:(Rfid_prob.Particle_store.z store s)
+               ~read
+      done;
+      Sensor_model.pre_accumulate_joint_obj pre store ~obj ~num_objects ~read got;
+      Alcotest.(check (array (float 0.))) "joint accumulation bit-identical" expected got)
+    [ true; false ];
+  Util.check_raises_invalid "object out of range" (fun () ->
+      Sensor_model.pre_accumulate_joint_obj pre store ~obj:num_objects ~num_objects
+        ~read:true (Array.make n 0.))
+
 let suite =
   ( "sensor_model",
     [
@@ -129,4 +260,11 @@ let suite =
       Alcotest.test_case "initialization cone" `Quick test_initialization_cone;
       Alcotest.test_case "sensing region box" `Quick test_sensing_region_box;
       prop_read_prob_in_unit;
+      Alcotest.test_case "memo bit-identical to log_prob" `Quick test_memo_bit_identical;
+      Alcotest.test_case "batched store accumulation bit-identical" `Quick
+        test_accumulate_store_matches_per_particle;
+      Alcotest.test_case "batched tag accumulation bit-identical" `Quick
+        test_accumulate_tag_matches_per_pose;
+      Alcotest.test_case "batched joint accumulation bit-identical" `Quick
+        test_accumulate_joint_matches_per_row;
     ] )
