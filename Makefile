@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test bench bench-json perf-gate perf-baseline fuzz fmt clean
+.PHONY: all build test doc bench bench-json perf-gate perf-baseline fuzz fmt clean
 
 all: build
 
@@ -10,10 +10,30 @@ build:
 	$(DUNE) build
 
 # The perf gate rides along non-fatally (leading -): an allocation
-# regression prints loudly but does not mask a test failure.
+# regression prints loudly but does not mask a test failure. The
+# golden suite is re-run with the chrome-trace sink enabled to pin the
+# invariant that observability never perturbs the event stream.
 test:
 	$(DUNE) build && $(DUNE) runtest && $(DUNE) exec fuzz/fuzz_main.exe -- 10
+	cd test && OBS_TRACE=/tmp/rfid_golden_trace.json $(DUNE) exec ./test_main.exe -- test golden
 	-$(MAKE) perf-gate
+
+# API docs. The container may not ship odoc; fall back to a full
+# signature check (which still catches malformed doc comments attached
+# to the wrong item) so `make doc` is meaningful everywhere. With odoc
+# present, any warning is a failure.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+	  out=$$($(DUNE) build @doc 2>&1); status=$$?; \
+	  if [ -n "$$out" ]; then echo "$$out"; fi; \
+	  if [ $$status -ne 0 ] || [ -n "$$out" ]; then \
+	    echo "make doc: FAIL (odoc errors or warnings above)"; exit 1; \
+	  fi; \
+	  echo "make doc: OK (_build/default/_doc/_html)"; \
+	else \
+	  echo "make doc: odoc not installed; checking signatures with dune build @check"; \
+	  $(DUNE) build @check; \
+	fi
 
 # Randomized corrupted-input fuzz (seeds are logged; reproduce any
 # failure with `dune exec fuzz/fuzz_main.exe -- ITERS BASE_SEED`).

@@ -127,6 +127,25 @@ let robust_json rp =
     rp.rp_engine.Rfid_core.Engine.duplicate_epochs_skipped
     rp.rp_engine.Rfid_core.Engine.out_of_order_dropped counters
 
+(* Per-stage timing block, from the observability registry: one entry
+   per "stage.*" span recorded during this bench process, quantiles in
+   microseconds. Bench runs reset the registry on entry, so the block
+   covers exactly the points above it. *)
+let stages_json () =
+  let module Obs = Rfid_obs.Metrics in
+  let stages =
+    List.filter
+      (fun (name, _) -> String.length name > 6 && String.sub name 0 6 = "stage.")
+      (Obs.histograms_list Obs.global)
+  in
+  let entry (name, h) =
+    let q p = 1e6 *. Obs.quantile h p in
+    Printf.sprintf
+      "    %S: {\"count\": %d, \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}"
+      name (Obs.histogram_count h) (q 0.5) (q 0.95) (q 0.99)
+  in
+  String.concat ",\n" (List.map entry stages)
+
 let emit oc points robust =
   let point_json p =
     Printf.sprintf
@@ -141,19 +160,25 @@ let emit oc points robust =
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"bench_filter/v2\",\n\
+    \  \"schema\": \"bench_filter/v3\",\n\
     \  \"workload\": \"warehouse straight pass, J=100, K=200, seed 7\",\n\
     \  \"host_cores\": %d,\n\
     \  \"points\": [\n%s\n\
     \  ],\n\
+    \  \"stages\": {\n%s\n\
+    \  },\n\
      %s\n\
      }\n"
     (Domain.recommended_domain_count ())
     (String.concat ",\n" (List.map point_json points))
+    (stages_json ())
     (robust_json robust)
 
 let run ~path ~large =
   Printf.printf "bench --json: filter throughput -> %s\n%!" path;
+  (* Scope the "stages" block to this run, not whatever ran earlier in
+     the process (e.g. warm-up or other bench modes). *)
+  Rfid_obs.Metrics.reset Rfid_obs.Metrics.global;
   let sizes = if large then [ 500; 2000; 5000; 10000 ] else [ 500; 2000; 5000 ] in
   let scaling_n = List.fold_left Int.max 0 sizes in
   let domain_counts = [ 1; 2; 4 ] in

@@ -199,7 +199,8 @@ let on_ooo_arg =
    guard into the engine, checkpointing every [checkpoint_every]
    admitted epochs.  Returns the events plus whether the run stopped
    early ([--stop-after] or a halt policy). *)
-let guarded_run ~guard ~engine ~checkpoint ~checkpoint_every ~stop_after observations =
+let guarded_run ?(on_admitted = fun _ -> ()) ~guard ~engine ~checkpoint
+    ~checkpoint_every ~stop_after observations =
   let events = ref [] in
   let admitted = ref 0 in
   let stopped = ref false in
@@ -220,6 +221,7 @@ let guarded_run ~guard ~engine ~checkpoint ~checkpoint_every ~stop_after observa
              events := List.rev_append evs !events;
              if Rfid_core.Engine.epoch engine > before then begin
                incr admitted;
+               on_admitted !admitted;
                if checkpoint_every > 0 && !admitted mod checkpoint_every = 0 then
                  save_checkpoint ()
              end
@@ -235,8 +237,45 @@ let guarded_run ~guard ~engine ~checkpoint ~checkpoint_every ~stop_after observa
   end;
   (List.rev !events, !stopped)
 
+(* Write the collected observability snapshots as one JSON document;
+   snapshots are ordered oldest first. *)
+let write_metrics_file ~path snapshots =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"schema\": \"obs_snapshots/v1\",\n  \"snapshots\": [\n";
+      output_string oc (String.concat ",\n" (List.map (fun s -> "    " ^ s) snapshots));
+      output_string oc "\n  ]\n}\n")
+
+let print_stage_summary () =
+  let module M = Rfid_obs.Metrics in
+  let stages =
+    List.filter
+      (fun (name, h) ->
+        M.histogram_count h > 0
+        && String.length name > 6
+        && String.sub name 0 6 = "stage.")
+      (M.histograms_list M.global)
+  in
+  if stages <> [] then begin
+    Format.printf "stages (wall-clock per admitted epoch):@.";
+    List.iter
+      (fun (name, h) ->
+        Format.printf "  %-22s count=%-6d p50=%.1fus p95=%.1fus p99=%.1fus@." name
+          (M.histogram_count h)
+          (1e6 *. M.quantile h 0.5)
+          (1e6 *. M.quantile h 0.95)
+          (1e6 *. M.quantile h 0.99))
+      stages
+  end
+
 let infer objects rounds read_rate seed variant particles domains ff on_ooo checkpoint
-    checkpoint_every resume stop_after =
+    checkpoint_every resume stop_after metrics metrics_every =
+  (* Scope counters to this run: the registry is process-global and the
+     snapshots below must start from zero for their deltas to mean
+     anything. *)
+  Rfid_obs.Metrics.reset Rfid_obs.Metrics.global;
   let wh, sensor, trace = build_scenario ~objects ~rounds ~read_rate ~seed in
   let world = wh.Rfid_sim.Warehouse.world in
   let params = fitted_params sensor in
@@ -283,14 +322,35 @@ let infer objects rounds read_rate seed variant particles domains ff on_ooo chec
           Rfid_robust.Ingest.on_out_of_order_epoch = on_ooo }
       ~bounds:(World.bounding_box world) ~max_object_id:objects ()
   in
+  let snapshots = ref [] in
+  let take_snapshot () =
+    snapshots :=
+      Rfid_obs.Metrics.dump_json
+        ~extra:[ ("epoch", string_of_int (Rfid_core.Engine.epoch engine)) ]
+        Rfid_obs.Metrics.global
+      :: !snapshots
+  in
+  let on_admitted n =
+    if metrics <> None && metrics_every > 0 && n mod metrics_every = 0 then
+      take_snapshot ()
+  in
   let t0 = Unix.gettimeofday () in
   let events, stopped =
-    guarded_run ~guard ~engine ~checkpoint ~checkpoint_every ~stop_after observations
+    guarded_run ~on_admitted ~guard ~engine ~checkpoint ~checkpoint_every ~stop_after
+      observations
   in
   List.iter (fun ev -> Format.printf "%a@." Rfid_core.Event.pp ev) events;
   let stats = Rfid_core.Engine.stats engine in
   Format.printf "@.ingest: %a@." Rfid_robust.Ingest.pp_counters guard;
   Format.printf "engine: %a@." Rfid_core.Engine.pp_stats stats;
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      take_snapshot ();
+      let snapshots = List.rev !snapshots in
+      write_metrics_file ~path snapshots;
+      print_stage_summary ();
+      Format.printf "metrics: wrote %d snapshot(s) to %s@." (List.length snapshots) path);
   if stopped then
     Format.printf "stopped early at epoch %d%s@."
       (Rfid_core.Engine.epoch engine)
@@ -336,12 +396,29 @@ let infer_cmd =
       & info [ "stop-after" ] ~docv:"E"
           ~doc:"Stop (and checkpoint) once the engine reaches epoch E.")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write observability snapshots (counters, gauges, per-stage timing \
+             histograms) to FILE as JSON and print a per-stage timing summary.")
+  in
+  let metrics_every =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-every" ] ~docv:"K"
+          ~doc:
+            "With $(b,--metrics), also snapshot every K admitted epochs \
+             (0 = only the final snapshot).")
+  in
   Cmd.v
     (Cmd.info "infer" ~doc)
     Term.(
       const infer $ objects_arg $ rounds_arg $ read_rate_arg $ seed_arg $ variant_arg
       $ particles_arg $ domains_arg $ fault_flags_term $ on_ooo_arg $ checkpoint
-      $ checkpoint_every $ resume $ stop_after)
+      $ checkpoint_every $ resume $ stop_after $ metrics $ metrics_every)
 
 (* ------------------------------------------------------------------ *)
 (* calibrate                                                           *)

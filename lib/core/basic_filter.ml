@@ -1,6 +1,18 @@
 open Rfid_geom
 open Rfid_model
 module Ps = Rfid_prob.Particle_store
+module Obs = Rfid_obs.Metrics
+
+(* Observability handles. The stage spans share names with the
+   factored filter's — only one filter runs per engine, so the shared
+   histograms always describe the active one. The joint filter keeps a
+   single weight vector, hence one joint ESS histogram instead of the
+   factored per-object/reader split. *)
+let sp_pose_memo = Obs.span Obs.global "stage.pose_memo"
+let sp_weighting = Obs.span Obs.global "stage.weighting"
+let sp_resampling = Obs.span Obs.global "stage.resampling"
+let h_joint_ess = Obs.histogram Obs.global "health.joint_ess"
+let c_joint_resamples = Obs.counter Obs.global "filter.joint_resamples"
 
 (* Joint particles in structure-of-arrays form: particle [p]'s object
    locations live in row [p] of a single [J * N] slab (slot
@@ -122,6 +134,7 @@ let step t (obs : Types.observation) =
       | Types.Shelf_tag i -> Hashtbl.replace t.shelf_read i ())
     obs.Types.o_read_tags;
   (* Proposal: move readers and objects. *)
+  let t_pose = Obs.start sp_pose_memo in
   let delta =
     Common.proposal_delta t.config.Config.proposal ~motion:t.params.Params.motion
       ~last_reported:t.last_reported ~reported
@@ -183,6 +196,8 @@ let step t (obs : Types.observation) =
   done;
   (* Weighting, against the freshly proposed poses via the memo. *)
   refresh_memo t;
+  Obs.stop sp_pose_memo t_pose;
+  let t_weight = Obs.start sp_weighting in
   for p = 0 to j - 1 do
     let lw =
       ref
@@ -215,14 +230,16 @@ let step t (obs : Types.observation) =
     t.log_ws.(p) <- t.log_ws.(p) +. !lw
   done;
   Sensor_model.pre_note_hits t.pre (j * (Array.length t.shelf_tags + t.num_objects));
+  Obs.stop sp_weighting t_weight;
   (* Normalize in log space, resample on degeneracy. All buffers are
      persistent: [log_ws] is the log-weight vector itself, [wbuf] its
      normalized image, [idxbuf] the resample indices. *)
+  let t_res = Obs.start sp_resampling in
   Rfid_prob.Stats.normalize_log_weights_into ~src:t.log_ws ~dst:t.wbuf;
-  if
-    Rfid_prob.Stats.effective_sample_size t.wbuf
-    < t.config.Config.resample_ratio *. float_of_int j
-  then begin
+  let ess = Rfid_prob.Stats.effective_sample_size t.wbuf in
+  Obs.observe h_joint_ess ess;
+  if ess < t.config.Config.resample_ratio *. float_of_int j then begin
+    Obs.incr c_joint_resamples 1;
     Common.resample_into t.config.Config.resample_scheme t.rng t.wbuf ~n:j
       ~out:t.idxbuf;
     for p = 0 to j - 1 do
@@ -247,6 +264,7 @@ let step t (obs : Types.observation) =
       t.log_ws.(p) <- t.log_ws.(p) -. z
     done
   end;
+  Obs.stop sp_resampling t_res;
   (* Bookkeeping for scope tracking. *)
   for i = 0 to t.num_objects - 1 do
     if t.obj_read.(i) then begin

@@ -2,6 +2,22 @@ type filter =
   | Basic of Basic_filter.t * int (* declared object count *)
   | Factored of Factored_filter.t
 
+(* Observability handles (process-global registry; registration is
+   idempotent, so these are safe at module init). Spans time the
+   engine-level stages; the filters time their internal stages under
+   the same "stage." namespace. *)
+module Obs = Rfid_obs.Metrics
+
+let sp_step = Obs.span Obs.global "stage.step"
+let sp_step_degraded = Obs.span Obs.global "stage.step_degraded"
+let sp_report = Obs.span Obs.global "stage.report"
+let c_epochs = Obs.counter Obs.global "engine.epochs"
+let c_degraded_epochs = Obs.counter Obs.global "engine.degraded_epochs"
+let c_events = Obs.counter Obs.global "engine.events"
+let c_degraded_events = Obs.counter Obs.global "engine.degraded_events"
+let c_dup_skipped = Obs.counter Obs.global "engine.duplicates_skipped"
+let c_ooo_dropped = Obs.counter Obs.global "engine.out_of_order_dropped"
+
 type stats = {
   duplicate_epochs_skipped : int;
   out_of_order_dropped : int;
@@ -102,9 +118,14 @@ let pp_stats ppf s =
 
 let emit t ~at ~degraded obj =
   Hashtbl.remove t.scheduled obj;
-  if degraded then t.degraded_event_count <- t.degraded_event_count + 1;
+  if degraded then begin
+    t.degraded_event_count <- t.degraded_event_count + 1;
+    Obs.incr c_degraded_events 1
+  end;
   match estimate t obj with
-  | Some (loc, cov) -> Some (Event.make ~epoch:at ~obj ~loc ~cov ~degraded ())
+  | Some (loc, cov) ->
+      Obs.incr c_events 1;
+      Some (Event.make ~epoch:at ~obj ~loc ~cov ~degraded ())
   | None -> None
 
 let drain_due t ~at ~degraded =
@@ -133,10 +154,12 @@ let admit_epoch t e ~what =
   if e > cur then Admit
   else if e = cur then begin
     t.dup_skipped <- t.dup_skipped + 1;
+    Obs.incr c_dup_skipped 1;
     Skip
   end
   else if t.cfg.Config.drop_out_of_order then begin
     t.ooo_dropped <- t.ooo_dropped + 1;
+    Obs.incr c_ooo_dropped 1;
     Skip
   end
   else
@@ -149,10 +172,12 @@ let step t obs =
   match admit_epoch t e ~what:"step" with
   | Skip -> []
   | Admit ->
+      let t0 = Obs.start sp_step in
       t.degraded_run <- 0;
       filter_step t obs;
       (* Schedule a report for each object that just entered scope, unless
          one is already pending from this encounter. *)
+      let t_rep = Obs.start sp_report in
       List.iter
         (fun obj ->
           if not (Hashtbl.mem t.scheduled obj) then begin
@@ -160,19 +185,30 @@ let step t obs =
             Queue.push (e + t.cfg.Config.report_delay, obj) t.pending
           end)
         (newly_seen t);
-      drain_due t ~at:e ~degraded:false
+      let events = drain_due t ~at:e ~degraded:false in
+      Obs.stop sp_report t_rep;
+      Obs.incr c_epochs 1;
+      Obs.stop sp_step t0;
+      events
 
 let step_degraded t ~epoch:e =
   match admit_epoch t e ~what:"step_degraded" with
   | Skip -> []
   | Admit ->
+      let t0 = Obs.start sp_step_degraded in
       (match t.filter with
       | Basic (f, _) -> Basic_filter.dead_reckon f ~epoch:e
       | Factored f -> Factored_filter.dead_reckon f ~epoch:e);
       t.degraded_run <- t.degraded_run + 1;
       (* Reports falling due mid-outage still honor the delay policy;
          their events are flagged so consumers can discount them. *)
-      drain_due t ~at:e ~degraded:true
+      let t_rep = Obs.start sp_report in
+      let events = drain_due t ~at:e ~degraded:true in
+      Obs.stop sp_report t_rep;
+      Obs.incr c_epochs 1;
+      Obs.incr c_degraded_epochs 1;
+      Obs.stop sp_step_degraded t0;
+      events
 
 let flush t =
   let e = epoch t in

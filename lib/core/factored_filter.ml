@@ -3,6 +3,26 @@ open Rfid_model
 module Int_set = Set.Make (Int)
 module Ps = Rfid_prob.Particle_store
 module Scratch = Rfid_par.Scratch
+module Obs = Rfid_obs.Metrics
+
+(* Observability handles. Stage spans cover the phases of [step] in
+   order; health gauges/histograms expose the quantities DESIGN.md
+   section 10 names. Sharded recording ([incr_shard]/[observe_shard])
+   is used from the parallel body, keyed by the scratch arena's domain
+   id, so domains never contend on a cell. *)
+let sp_pose_memo = Obs.span Obs.global "stage.pose_memo"
+let sp_weighting = Obs.span Obs.global "stage.weighting"
+let sp_resampling = Obs.span Obs.global "stage.resampling"
+let sp_compression = Obs.span Obs.global "stage.compression"
+let h_object_ess = Obs.histogram Obs.global "health.object_ess"
+let g_reader_ess = Obs.gauge Obs.global "health.reader_ess"
+let g_scope_objects = Obs.gauge Obs.global "health.scope_objects"
+let g_particles_in_scope = Obs.gauge Obs.global "health.particles_in_scope"
+let g_index_boxes = Obs.gauge Obs.global "health.index_boxes"
+let c_obj_resamples = Obs.counter Obs.global "filter.object_resamples"
+let c_reader_resamples = Obs.counter Obs.global "filter.reader_resamples"
+let c_compressions = Obs.counter Obs.global "filter.compressions"
+let c_decompressions = Obs.counter Obs.global "filter.decompressions"
 
 type reader_particle = { mutable state : Reader_state.t; mutable log_w : float }
 
@@ -353,10 +373,11 @@ let propose_and_weight_object t scratch rng (obj : obj_state) ~read =
       (* Per-object resampling, pointer-preserving (§IV-B). *)
       let w = Scratch.float_buf scratch ~slot:slot_obj_weights k in
       Ps.weights_into store w;
-      if
-        Rfid_prob.Stats.effective_sample_size w
-        < t.config.Config.resample_ratio *. float_of_int k
-      then begin
+      let ess = Rfid_prob.Stats.effective_sample_size w in
+      let shard = Scratch.shard scratch in
+      Obs.observe_shard h_object_ess ~shard ess;
+      if ess < t.config.Config.resample_ratio *. float_of_int k then begin
+        Obs.incr_shard c_obj_resamples ~shard 1;
         let idx = Scratch.int_buf scratch ~slot:slot_resample_idx k in
         Common.resample_into t.config.Config.resample_scheme rng w ~n:k ~out:idx;
         let slab = Scratch.slab scratch in
@@ -372,11 +393,11 @@ let maybe_resample_readers t scope =
   let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
   let rw = Scratch.float_buf scratch0 ~slot:slot_reader_weights j in
   reader_weights_into t rw;
-  if
-    Rfid_prob.Stats.effective_sample_size rw
-    >= t.config.Config.resample_ratio *. float_of_int j
-  then ()
+  let ess = Rfid_prob.Stats.effective_sample_size rw in
+  Obs.set g_reader_ess ess;
+  if ess >= t.config.Config.resample_ratio *. float_of_int j then ()
   else begin
+    Obs.incr c_reader_resamples 1;
     (* Everything transient here lives in the coordinator's scratch
        arena: per-reader mean object weights are recomputed from
        sum/count (bit-identical to materializing them) and the combined
@@ -509,7 +530,10 @@ let compress_object t (obj : obj_state) =
         | None -> true
         | Some bound -> Ps.avg_nll ~w g store <= bound
       in
-      if ok then obj.belief <- Compressed g
+      if ok then begin
+        Obs.incr c_compressions 1;
+        obj.belief <- Compressed g
+      end
 
 let run_compression t e =
   if t.compress then begin
@@ -559,8 +583,11 @@ let step t (obs : Types.observation) =
   (* 1–2. Reader proposal and weighting (Eq. 5 reader factor). The
      pose memo is refreshed between the two: [weight_readers] and the
      parallel pass both evaluate sensor terms through it. *)
+  let t_pose = Obs.start sp_pose_memo in
   propose_readers t e reported;
   refresh_memo t;
+  Obs.stop sp_pose_memo t_pose;
+  let t_weight = Obs.start sp_weighting in
   weight_readers t reported shelf_read;
   let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
   let rw = Scratch.float_buf scratch0 ~slot:slot_reader_weights (num_readers t) in
@@ -647,6 +674,7 @@ let step t (obs : Types.observation) =
         init_object_particles_into t rng rw store n;
         obj.reader_gen <- t.reader_gen
     | Init_decompress g ->
+        Obs.incr_shard c_decompressions ~shard:(Scratch.shard scratch) 1;
         let store = Ps.create ~n:0 in
         decompress_into t rng rw store g;
         obj.belief <- Active store;
@@ -679,9 +707,15 @@ let step t (obs : Types.observation) =
       | Compressed _ -> ())
     work;
   Sensor_model.pre_note_hits t.pre !hits;
+  Obs.stop sp_weighting t_weight;
+  Obs.set g_scope_objects (float_of_int t.processed_last);
+  Obs.set g_particles_in_scope (float_of_int !hits);
   (* 6. Reader resampling (rare; ESS-triggered). *)
+  let t_res = Obs.start sp_resampling in
   maybe_resample_readers t scope;
+  Obs.stop sp_resampling t_res;
   (* 7. Spatial index bookkeeping. *)
+  let t_comp = Obs.start sp_compression in
   update_index t reported scope;
   (* 8–9. Compression and scope bookkeeping. *)
   Int_set.iter
@@ -695,6 +729,9 @@ let step t (obs : Types.observation) =
             Queue.push (e + t.config.Config.compress_after, id) t.compress_queue)
     case1;
   run_compression t e;
+  Obs.stop sp_compression t_comp;
+  Obs.set g_index_boxes
+    (float_of_int (match t.index with None -> 0 | Some idx -> Rtree.size idx.rtree));
   t.last_reported <- Some reported;
   t.consecutive_degraded <- 0;
   t.epoch <- e

@@ -1,0 +1,272 @@
+(* Sharded metrics cells. Hot operations index preallocated arrays:
+   [incr]/[observe] touch one int cell (plus sum/min/max floats for
+   histograms) and never allocate; registration and read-out take the
+   registry mutex and may allocate freely. Rows are indexed by shard
+   (the recording domain's id), so parallel bodies never contend on a
+   cell; merged values are sums, hence independent of how work was
+   scheduled across domains. *)
+
+(* ------------------------------------------------------------------ *)
+(* Bucket geometry: 4 buckets per octave starting at 1e-9.            *)
+
+let num_buckets = 256
+let buckets_per_octave = 4.
+let bucket_lo = 1e-9
+
+let bucket_of_value v =
+  if not (v > bucket_lo) (* catches NaN, negatives, tiny values *) then 0
+  else begin
+    (* Subtract logs rather than divide: [v /. bucket_lo] overflows to
+       infinity for v near max_float. The clamp runs in float space so
+       an infinite intermediate never reaches [int_of_float]. *)
+    let f = Float.ceil (buckets_per_octave *. (Float.log2 v -. Float.log2 bucket_lo)) in
+    if not (f > 0.) then 0
+    else if f >= float_of_int num_buckets then num_buckets - 1
+    else int_of_float f
+  end
+
+let bucket_upper i = bucket_lo *. Float.exp2 (float_of_int i /. buckets_per_octave)
+
+(* Geometric midpoint of bucket [i]'s bounds — the value a quantile
+   query answers with before clamping into the observed [min, max]. *)
+let bucket_rep i = bucket_lo *. Float.exp2 ((float_of_int i -. 0.5) /. buckets_per_octave)
+
+(* ------------------------------------------------------------------ *)
+(* Metric cells                                                        *)
+
+type counter = { c_cells : int array }
+
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  h_buckets : int array array;  (* shard -> bucket -> count *)
+  h_sums : float array;  (* per shard *)
+  h_mins : float array;
+  h_maxs : float array;
+}
+
+type span = { sp_name : string; sp_hist : histogram }
+
+type metric = M_counter of counter | M_gauge of gauge | M_hist of histogram
+
+type t = {
+  n_shards : int;
+  table : (string, metric) Hashtbl.t;
+  mu : Mutex.t;
+}
+
+let create ?(shards = 32) () =
+  if shards < 1 then invalid_arg "Metrics.create: shards must be >= 1";
+  { n_shards = shards; table = Hashtbl.create 32; mu = Mutex.create () }
+
+let global = create ()
+let shards t = t.n_shards
+
+let register t name make describe =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some m -> m
+      | None ->
+          let m = make () in
+          Hashtbl.replace t.table name m;
+          m)
+  |> fun m ->
+  match describe m with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered with a different kind" name)
+
+let counter t name =
+  register t name
+    (fun () -> M_counter { c_cells = Array.make t.n_shards 0 })
+    (function M_counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () -> M_gauge { g_value = Float.nan })
+    (function M_gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name
+    (fun () ->
+      M_hist
+        {
+          h_buckets = Array.init t.n_shards (fun _ -> Array.make num_buckets 0);
+          h_sums = Array.make t.n_shards 0.;
+          h_mins = Array.make t.n_shards infinity;
+          h_maxs = Array.make t.n_shards neg_infinity;
+        })
+    (function M_hist h -> Some h | _ -> None)
+
+let reset t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> Array.fill c.c_cells 0 (Array.length c.c_cells) 0
+          | M_gauge g -> g.g_value <- Float.nan
+          | M_hist h ->
+              Array.iter (fun row -> Array.fill row 0 num_buckets 0) h.h_buckets;
+              Array.fill h.h_sums 0 (Array.length h.h_sums) 0.;
+              Array.fill h.h_mins 0 (Array.length h.h_mins) infinity;
+              Array.fill h.h_maxs 0 (Array.length h.h_maxs) neg_infinity)
+        t.table)
+
+(* ------------------------------------------------------------------ *)
+(* Recording (hot)                                                     *)
+
+let incr c n = c.c_cells.(0) <- c.c_cells.(0) + n
+
+let incr_shard c ~shard n =
+  let k = Array.length c.c_cells in
+  let s = if shard >= 0 && shard < k then shard else ((shard mod k) + k) mod k in
+  c.c_cells.(s) <- c.c_cells.(s) + n
+
+let counter_value c = Array.fold_left ( + ) 0 c.c_cells
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe_row h s v =
+  let b = bucket_of_value v in
+  let row = h.h_buckets.(s) in
+  row.(b) <- row.(b) + 1;
+  h.h_sums.(s) <- h.h_sums.(s) +. v;
+  if v < h.h_mins.(s) then h.h_mins.(s) <- v;
+  if v > h.h_maxs.(s) then h.h_maxs.(s) <- v
+
+let observe h v = observe_row h 0 v
+
+let observe_shard h ~shard v =
+  let k = Array.length h.h_sums in
+  let s = if shard >= 0 && shard < k then shard else ((shard mod k) + k) mod k in
+  observe_row h s v
+
+(* ------------------------------------------------------------------ *)
+(* Read-out (cold; merges across shards)                               *)
+
+let histogram_count h =
+  Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 h.h_buckets
+
+let histogram_sum h = Array.fold_left ( +. ) 0. h.h_sums
+let histogram_min h = Array.fold_left Float.min infinity h.h_mins
+let histogram_max h = Array.fold_left Float.max neg_infinity h.h_maxs
+
+let quantile h q =
+  let total = histogram_count h in
+  if total = 0 then Float.nan
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = Int.max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    let lo = histogram_min h and hi = histogram_max h in
+    (* Nearest rank over the merged buckets. *)
+    let cum = ref 0 in
+    let b = ref 0 in
+    let found = ref (-1) in
+    while !found < 0 && !b < num_buckets do
+      Array.iter (fun row -> cum := !cum + row.(!b)) h.h_buckets;
+      if !cum >= rank then found := !b;
+      b := !b + 1
+    done;
+    let answer = if !found < 0 then hi else bucket_rep !found in
+    Float.max lo (Float.min hi answer)
+  end
+
+let span t name = { sp_name = name; sp_hist = histogram t name }
+let start _sp = Unix.gettimeofday ()
+
+let stop sp t0 =
+  let dur = Unix.gettimeofday () -. t0 in
+  observe sp.sp_hist dur;
+  if Trace.enabled () then
+    Trace.emit ~name:sp.sp_name ~ts_us:(t0 *. 1e6) ~dur_us:(dur *. 1e6)
+
+let with_ sp f =
+  let t0 = start sp in
+  match f () with
+  | v ->
+      stop sp t0;
+      v
+  | exception e ->
+      stop sp t0;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Listing and JSON dump                                               *)
+
+let sorted_metrics t =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters_list t =
+  List.filter_map
+    (function name, M_counter c -> Some (name, counter_value c) | _ -> None)
+    (sorted_metrics t)
+
+let gauges_list t =
+  List.filter_map
+    (function name, M_gauge g -> Some (name, g.g_value) | _ -> None)
+    (sorted_metrics t)
+
+let histograms_list t =
+  List.filter_map
+    (function name, M_hist h -> Some (name, h) | _ -> None)
+    (sorted_metrics t)
+
+let add_json_float buf v =
+  if Float.is_finite v then Buffer.add_string buf (Printf.sprintf "%.9g" v)
+  else Buffer.add_string buf "null"
+
+let add_hist_json buf h =
+  let count = histogram_count h in
+  if count = 0 then Buffer.add_string buf "{\"count\": 0}"
+  else begin
+    Buffer.add_string buf (Printf.sprintf "{\"count\": %d, \"sum\": " count);
+    add_json_float buf (histogram_sum h);
+    Buffer.add_string buf ", \"min\": ";
+    add_json_float buf (histogram_min h);
+    Buffer.add_string buf ", \"max\": ";
+    add_json_float buf (histogram_max h);
+    List.iter
+      (fun (label, q) ->
+        Buffer.add_string buf (Printf.sprintf ", \"%s\": " label);
+        add_json_float buf (quantile h q))
+      [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ];
+    Buffer.add_char buf '}'
+  end
+
+let dump_json ?(extra = []) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\": \"obs/v1\"";
+  List.iter
+    (fun (k, raw) -> Buffer.add_string buf (Printf.sprintf ", %S: %s" k raw))
+    extra;
+  let add_section name render items =
+    Buffer.add_string buf (Printf.sprintf ", \"%s\": {" name);
+    List.iteri
+      (fun i (key, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Printf.sprintf "%S: " key);
+        render v)
+      items;
+    Buffer.add_char buf '}'
+  in
+  add_section "counters"
+    (fun v -> Buffer.add_string buf (string_of_int v))
+    (counters_list t);
+  add_section "gauges" (fun v -> add_json_float buf v) (gauges_list t);
+  add_section "histograms" (fun h -> add_hist_json buf h) (histograms_list t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let write_json ?extra t oc = output_string oc (dump_json ?extra t)

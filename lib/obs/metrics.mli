@@ -1,0 +1,183 @@
+(** Zero-dependency metrics registry for the inference stack.
+
+    A registry holds named {e counters} (monotone ints), {e gauges}
+    (last-write-wins floats) and {e histograms} (fixed log-scaled
+    buckets), plus {e spans} — histograms fed by wall-clock timing of a
+    code region. The design targets the hot-path budget of the
+    zero-allocation particle loops (DESIGN.md section 9):
+
+    - {b Registration is cold, recording is hot.} [counter]/[gauge]/
+      [histogram]/[span] take the registry mutex and may allocate;
+      they are called once, at module initialization or setup. The
+      recording calls ([incr], [set], [observe], [start]/[stop]) touch
+      preallocated cells only — no locks, no allocation beyond the
+      boxed float a wall-clock read produces.
+    - {b Per-domain shards merged on read.} Every counter and histogram
+      owns one cell row per shard. A parallel filter body records with
+      [*_shard ~shard:did] using its domain id (see
+      [Rfid_par.Scratch.shard]), so concurrent domains never write the
+      same cell; readers sum across shards. Because the merge is
+      integer addition, merged values are independent of the domain
+      count and chunk schedule — metric output is as deterministic as
+      the event stream.
+    - {b Histograms use fixed log-scaled buckets} ({!num_buckets}
+      buckets, 4 per octave, spanning [1e-9 .. ~5e9] in the recorded
+      unit), so quantile estimates carry at most ~9% relative error and
+      recording is a [log2] plus an integer increment.
+
+    Span values are recorded in {e seconds}; other histograms record
+    whatever unit the caller observes (e.g. ESS in particles). When
+    tracing is enabled (see {!Trace}), every [stop] also appends a
+    chrome trace event. *)
+
+type t
+(** A registry: an isolated namespace of metrics. Most code uses
+    {!global}; tests create private registries. *)
+
+val create : ?shards:int -> unit -> t
+(** Fresh registry with [shards] cell rows per sharded metric
+    (default 32). Recording with a shard id [>= shards] wraps modulo
+    [shards] — still safe, but two domains may then share a row, losing
+    lock-freeness, so size [shards] at or above the largest
+    [Config.num_domains] in play.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val global : t
+(** The process-wide registry every built-in instrumentation site
+    records into. *)
+
+val shards : t -> int
+(** Shard rows per metric in this registry. *)
+
+val reset : t -> unit
+(** Zero every value (counters, gauges, histogram buckets) while
+    keeping all registrations and handles valid — benches call this to
+    scope the [stages] block to one run. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find-or-register the counter [name]. Idempotent: the same name
+    yields the same counter, so module-level handles in independent
+    compilation units can share a metric.
+    @raise Invalid_argument if [name] is already a gauge/histogram. *)
+
+val incr : counter -> int -> unit
+(** Add to the counter's shard-0 cell — for single-domain
+    (coordinator) call sites. *)
+
+val incr_shard : counter -> shard:int -> int -> unit
+(** Add to the cell of [shard] (wrapped modulo the registry's shard
+    count) — for parallel bodies, passing the domain's id. *)
+
+val counter_value : counter -> int
+(** Current value, merged (summed) across shards. *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+(** Find-or-register the gauge [name] (same contract as {!counter}). *)
+
+val set : gauge -> float -> unit
+(** Last-write-wins store. Gauges are unsharded: set them from the
+    coordinator only. *)
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+(** Find-or-register the histogram [name] (same contract as
+    {!counter}). *)
+
+val observe : histogram -> float -> unit
+(** Record one value into shard 0. Non-finite values and values below
+    the smallest bucket bound land in bucket 0; sum/min/max are
+    tracked exactly alongside the buckets. *)
+
+val observe_shard : histogram -> shard:int -> float -> unit
+(** As {!observe} into the cell row of [shard]. *)
+
+val histogram_count : histogram -> int
+(** Observations recorded, merged across shards. *)
+
+val histogram_sum : histogram -> float
+(** Exact sum of observed values, merged across shards. *)
+
+val histogram_min : histogram -> float
+(** Smallest observed value ([infinity] when empty). *)
+
+val histogram_max : histogram -> float
+(** Largest observed value ([neg_infinity] when empty). *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] (0 <= q <= 1) by nearest rank over the merged
+    buckets, answering with the geometric midpoint of the selected
+    bucket clamped into [[min, max]] — at most ~9% relative error from
+    the bucket resolution. [nan] when empty. *)
+
+(** {2 Bucket geometry} (exposed for tests and external decoders) *)
+
+val num_buckets : int
+(** 256 buckets, 4 per octave: bucket [i > 0] covers
+    [(lo * 2^((i-1)/4), lo * 2^(i/4)]] with [lo = 1e-9]; bucket 0
+    catches everything at or below [lo]. *)
+
+val bucket_of_value : float -> int
+(** The bucket a value lands in (clamped to [[0, num_buckets))). *)
+
+val bucket_upper : int -> float
+(** Inclusive upper bound of a bucket. *)
+
+(** {1 Spans} *)
+
+type span
+(** A named timed region: a histogram of durations in seconds plus a
+    trace-event source. *)
+
+val span : t -> string -> span
+(** Find-or-register span [name]; its histogram is registered under the
+    same name ({!histogram} on that name returns it). *)
+
+val start : span -> float
+(** Wall-clock timestamp opening the region; pass it to {!stop}. *)
+
+val stop : span -> float -> unit
+(** [stop sp t0] records [now - t0] seconds into the span's histogram
+    and, when {!Trace.enabled}, appends a chrome trace event. Nested
+    spans are fine: each [start]/[stop] pair is independent, and the
+    trace viewer recovers nesting from interval containment. *)
+
+val with_ : span -> (unit -> 'a) -> 'a
+(** Time [f ()] under the span; the duration is recorded (and the
+    exception re-raised) even if [f] raises. *)
+
+(** {1 Read-out} *)
+
+val counters_list : t -> (string * int) list
+(** All counters with merged values, sorted by name. *)
+
+val gauges_list : t -> (string * float) list
+(** All gauges, sorted by name. *)
+
+val histograms_list : t -> (string * histogram) list
+(** All histograms (spans included), sorted by name. *)
+
+val dump_json : ?extra:(string * string) list -> t -> string
+(** One deterministic JSON object:
+    [{"schema": "obs/v1", <extra...>, "counters": {...},
+    "gauges": {...}, "histograms": {"name": {"count": n, "sum": s,
+    "min": m, "max": M, "p50": ..., "p95": ..., "p99": ...}, ...}}].
+    [extra] pairs are raw JSON values spliced in after the schema key
+    (e.g. [("epoch", "42")]). Metric names are sorted; non-finite
+    floats print as [null]; an empty histogram prints only its
+    [count]. *)
+
+val write_json : ?extra:(string * string) list -> t -> out_channel -> unit
+(** {!dump_json} straight to a channel. *)

@@ -92,7 +92,7 @@ let create ~num_domains =
         mutex = Mutex.create ();
         work_ready = Condition.create ();
         work_done = Condition.create ();
-        scratch = Array.init num_domains (fun _ -> Scratch.create ());
+        scratch = Array.init num_domains (fun did -> Scratch.create ~shard:did ());
         job = None;
         generation = 0;
         stopping = false;

@@ -56,7 +56,9 @@ val parallel_for_chunked_did : t -> ?chunk:int -> n:int -> (int -> int -> int ->
 val get_scratch : t -> int -> Scratch.t
 (** [get_scratch pool did] is the scratch arena owned by domain [did]
     of this pool. Arenas are created with the pool and live as long as
-    it does, so buffers cached in them are reused across epochs.
+    it does, so buffers cached in them are reused across epochs. Each
+    arena's {!Scratch.shard} equals its [did], so bodies can record
+    into per-domain metric shards without extra plumbing.
     @raise Invalid_argument if [did] is outside the pool's domains. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array

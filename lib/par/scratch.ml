@@ -15,15 +15,17 @@ type t = {
   slab : Particle_store.t;
   rng : Rng.t;
   mutable allocations : int;
+  mutable shard : int;
 }
 
-let create () =
+let create ?(shard = 0) () =
   {
     float_slots = Array.make num_float_slots [];
     int_slots = Array.make num_int_slots [];
     slab = Particle_store.create ~n:0;
     rng = Rng.create ~seed:0;
     allocations = 0;
+    shard;
   }
 
 let float_buf t ~slot n =
@@ -55,3 +57,5 @@ let int_buf t ~slot n =
 let slab t = t.slab
 let rng t = t.rng
 let allocations t = t.allocations
+let shard t = t.shard
+let set_shard t s = t.shard <- s

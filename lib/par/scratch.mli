@@ -16,9 +16,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?shard:int -> unit -> t
 (** A fresh arena with no cached buffers. Normally obtained via
-    {!Pool.get_scratch} rather than created directly. *)
+    {!Pool.get_scratch} rather than created directly. [shard]
+    (default 0) is the arena's metric shard id — see {!shard}. *)
 
 val float_buf : t -> slot:int -> int -> float array
 (** [float_buf t ~slot n] is a float buffer of exactly length [n],
@@ -41,3 +42,14 @@ val rng : t -> Rfid_prob.Rng.t
 val allocations : t -> int
 (** Number of buffers ever allocated by this arena — a steady-state hot
     path stops increasing it after warm-up (asserted by the tests). *)
+
+val shard : t -> int
+(** The arena's metric shard id. {!Pool} sets it to the owning domain's
+    stable id, so a parallel body can record into the per-domain cell
+    row of a sharded [Rfid_obs.Metrics] metric
+    ([observe_shard ~shard:(Scratch.shard scratch)]) without threading
+    the domain id separately. *)
+
+val set_shard : t -> int -> unit
+(** Re-tag the arena's metric shard id (done by {!Pool} at arena
+    creation; rarely needed elsewhere). *)

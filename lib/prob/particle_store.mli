@@ -37,26 +37,53 @@ val swap : t -> t -> unit
     O(1) — the second half of a resample {!gather} into a scratch
     slab. *)
 
-(** {1 Element access} *)
+(** {1 Element access}
+
+    All checked accessors validate the index against [length].
+    @raise Invalid_argument on an index outside [0, length). *)
 
 val x : t -> int -> float
+(** X coordinate of particle [i]. *)
+
 val y : t -> int -> float
+(** Y coordinate of particle [i]. *)
+
 val z : t -> int -> float
+(** Z coordinate of particle [i]. *)
+
 val log_w : t -> int -> float
+(** Unnormalized log weight of particle [i]. *)
+
 val reader : t -> int -> int
+(** Reader-particle pointer of particle [i] — the index of the reader
+    hypothesis this object particle is conditioned on (section IV-B's
+    factorization). *)
 
 val set_loc : t -> int -> x:float -> y:float -> z:float -> unit
+(** Overwrite the location of particle [i] (all three coordinates in
+    one call — one bounds check, no intermediate vector). *)
+
 val set_log_w : t -> int -> float -> unit
+(** Overwrite the log weight of particle [i]. *)
+
 val add_log_w : t -> int -> float -> unit
+(** Accumulate evidence onto the log weight of particle [i]. *)
+
 val set_reader : t -> int -> int -> unit
+(** Re-point particle [i] at another reader hypothesis. *)
 
 val unsafe_x : t -> int -> float
 (** Unchecked accessors for inner loops whose bounds were already
     validated; indexing past [length] is undefined behaviour. *)
 
 val unsafe_y : t -> int -> float
+(** As {!unsafe_x} for the Y column. *)
+
 val unsafe_z : t -> int -> float
+(** As {!unsafe_x} for the Z column. *)
+
 val unsafe_reader : t -> int -> int
+(** As {!unsafe_x} for the reader-pointer column. *)
 
 (** {1 Weight operations (in place)} *)
 

@@ -16,9 +16,13 @@
     checkpoint at [path]. *)
 
 val version : int
+(** Current checkpoint format version, stamped into the header of
+    every file {!save} writes; {!load} refuses any other version. Bump
+    it whenever the snapshot's marshaled shape changes. *)
 
 val save : path:string -> Rfid_core.Engine.snapshot -> unit
-(** @raise Sys_error if the file cannot be written. *)
+(** Write a checkpoint atomically (via [path ^ ".tmp"] + rename).
+    @raise Sys_error if the file cannot be written. *)
 
 val load : path:string -> (Rfid_core.Engine.snapshot, string) result
 (** Read and verify a checkpoint. All failure modes — missing file,

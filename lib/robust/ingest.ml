@@ -1,4 +1,5 @@
 open Rfid_model
+module Obs = Rfid_obs.Metrics
 
 type fault =
   | Nonfinite_fix
@@ -121,7 +122,27 @@ let create ?(policies = default_policies) ?bounds ?(bounds_margin = 10.)
 let count t fault = t.counts.(fault_index fault)
 let counters t = List.map (fun f -> (f, count t f)) all_faults
 let total_faults t = Array.fold_left ( + ) 0 t.counts
-let note t fault = t.counts.(fault_index fault) <- t.counts.(fault_index fault) + 1
+
+(* Observability handles: one counter per fault kind (shared across all
+   guard instances — the per-instance [counts] array stays the precise
+   per-guard view), the stage span over [admit], and one counter per
+   admission outcome. *)
+let sp_ingest = Obs.span Obs.global "stage.ingest"
+
+let fault_obs =
+  Array.of_list
+    (List.map
+       (fun f -> Obs.counter Obs.global ("ingest.fault." ^ fault_name f))
+       all_faults)
+
+let c_admitted = Obs.counter Obs.global "ingest.admitted"
+let c_degraded = Obs.counter Obs.global "ingest.degraded"
+let c_rejected = Obs.counter Obs.global "ingest.rejected"
+let c_halted = Obs.counter Obs.global "ingest.halted"
+
+let note t fault =
+  t.counts.(fault_index fault) <- t.counts.(fault_index fault) + 1;
+  Obs.incr fault_obs.(fault_index fault) 1
 
 let finite_fix (l : Rfid_geom.Vec3.t) =
   Float.is_finite l.Rfid_geom.Vec3.x
@@ -140,7 +161,7 @@ let halted fault detail =
    yielding a degraded dead-reckoned epoch), [Clamp] repairs in place
    and keeps going, [Halt] stops the stream with an error value rather
    than an exception. *)
-let admit t (obs : Types.observation) =
+let admit_inner t (obs : Types.observation) =
   let apply_epoch_fault fault detail =
     match policy_for t.policies fault with
     | Drop -> Error Rejected
@@ -248,6 +269,17 @@ let admit t (obs : Types.observation) =
                             box.Rfid_geom.Box2.max_y)
                          loc.Rfid_geom.Vec3.z))
             | Some _ | None -> accept loc))
+
+let admit t obs =
+  let t0 = Obs.start sp_ingest in
+  let decision = admit_inner t obs in
+  (match decision with
+  | Accept _ -> Obs.incr c_admitted 1
+  | Degraded _ -> Obs.incr c_degraded 1
+  | Rejected -> Obs.incr c_rejected 1
+  | Halted _ -> Obs.incr c_halted 1);
+  Obs.stop sp_ingest t0;
+  decision
 
 let step_engine t engine obs =
   match admit t obs with

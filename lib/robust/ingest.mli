@@ -19,7 +19,12 @@ type fault =
   | Out_of_range_tag  (** negative tag id, or object id >= [max_object_id] *)
 
 val all_faults : fault list
+(** Every fault, in {!fault_name} display order — drives the
+    fault-matrix tests and the counter read-outs. *)
+
 val fault_name : fault -> string
+(** Stable kebab-case name (e.g. ["nonfinite-fix"]), used in log lines,
+    bench JSON, and the ["ingest.fault.*"] observability counters. *)
 
 (** What to do when a fault trips. [Clamp] repairs the record in place
     (substitute the last good fix, clamp coordinates into bounds,
@@ -31,6 +36,7 @@ val fault_name : fault -> string
 type policy = Drop | Clamp | Halt
 
 val policy_name : policy -> string
+(** ["drop"], ["clamp"] or ["halt"] — the CLI flag spelling. *)
 
 type policies = {
   on_nonfinite_fix : policy;
@@ -82,8 +88,13 @@ val admit : t -> Rfid_model.Types.observation -> decision
     counters, and say what to do with it. Never raises. *)
 
 val count : t -> fault -> int
+(** Times [fault] has tripped on this guard instance. *)
+
 val counters : t -> (fault * int) list
+(** Every fault with its count, in {!all_faults} order. *)
+
 val total_faults : t -> int
+(** Sum of all fault counts on this guard instance. *)
 
 val step_engine :
   t ->
@@ -103,3 +114,5 @@ val run_engine :
     {!Rfid_core.Engine.flush}; stops at the first [Halted] decision. *)
 
 val pp_counters : Format.formatter -> t -> unit
+(** Human-readable fault summary: the non-zero counters as
+    ["name: n"] pairs, or ["no faults"]. *)

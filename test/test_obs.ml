@@ -1,0 +1,384 @@
+(* Observability layer: histogram bucket geometry, shard merging,
+   quantiles, span timing/nesting, JSON dumps, the chrome-trace sink,
+   and an end-to-end check that engine snapshots carry monotone
+   counters — the same mechanism `rfid_clean infer --metrics` exposes. *)
+module M = Rfid_obs.Metrics
+module Trace_sink = Rfid_obs.Trace
+
+(* ------------------------------------------------------------------ *)
+(* A minimal recursive-descent JSON validator (no JSON library in the
+   dependency set): validates syntax and returns top-level object keys
+   plus any ["name": number] pairs found anywhere in the document. *)
+
+exception Bad_json of string
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let numbers = ref [] in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            if !pos + 1 >= n then fail "bad escape";
+            Buffer.add_char b s.[!pos + 1];
+            pos := !pos + 2;
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> ignore (parse_object ())
+    | Some '[' -> parse_array ()
+    | Some '"' -> ignore (parse_string ())
+    | Some ('t' | 'f' | 'n') -> parse_keyword ()
+    | Some _ -> ignore (parse_number ())
+    | None -> fail "unexpected end of input"
+  and parse_keyword () =
+    let kw = [ "true"; "false"; "null" ] in
+    match
+      List.find_opt
+        (fun k ->
+          !pos + String.length k <= n && String.sub s !pos (String.length k) = k)
+        kw
+    with
+    | Some k -> pos := !pos + String.length k
+    | None -> fail "expected keyword"
+  and parse_array () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else begin
+      let rec items () =
+        parse_value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            items ()
+        | Some ']' -> incr pos
+        | _ -> fail "expected , or ]"
+      in
+      items ()
+    end
+  and parse_object () =
+    expect '{';
+    skip_ws ();
+    let keys = ref [] in
+    (if peek () = Some '}' then incr pos
+     else
+       let rec members () =
+         skip_ws ();
+         let key = parse_string () in
+         keys := key :: !keys;
+         skip_ws ();
+         expect ':';
+         skip_ws ();
+         (match peek () with
+         | Some ('{' | '[' | '"' | 't' | 'f' | 'n') -> parse_value ()
+         | Some _ ->
+             let v = parse_number () in
+             numbers := (key, v) :: !numbers
+         | None -> fail "unexpected end of input");
+         skip_ws ();
+         match peek () with
+         | Some ',' ->
+             incr pos;
+             members ()
+         | Some '}' -> incr pos
+         | _ -> fail "expected , or }"
+       in
+       members ());
+    List.rev !keys
+  in
+  skip_ws ();
+  let top = match peek () with
+    | Some '{' -> parse_object ()
+    | _ -> fail "expected top-level object"
+  in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  (top, List.rev !numbers)
+
+let number_of ~key numbers =
+  match List.assoc_opt key numbers with
+  | Some v -> v
+  | None -> Alcotest.failf "key %S not found among parsed numbers" key
+
+(* ------------------------------------------------------------------ *)
+(* Bucket geometry *)
+
+let test_buckets () =
+  Alcotest.(check int) "tiny values in bucket 0" 0 (M.bucket_of_value 1e-12);
+  Alcotest.(check int) "nan in bucket 0" 0 (M.bucket_of_value Float.nan);
+  Alcotest.(check int) "neg in bucket 0" 0 (M.bucket_of_value (-1.0));
+  Alcotest.(check int) "huge clamps to top" (M.num_buckets - 1)
+    (M.bucket_of_value 1e300);
+  (* Monotone, and every value is at or below its bucket's upper bound. *)
+  let prev = ref (-1) in
+  for i = 0 to 200 do
+    let v = 1e-9 *. Float.exp2 (float_of_int i /. 10.) in
+    let b = M.bucket_of_value v in
+    if b < !prev then Alcotest.failf "bucket_of_value not monotone at %g" v;
+    prev := b;
+    if v > M.bucket_upper b +. 1e-15 then
+      Alcotest.failf "value %g above bucket %d upper %g" v b (M.bucket_upper b)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Counters, gauges, histogram merge across shards *)
+
+let test_shard_merge () =
+  let r = M.create ~shards:4 () in
+  let c = M.counter r "c" in
+  M.incr c 2;
+  M.incr_shard c ~shard:1 3;
+  M.incr_shard c ~shard:3 5;
+  (* Shard ids wrap modulo the shard count, so 5 lands on shard 1. *)
+  M.incr_shard c ~shard:5 7;
+  Alcotest.(check int) "counter merged" 17 (M.counter_value c);
+  let g = M.gauge r "g" in
+  M.set g 1.5;
+  M.set g 2.5;
+  Alcotest.(check (float 0.)) "gauge last write wins" 2.5 (M.gauge_value g);
+  let h = M.histogram r "h" in
+  let values = [ 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ] in
+  List.iteri (fun i v -> M.observe_shard h ~shard:(i mod 4) v) values;
+  Alcotest.(check int) "hist merged count" (List.length values) (M.histogram_count h);
+  Alcotest.(check (float 1e-9)) "hist merged sum" 127.5 (M.histogram_sum h);
+  Alcotest.(check (float 0.)) "hist min" 0.5 (M.histogram_min h);
+  Alcotest.(check (float 0.)) "hist max" 64.0 (M.histogram_max h);
+  (* The merged view is independent of which shard recorded what: a
+     second registry with every value on shard 0 answers identically. *)
+  let r' = M.create ~shards:4 () in
+  let h' = M.histogram r' "h" in
+  List.iter (fun v -> M.observe h' v) values;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q=%g shard-independent" q)
+        (M.quantile h' q) (M.quantile h q))
+    [ 0.0; 0.25; 0.5; 0.9; 1.0 ]
+
+let test_quantiles () =
+  let r = M.create () in
+  let h = M.histogram r "q" in
+  Alcotest.(check bool) "empty quantile is nan" true (Float.is_nan (M.quantile h 0.5));
+  M.observe h 3.0;
+  (* One observation: every quantile clamps into [min, max] = [3, 3]. *)
+  Alcotest.(check (float 0.)) "single value p50" 3.0 (M.quantile h 0.5);
+  Alcotest.(check (float 0.)) "single value p99" 3.0 (M.quantile h 0.99);
+  let h2 = M.histogram r "q2" in
+  for i = 1 to 1000 do
+    M.observe h2 (float_of_int i)
+  done;
+  (* Log-scaled buckets guarantee <= ~9% relative error. *)
+  List.iter
+    (fun (q, expected) ->
+      let got = M.quantile h2 q in
+      let rel = Float.abs (got -. expected) /. expected in
+      if rel > 0.09 then
+        Alcotest.failf "quantile %g: got %g, expected %g (rel err %g)" q got expected
+          rel)
+    [ (0.5, 500.); (0.95, 950.); (0.99, 990.) ];
+  (* Reset zeroes values but keeps handles usable. *)
+  M.reset r;
+  Alcotest.(check int) "reset empties histogram" 0 (M.histogram_count h2);
+  M.observe h2 1.0;
+  Alcotest.(check int) "handle alive after reset" 1 (M.histogram_count h2)
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let test_spans () =
+  let r = M.create () in
+  let outer = M.span r "span.outer" in
+  let inner = M.span r "span.inner" in
+  let spin_until t_end = while Unix.gettimeofday () < t_end do () done in
+  for _ = 1 to 3 do
+    let t0 = M.start outer in
+    let t1 = M.start inner in
+    spin_until (t1 +. 0.002);
+    M.stop inner t1;
+    M.stop outer t0
+  done;
+  let ho = M.histogram r "span.outer" and hi = M.histogram r "span.inner" in
+  Alcotest.(check int) "outer count" 3 (M.histogram_count ho);
+  Alcotest.(check int) "inner count" 3 (M.histogram_count hi);
+  (* Nesting: each outer interval contains its inner one. *)
+  if M.histogram_min ho +. 1e-9 < M.histogram_min hi then
+    Alcotest.fail "outer span shorter than nested inner span";
+  if M.histogram_min hi < 0.002 -. 1e-4 then
+    Alcotest.failf "inner span too short: %g" (M.histogram_min hi);
+  (* with_ records on exception too. *)
+  (try M.with_ outer (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "with_ recorded despite raise" 4 (M.histogram_count ho)
+
+let test_registration_conflicts () =
+  let r = M.create () in
+  let c = M.counter r "same-name" in
+  let c' = M.counter r "same-name" in
+  M.incr c 1;
+  M.incr c' 1;
+  Alcotest.(check int) "same name, same counter" 2 (M.counter_value c);
+  Alcotest.check_raises "kind conflict rejected"
+    (Invalid_argument "Metrics: \"same-name\" is already registered with a different kind")
+    (fun () -> ignore (M.histogram r "same-name"))
+
+(* ------------------------------------------------------------------ *)
+(* JSON dump *)
+
+let test_dump_json () =
+  let r = M.create ~shards:2 () in
+  M.incr (M.counter r "engine.epochs") 42;
+  M.set (M.gauge r "health.reader_ess") 12.5;
+  let h = M.histogram r "stage.step" in
+  M.observe h 0.001;
+  M.observe_shard h ~shard:1 0.002;
+  (* An empty histogram prints only its count; named to sort after
+     "stage.step" so the assoc lookups below hit the populated one. *)
+  let empty = M.histogram r "stage.unused" in
+  ignore empty;
+  let s = M.dump_json ~extra:[ ("epoch", "7") ] r in
+  let keys, numbers = validate_json s in
+  Alcotest.(check (list string)) "top-level keys"
+    [ "schema"; "epoch"; "counters"; "gauges"; "histograms" ]
+    keys;
+  Alcotest.(check (float 0.)) "extra epoch" 7. (number_of ~key:"epoch" numbers);
+  Alcotest.(check (float 0.)) "counter value" 42.
+    (number_of ~key:"engine.epochs" numbers);
+  Alcotest.(check (float 0.)) "gauge value" 12.5
+    (number_of ~key:"health.reader_ess" numbers);
+  Alcotest.(check (float 0.)) "hist count" 2. (number_of ~key:"count" numbers);
+  Alcotest.(check (float 1e-12)) "hist sum" 0.003 (number_of ~key:"sum" numbers)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace sink *)
+
+let test_trace_sink () =
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Trace_sink.set_path (Some path);
+  Fun.protect
+    ~finally:(fun () ->
+      Trace_sink.set_path None;
+      Sys.remove path)
+    (fun () ->
+      Alcotest.(check bool) "enabled" true (Trace_sink.enabled ());
+      let r = M.create () in
+      let sp = M.span r "stage.test" in
+      let before = Trace_sink.events () in
+      let t0 = M.start sp in
+      M.stop sp t0;
+      Alcotest.(check int) "one event recorded" (before + 1) (Trace_sink.events ());
+      Trace_sink.emit ~name:"with \"quotes\"" ~ts_us:1.0 ~dur_us:2.0;
+      Trace_sink.write_now ();
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let keys, _ = validate_json s in
+      Alcotest.(check (list string)) "trace document key" [ "traceEvents" ] keys)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: engine runs feed the global registry; snapshots are
+   valid JSON whose counters increase monotonically across epochs —
+   the contract `rfid_clean infer --metrics` exposes. *)
+
+let test_engine_snapshots_monotone () =
+  M.reset M.global;
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:6 () in
+  let sensor = Rfid_sim.Truth_sensor.cone ~rr_major:0.9 () in
+  let trace =
+    Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+      ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+      ~start:(Rfid_sim.Warehouse.reader_start wh)
+      ~path:(Rfid_sim.Trace_gen.straight_pass wh ~rounds:1)
+      ~config:(Rfid_sim.Trace_gen.default_config ~sensor ())
+      (Rfid_prob.Rng.create ~seed:3)
+  in
+  let config =
+    Rfid_core.Config.create ~variant:Rfid_core.Config.Factorized_indexed
+      ~num_reader_particles:30 ~num_object_particles:40 ()
+  in
+  let engine =
+    Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world
+      ~params:Rfid_model.Params.default ~config
+      ~init_reader:trace.Rfid_model.Trace.steps.(0).Rfid_model.Trace.true_reader
+      ~num_objects:6 ~seed:5 ()
+  in
+  let snapshots = ref [] in
+  List.iteri
+    (fun i obs ->
+      ignore (Rfid_core.Engine.step engine obs);
+      if i mod 10 = 0 then snapshots := M.dump_json M.global :: !snapshots)
+    (Rfid_model.Trace.observations trace);
+  snapshots := M.dump_json M.global :: !snapshots;
+  let snapshots = List.rev !snapshots in
+  Alcotest.(check bool) "several snapshots" true (List.length snapshots >= 3);
+  let last = ref (-1.) in
+  List.iter
+    (fun s ->
+      let _, numbers = validate_json s in
+      let epochs = number_of ~key:"engine.epochs" numbers in
+      if epochs < !last then
+        Alcotest.failf "engine.epochs not monotone: %g after %g" epochs !last;
+      last := epochs;
+      (* Health gauges present once the filter has run. *)
+      ignore (number_of ~key:"health.reader_ess" numbers);
+      ignore (number_of ~key:"health.scope_objects" numbers))
+    snapshots;
+  if !last <= 0. then Alcotest.fail "engine.epochs never advanced"
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "bucket geometry" `Quick test_buckets;
+      Alcotest.test_case "shard merge" `Quick test_shard_merge;
+      Alcotest.test_case "quantiles" `Quick test_quantiles;
+      Alcotest.test_case "span nesting" `Quick test_spans;
+      Alcotest.test_case "registration conflicts" `Quick test_registration_conflicts;
+      Alcotest.test_case "dump_json validity" `Quick test_dump_json;
+      Alcotest.test_case "trace sink" `Quick test_trace_sink;
+      Alcotest.test_case "engine snapshots monotone" `Quick
+        test_engine_snapshots_monotone;
+    ] )
