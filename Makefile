@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test doc bench bench-json perf-gate perf-baseline fuzz fmt clean
+.PHONY: all build test doc bench bench-json bench-smoke perf-gate perf-baseline fuzz fmt clean
 
 all: build
 
@@ -16,6 +16,7 @@ build:
 test:
 	$(DUNE) build && $(DUNE) runtest && $(DUNE) exec fuzz/fuzz_main.exe -- 10
 	cd test && OBS_TRACE=/tmp/rfid_golden_trace.json $(DUNE) exec ./test_main.exe -- test golden
+	$(MAKE) bench-smoke
 	-$(MAKE) perf-gate
 
 # API docs. The container may not ship odoc; fall back to a full
@@ -49,8 +50,18 @@ bench:
 bench-json:
 	$(DUNE) exec bench/main.exe -- --json BENCH_filter.json
 
-# Allocation regression gate: measure a small fixed workload and fail
-# if per-epoch allocated words exceed the committed baseline by >10%.
+# Seconds-scale end-to-end pass over the JSON-bench machinery (one
+# small point per variant + the faulted robustness point); rides along
+# with `make test` so harness bitrot is caught early.
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- --smoke
+
+# Allocation regression gate on two 200-object workload points
+# (factorized+index and f+index+compress) plus a scaling guard: the
+# 5000-vs-500-object minor-words ratio must stay under the baseline's
+# pinned bound, pinning per-epoch cost to O(sensing scope). Fails if
+# allocation exceeds the committed baseline by >10% or the ratio
+# exceeds the bound.
 perf-gate:
 	$(DUNE) exec bench/main.exe -- --perf-gate BENCH_baseline.json
 

@@ -229,40 +229,84 @@ let run ~path ~large =
    change that legitimately shifts the allocation profile — with
    `make perf-baseline`, and commit the file with that change. *)
 
-let gate_workload = "warehouse straight pass, 200 objects, factorized+index, J=100, K=200, seed 7"
+let gate_workload = "warehouse straight pass, 200 objects, J=100, K=200, seed 7"
 let gate_tolerance = 0.10
 
-let measure_gate () =
+(* The scaling guard pins the index's O(sensing scope) promise at the
+   allocation level: per-epoch minor words for factorized+index at
+   5000 objects may exceed the 500-object figure by at most the
+   baseline's recorded factor. Anything that sneaks an O(total
+   objects) term back into the per-epoch path (a full staleness sweep,
+   a per-epoch set rebuild) blows well past it. *)
+let scaling_workload =
+  "factorized+index minor words/epoch, 5000 vs 500 objects, J=100, K=200, seed 7"
+
+let scaling_max_ratio = 1.5
+
+let gate_trace = lazy (Scenarios.warehouse_trace ~num_objects:200 ~seed:111 ())
+
+let measure_gate variant =
   let params = Scenarios.cone_params () in
-  let built = Scenarios.warehouse_trace ~num_objects:200 ~seed:111 () in
+  let built = Lazy.force gate_trace in
+  let config = Scenarios.engine_config ~variant ~num_domains:1 () in
+  Rfid_eval.Runner.run_engine ~params ~config ~seed:7 built.Scenarios.trace
+
+let measure_scaling () =
+  let params = Scenarios.cone_params () in
   let config =
     Scenarios.engine_config ~variant:Rfid_core.Config.Factorized_indexed
       ~num_domains:1 ()
   in
-  Rfid_eval.Runner.run_engine ~params ~config ~seed:7 built.Scenarios.trace
+  let words n =
+    let built = Scenarios.warehouse_trace ~num_objects:n ~seed:111 () in
+    let r = Rfid_eval.Runner.run_engine ~params ~config ~seed:7 built.Scenarios.trace in
+    r.Rfid_eval.Runner.minor_words_per_epoch
+  in
+  let small = words 500 in
+  let big = words 5000 in
+  (small, big, if small > 0. then big /. small else infinity)
 
 let write_baseline ~path =
   Printf.printf "bench --perf-baseline: measuring %s\n%!" gate_workload;
-  let r = measure_gate () in
+  let ri = measure_gate Rfid_core.Config.Factorized_indexed in
+  let rc = measure_gate Rfid_core.Config.Factorized_compressed in
+  Printf.printf "bench --perf-baseline: measuring %s\n%!" scaling_workload;
+  let small, big, ratio = measure_scaling () in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"bench_baseline/v1\",\n\
+        \  \"schema\": \"bench_baseline/v2\",\n\
         \  \"workload\": %S,\n\
         \  \"epochs\": %d,\n\
-        \  \"minor_words_per_epoch\": %.1f,\n\
-        \  \"major_words_per_epoch\": %.1f,\n\
-        \  \"allocated_words_per_epoch\": %.1f\n\
+        \  \"indexed_minor_words_per_epoch\": %.1f,\n\
+        \  \"indexed_major_words_per_epoch\": %.1f,\n\
+        \  \"indexed_allocated_words_per_epoch\": %.1f,\n\
+        \  \"compressed_minor_words_per_epoch\": %.1f,\n\
+        \  \"compressed_major_words_per_epoch\": %.1f,\n\
+        \  \"compressed_allocated_words_per_epoch\": %.1f,\n\
+        \  \"scaling_workload\": %S,\n\
+        \  \"scaling_small_minor_words\": %.1f,\n\
+        \  \"scaling_big_minor_words\": %.1f,\n\
+        \  \"scaling_ratio_measured\": %.3f,\n\
+        \  \"scaling_max_ratio\": %.2f\n\
          }\n"
-        gate_workload r.Rfid_eval.Runner.epochs
-        r.Rfid_eval.Runner.minor_words_per_epoch
-        r.Rfid_eval.Runner.major_words_per_epoch
-        r.Rfid_eval.Runner.allocated_words_per_epoch);
-  Printf.printf "wrote baseline (%.0f allocated words/epoch) to %s\n%!"
-    r.Rfid_eval.Runner.allocated_words_per_epoch path
+        gate_workload ri.Rfid_eval.Runner.epochs
+        ri.Rfid_eval.Runner.minor_words_per_epoch
+        ri.Rfid_eval.Runner.major_words_per_epoch
+        ri.Rfid_eval.Runner.allocated_words_per_epoch
+        rc.Rfid_eval.Runner.minor_words_per_epoch
+        rc.Rfid_eval.Runner.major_words_per_epoch
+        rc.Rfid_eval.Runner.allocated_words_per_epoch scaling_workload small big ratio
+        scaling_max_ratio);
+  Printf.printf
+    "wrote baseline (indexed %.0f, compressed %.0f allocated words/epoch, scaling \
+     ratio %.2f) to %s\n\
+     %!"
+    ri.Rfid_eval.Runner.allocated_words_per_epoch
+    rc.Rfid_eval.Runner.allocated_words_per_epoch ratio path
 
 (* Minimal JSON number extraction — enough for the flat baseline file
    this module itself writes; no JSON library in the dependency set. *)
@@ -295,36 +339,97 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let check_gate ~baseline_path =
-  let baseline =
+  let contents =
     match read_file baseline_path with
     | exception Sys_error msg ->
         Printf.eprintf "perf-gate: cannot read %s (%s)\n" baseline_path msg;
         exit 2
-    | s -> (
-        match json_number ~key:"allocated_words_per_epoch" s with
-        | Some v when v > 0. -> v
-        | _ ->
-            Printf.eprintf "perf-gate: no allocated_words_per_epoch in %s\n"
-              baseline_path;
-            exit 2)
+    | s -> s
+  in
+  let number key =
+    match json_number ~key contents with
+    | Some v when v > 0. -> v
+    | _ ->
+        Printf.eprintf "perf-gate: no %s in %s (refresh with `make perf-baseline`)\n"
+          key baseline_path;
+        exit 2
+  in
+  let failed = ref false in
+  let check_point label baseline_key (r : Rfid_eval.Runner.result) =
+    let baseline = number baseline_key in
+    let current = r.Rfid_eval.Runner.allocated_words_per_epoch in
+    let limit = baseline *. (1. +. gate_tolerance) in
+    Printf.printf
+      "perf-gate: %-16s %.0f allocated words/epoch (baseline %.0f, limit %.0f, \
+       minor %.0f, major %.0f)\n\
+       %!"
+      label current baseline limit r.Rfid_eval.Runner.minor_words_per_epoch
+      r.Rfid_eval.Runner.major_words_per_epoch;
+    if current > limit then begin
+      Printf.eprintf
+        "perf-gate: FAIL — %s per-epoch allocation regressed more than %.0f%% over \
+         the committed baseline.\n\
+         If the increase is intended, refresh the baseline with `make \
+         perf-baseline` and commit BENCH_baseline.json.\n"
+        label
+        (100. *. gate_tolerance);
+      failed := true
+    end
   in
   Printf.printf "perf-gate: measuring %s\n%!" gate_workload;
-  let r = measure_gate () in
-  let current = r.Rfid_eval.Runner.allocated_words_per_epoch in
-  let limit = baseline *. (1. +. gate_tolerance) in
+  check_point "factorized+index" "indexed_allocated_words_per_epoch"
+    (measure_gate Rfid_core.Config.Factorized_indexed);
+  check_point "f+index+compress" "compressed_allocated_words_per_epoch"
+    (measure_gate Rfid_core.Config.Factorized_compressed);
+  Printf.printf "perf-gate: measuring %s\n%!" scaling_workload;
+  let bound = number "scaling_max_ratio" in
+  let small, big, ratio = measure_scaling () in
   Printf.printf
-    "perf-gate: %.0f allocated words/epoch (baseline %.0f, limit %.0f, minor %.0f, \
-     major %.0f)\n\
+    "perf-gate: scaling ratio %.2f (500 objects: %.0f, 5000 objects: %.0f minor \
+     words/epoch, bound %.2f)\n\
      %!"
-    current baseline limit r.Rfid_eval.Runner.minor_words_per_epoch
-    r.Rfid_eval.Runner.major_words_per_epoch;
-  if current > limit then begin
+    ratio small big bound;
+  if ratio > bound then begin
     Printf.eprintf
-      "perf-gate: FAIL — per-epoch allocation regressed more than %.0f%% over the \
-       committed baseline.\n\
-       If the increase is intended, refresh the baseline with `make perf-baseline` \
-       and commit BENCH_baseline.json.\n"
-      (100. *. gate_tolerance);
-    exit 1
-  end
-  else Printf.printf "perf-gate: OK\n%!"
+      "perf-gate: FAIL — per-epoch allocation grows with total object count \
+       (5000-vs-500 ratio %.2f > %.2f): an O(total objects) term is back in the \
+       per-epoch path.\n"
+      ratio bound;
+    failed := true
+  end;
+  if !failed then exit 1 else Printf.printf "perf-gate: OK\n%!"
+
+(* A seconds-scale end-to-end pass over the JSON-bench machinery — one
+   small point per variant plus the faulted robustness point, emitted
+   to a scratch file and re-parsed — so `make test` catches
+   bench-harness bitrot without paying for the full sweep. *)
+let smoke () =
+  Printf.printf "bench --smoke: small end-to-end bench pass\n%!";
+  Rfid_obs.Metrics.reset Rfid_obs.Metrics.global;
+  let params = Scenarios.cone_params () in
+  let objects = 100 in
+  let built = Scenarios.warehouse_trace ~num_objects:objects ~seed:111 () in
+  let trace = built.Scenarios.trace in
+  let points =
+    [
+      run_point ~variant:Rfid_core.Config.Factorized ~label:"factorized" ~objects
+        ~num_domains:1 ~params ~trace;
+      run_point ~variant:Rfid_core.Config.Factorized_indexed ~label:"factorized+index"
+        ~objects ~num_domains:1 ~params ~trace;
+      run_point ~variant:Rfid_core.Config.Factorized_compressed
+        ~label:"f+index+compress" ~objects ~num_domains:1 ~params ~trace;
+    ]
+  in
+  let robust = run_robust_point ~objects ~params ~trace in
+  let path = Filename.temp_file "bench_smoke" ".json" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc points robust);
+  (* The emitted file must round-trip through the same extractor the
+     gate uses on the committed baseline. *)
+  (match json_number ~key:"minor_words_per_epoch" (read_file path) with
+  | Some _ -> ()
+  | None ->
+      Printf.eprintf "bench --smoke: emitted JSON missing minor_words_per_epoch\n";
+      exit 1);
+  Sys.remove path;
+  Printf.printf "bench --smoke: OK (%d points)\n%!" (List.length points)

@@ -11,12 +11,15 @@
      dune exec bench/main.exe -- --perf-gate BENCH_baseline.json
                                          # fail on per-epoch allocation regression
      dune exec bench/main.exe -- --perf-baseline BENCH_baseline.json
-                                         # refresh the committed gate baseline *)
+                                         # refresh the committed gate baseline
+     dune exec bench/main.exe -- --smoke # seconds-scale bench-harness check *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let large = List.mem "--large" args in
   let args = List.filter (fun a -> a <> "--large") args in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--smoke") args in
   let take flag ~default args =
     let rec go acc = function
       | f :: path :: rest when f = flag -> (Some path, List.rev_append acc rest)
@@ -29,6 +32,8 @@ let () =
   let json_path, args = take "--json" ~default:"BENCH_filter.json" args in
   let gate_path, args = take "--perf-gate" ~default:"BENCH_baseline.json" args in
   let baseline_path, args = take "--perf-baseline" ~default:"BENCH_baseline.json" args in
+  if smoke then Bench_json.smoke ()
+  else
   match (json_path, gate_path, baseline_path) with
   | _, Some path, _ -> Bench_json.check_gate ~baseline_path:path
   | _, _, Some path -> Bench_json.write_baseline ~path

@@ -34,6 +34,7 @@ type t = {
   store : Ps.t;  (* J*N object locations, row-major by particle *)
   spare : Ps.t;  (* resample double-buffer for [store] *)
   log_ws : float array;  (* J per-particle log weights *)
+  accbuf : float array;  (* J per-epoch weight increments (scratch) *)
   wbuf : float array;  (* J normalized weights (scratch) *)
   idxbuf : int array;  (* J resample indices (scratch) *)
   obj_read : bool array;  (* N per-epoch read flags (scratch) *)
@@ -79,6 +80,7 @@ let create ~world ~params ~config ~init_reader ~num_objects ~rng =
     store;
     spare = Ps.create ~n:(j * num_objects);
     log_ws = Array.make j 0.;
+    accbuf = Array.make j 0.;
     wbuf = Array.make j 0.;
     idxbuf = Array.make j 0;
     obj_read = Array.make num_objects false;
@@ -198,36 +200,33 @@ let step t (obs : Types.observation) =
   refresh_memo t;
   Obs.stop sp_pose_memo t_pose;
   let t_weight = Obs.start sp_weighting in
+  (* Batched: one cross-module call per evidence source against every
+     particle, instead of one per (particle, source) — the same terms
+     accumulate into [accbuf.(p)] in the same order the former
+     per-particle [lw] ref summed them (location, shelf tags in array
+     order, then objects ascending), so each increment is
+     bit-identical. *)
+  let acc = t.accbuf in
+  let rx, ry, rz, _ = Sensor_model.pre_poses t.pre in
+  Location_sensing.log_pdf_poses_into t.params.Params.sensing ~reported ~rx ~ry ~rz
+    ~n:j acc;
+  Array.iter
+    (fun (tag, tag_loc) ->
+      let read =
+        match tag with Types.Shelf_tag i -> Hashtbl.mem t.shelf_read i | _ -> false
+      in
+      Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
+        ~tz:tag_loc.Vec3.z ~read ~miss_weight:t.config.Config.shelf_miss_weight acc)
+    t.shelf_tags;
+  for i = 0 to t.num_objects - 1 do
+    (* Objects never read are still latent but carry no evidence
+       coupling beyond the miss term; include it — this is the full
+       joint model. *)
+    Sensor_model.pre_accumulate_joint_obj t.pre t.store ~obj:i
+      ~num_objects:t.num_objects ~read:t.obj_read.(i) acc
+  done;
   for p = 0 to j - 1 do
-    let lw =
-      ref
-        (Location_sensing.log_pdf t.params.Params.sensing
-           ~true_loc:t.readers.(p).Reader_state.loc ~reported)
-    in
-    Array.iter
-      (fun (tag, tag_loc) ->
-        let read =
-          match tag with Types.Shelf_tag i -> Hashtbl.mem t.shelf_read i | _ -> false
-        in
-        let l =
-          Sensor_model.log_prob_pre t.pre p ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
-            ~tz:tag_loc.Vec3.z ~read
-        in
-        let l = if read then l else t.config.Config.shelf_miss_weight *. l in
-        lw := !lw +. l)
-      t.shelf_tags;
-    for i = 0 to t.num_objects - 1 do
-      (* Objects never read are still latent but carry no evidence
-         coupling beyond the miss term; include it — this is the full
-         joint model. *)
-      let s = slot t p i in
-      lw :=
-        !lw
-        +. Sensor_model.log_prob_pre t.pre p ~tx:(Ps.unsafe_x t.store s)
-             ~ty:(Ps.unsafe_y t.store s) ~tz:(Ps.unsafe_z t.store s)
-             ~read:t.obj_read.(i)
-    done;
-    t.log_ws.(p) <- t.log_ws.(p) +. !lw
+    t.log_ws.(p) <- t.log_ws.(p) +. acc.(p)
   done;
   Sensor_model.pre_note_hits t.pre (j * (Array.length t.shelf_tags + t.num_objects));
   Obs.stop sp_weighting t_weight;
@@ -398,6 +397,7 @@ let restore ~world ~params ~config s =
     store;
     spare = Ps.create ~n:(j * n);
     log_ws;
+    accbuf = Array.make j 0.;
     wbuf = Array.make j 0.;
     idxbuf = Array.make j 0;
     obj_read = Array.make n false;

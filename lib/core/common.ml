@@ -24,6 +24,88 @@ let sample_initial_location cache ~overestimate ~world ~reader_loc ~heading rng 
   let p = Cone.sample cone rng in
   if World.contains world p then p else World.clamp_to_shelves world p
 
+(* Batched evidence-driven (re)initialization: every [step]-th particle
+   of [store] draws a reader pointer and a fresh cone-sampled location,
+   written straight into the slabs. This is [fresh_particle_into] of the
+   factored filter unrolled: the cone's range/half-angle depend only on
+   the cache, so they are computed once; the apex/heading come from the
+   sensor memo's pose slabs (refreshed from the very reader states the
+   scalar path read); [Cone.sample], [World.contains] and
+   [World.clamp_to_shelves] are replicated operation for operation on
+   scalars. Same draws from [rng] in the same order, same stored floats,
+   bit for bit — but no [Vec3.t]/[Cone.t] per particle, which made the
+   init path the dominant steady-state allocator. *)
+let fill_fresh_particles cache ~overestimate ~world ~pre ~rw ~rng ~store ~step =
+  if step <= 0 then invalid_arg "Common.fill_fresh_particles: step must be positive";
+  let range = Float.max 0.5 (overestimate *. cache.Sensor_cache.range) in
+  let half_angle =
+    Float.min Float.pi (Float.max 0.2 (overestimate *. cache.Sensor_cache.half_angle))
+  in
+  let rx, ry, rz, rh = Sensor_model.pre_poses pre in
+  let shelves = World.shelves world in
+  let ns = Array.length shelves in
+  let n = Rfid_prob.Particle_store.length store in
+  let xs, ys, zs, lw, ridx = Rfid_prob.Particle_store.backing store in
+  let j = ref 0 and inside = ref false in
+  let best = ref (-1) and best_d = ref infinity in
+  let i = ref 0 in
+  while !i < n do
+    let idx = Rfid_prob.Rng.categorical rng rw in
+    let ax = Float.Array.unsafe_get rx idx in
+    let ay = Float.Array.unsafe_get ry idx in
+    let az = Float.Array.unsafe_get rz idx in
+    let ah = Float.Array.unsafe_get rh idx in
+    (* [Cone.sample] on the cone with apex/heading at pose [idx]. *)
+    let u = Rfid_prob.Rng.float rng in
+    let r = range *. sqrt u in
+    let a = Rfid_prob.Rng.uniform rng ~lo:(ah -. half_angle) ~hi:(ah +. half_angle) in
+    let x = ax +. (r *. cos a) in
+    let y = ay +. (r *. sin a) in
+    (* [World.contains]: first shelf surface containing (x, y). *)
+    j := 0;
+    inside := false;
+    while (not !inside) && !j < ns do
+      let b = shelves.(!j).World.surface in
+      if x >= b.Box2.min_x && x <= b.Box2.max_x && y >= b.Box2.min_y && y <= b.Box2.max_y
+      then inside := true
+      else incr j
+    done;
+    if !inside then begin
+      Float.Array.unsafe_set xs !i x;
+      Float.Array.unsafe_set ys !i y
+    end
+    else begin
+      (* [World.clamp_to_shelves]: nearest-shelf clamp, first strict
+         improvement wins. *)
+      best := -1;
+      best_d := infinity;
+      for s = 0 to ns - 1 do
+        let b = shelves.(s).World.surface in
+        let qx = Float.max b.Box2.min_x (Float.min b.Box2.max_x x) in
+        let qy = Float.max b.Box2.min_y (Float.min b.Box2.max_y y) in
+        let dx = x -. qx and dy = y -. qy in
+        let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+        if !best < 0 || d < !best_d then begin
+          best := s;
+          best_d := d
+        end
+      done;
+      if !best < 0 then begin
+        Float.Array.unsafe_set xs !i x;
+        Float.Array.unsafe_set ys !i y
+      end
+      else begin
+        let b = shelves.(!best).World.surface in
+        Float.Array.unsafe_set xs !i (Float.max b.Box2.min_x (Float.min b.Box2.max_x x));
+        Float.Array.unsafe_set ys !i (Float.max b.Box2.min_y (Float.min b.Box2.max_y y))
+      end
+    end;
+    Float.Array.unsafe_set zs !i az;
+    Array.unsafe_set ridx !i idx;
+    Float.Array.unsafe_set lw !i 0.;
+    i := !i + step
+  done
+
 let propose_heading model ~motion ~epoch ~current rng =
   match model with
   | Config.Known_heading f -> f epoch

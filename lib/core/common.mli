@@ -31,6 +31,28 @@ val sample_initial_location :
 (** Draw an object-location hypothesis for a just-detected tag: uniform
     over the initialization cone, clamped onto the shelf area. *)
 
+val fill_fresh_particles :
+  Sensor_cache.t ->
+  overestimate:float ->
+  world:Rfid_model.World.t ->
+  pre:Rfid_model.Sensor_model.pre ->
+  rw:float array ->
+  rng:Rfid_prob.Rng.t ->
+  store:Rfid_prob.Particle_store.t ->
+  step:int ->
+  unit
+(** Batched {!sample_initial_location} straight into particle slabs:
+    for every [step]-th index [i] of [store] (from 0), draw a reader
+    pointer from the categorical weights [rw], then a location uniform
+    over that reader's initialization cone — apex/heading taken from
+    the sensor memo's pose slabs — clamped onto the shelves, and write
+    location/pointer/zero log-weight to slot [i]. Identical draws in
+    identical order to the per-particle scalar path, and identical
+    stored floats, with no allocation per particle. [step] 1 fills the
+    whole store (creation, far re-detection); 2 redraws the even half
+    (near re-detection, §IV-A). The memo must hold the current reader
+    poses. @raise Invalid_argument if [step <= 0]. *)
+
 val propose_heading :
   Config.heading_model ->
   motion:Rfid_model.Motion_model.t ->

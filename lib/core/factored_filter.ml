@@ -1,6 +1,6 @@
 open Rfid_geom
 open Rfid_model
-module Int_set = Set.Make (Int)
+module Bitset = Rfid_prob.Bitset
 module Ps = Rfid_prob.Particle_store
 module Scratch = Rfid_par.Scratch
 module Obs = Rfid_obs.Metrics
@@ -23,6 +23,7 @@ let c_obj_resamples = Obs.counter Obs.global "filter.object_resamples"
 let c_reader_resamples = Obs.counter Obs.global "filter.reader_resamples"
 let c_compressions = Obs.counter Obs.global "filter.compressions"
 let c_decompressions = Obs.counter Obs.global "filter.decompressions"
+let c_evictions = Obs.counter Obs.global "health.evicted_objects"
 
 type reader_particle = { mutable state : Reader_state.t; mutable log_w : float }
 
@@ -42,16 +43,32 @@ type obj_state = {
   mutable reader_gen : int;  (* generation of the reader pointers in [belief] *)
   mutable last_read : int;
   mutable last_read_reader : Vec3.t;
+  mutable in_scope : bool;
+      (* false once the lazy eviction queue has fired for the object's
+         last read — the next read is a re-discovery (newly seen) *)
 }
 
 (* Past sensing regions: boxes in an R-tree, each carrying the objects
-   that had particles there when the box was inserted (Fig. 4(b)/(c)). *)
+   that had particles there when the box was inserted (Fig. 4(b)/(c)).
+   Box contents are ascending id arrays — queries are consumed as sets,
+   and the dense form walks without allocating. [pending] accumulates
+   the processed scope between flushes by word-wise bitset union. *)
 type obj_index = {
-  rtree : Int_set.t Rtree.t;
-  mutable pending_objs : Int_set.t;
+  rtree : int array Rtree.t;
+  pending : Bitset.t;
   mutable pending_box : Box2.t option;
   mutable last_insert_loc : Vec3.t option;
 }
+
+(* Evidence-driven initialization planned on the coordinator and
+   executed inside the parallel per-object pass. *)
+type init_action =
+  | No_init
+  | Init_fresh of int  (* creation or far re-detection: n fresh particles *)
+  | Init_decompress of Rfid_prob.Gaussian.t
+  | Init_half  (* near re-detection: keep half, redraw half *)
+
+type work_item = { w_obj : obj_state; w_action : init_action; w_read : bool }
 
 type t = {
   world : World.t;
@@ -73,6 +90,19 @@ type t = {
   index : obj_index option;
   compress : bool;
   compress_queue : (int * int) Queue.t;  (* (deadline epoch, obj id) *)
+  evict_queue : (int * int) Queue.t;
+      (* (fire epoch, obj id): an entry per read, fired lazily — the
+         out-of-scope sweep touches only candidates whose deadline has
+         passed, never the whole object table *)
+  shelf_read : (int, unit) Hashtbl.t;  (* per-epoch, cleared not rebuilt *)
+  idx_hits : int array Rtree.Hits.t;  (* Case-2 probe results, reused *)
+  shelf_hits : (int * Vec3.t) Rtree.Hits.t;  (* shelf-tag probe results, reused *)
+  mutable scope_ids : int array;  (* ascending scope, dense; first [scope_len] valid *)
+  mutable scope_len : int;
+  mutable work : work_item array;  (* first [work_len] valid this epoch *)
+  mutable work_len : int;
+  work_dummy : work_item;  (* fills unused [work] capacity *)
+  mutable tmp_ids : int array;  (* missing shelf tags / index-flush members *)
   mutable last_reported : Vec3.t option;
   mutable epoch : int;
   mutable newly_seen : int list;
@@ -85,13 +115,18 @@ type t = {
    holds per-object normalized weights inside the parallel body; float
    slot 3 holds reader weights and is touched only by the coordinator,
    so it never aliases slot 0 even when the reader and object particle
-   counts coincide. Int slot 0 holds resample indices. *)
+   counts coincide. Int slot 0 holds resample indices. Bitset slots
+   live on the coordinator's arena only (the parallel body never takes
+   one), so they are race-free by construction. *)
 let slot_obj_weights = 0
 let slot_reader_scratch = 1  (* weight_readers accumulator; resample sum/combined *)
 let slot_reader_adj = 2
 let slot_reader_weights = 3
 let slot_resample_idx = 0
 let slot_reader_cnt = 1
+let bslot_case1 = 0
+let bslot_scope = 1
+let bslot_near = 2
 
 let make_shelf_rtree world =
   let shelf_rtree = Rtree.create () in
@@ -105,6 +140,21 @@ let make_shelf_rtree world =
       | Types.Object_tag _ -> ())
     (World.shelf_tags world);
   shelf_rtree
+
+let dummy_work_item () =
+  {
+    w_obj =
+      {
+        obj_id = -1;
+        belief = Active (Ps.create ~n:0);
+        reader_gen = 0;
+        last_read = 0;
+        last_read_reader = Vec3.zero;
+        in_scope = false;
+      };
+    w_action = No_init;
+    w_read = false;
+  }
 
 let create ~world ~params ~config ~init_reader ~rng =
   let use_index, compress =
@@ -149,13 +199,23 @@ let create ~world ~params ~config ~init_reader ~rng =
          Some
            {
              rtree = Rtree.create ();
-             pending_objs = Int_set.empty;
+             pending = Bitset.create ();
              pending_box = None;
              last_insert_loc = None;
            }
        else None);
     compress;
     compress_queue = Queue.create ();
+    evict_queue = Queue.create ();
+    shelf_read = Hashtbl.create 8;
+    idx_hits = Rtree.Hits.create ~dummy:[||];
+    shelf_hits = Rtree.Hits.create ~dummy:(0, Vec3.zero);
+    scope_ids = [||];
+    scope_len = 0;
+    work = [||];
+    work_len = 0;
+    work_dummy = dummy_work_item ();
+    tmp_ids = [||];
     last_reported = None;
     epoch = -1;
     newly_seen = [];
@@ -165,6 +225,18 @@ let create ~world ~params ~config ~init_reader ~rng =
   }
 
 let num_readers t = Array.length t.readers
+
+let ensure_scope t n =
+  if Array.length t.scope_ids < n then
+    t.scope_ids <- Array.make (Int.max n (2 * Array.length t.scope_ids)) 0
+
+let ensure_tmp t n =
+  if Array.length t.tmp_ids < n then
+    t.tmp_ids <- Array.make (Int.max n (2 * Array.length t.tmp_ids)) 0
+
+let ensure_work t n =
+  if Array.length t.work < n then
+    t.work <- Array.make (Int.max n (2 * Array.length t.work)) t.work_dummy
 
 let reader_weights_into t w =
   for i = 0 to Array.length w - 1 do
@@ -183,8 +255,7 @@ let reader_weights t =
 let sample_reader_idx rng rw = Rfid_prob.Rng.categorical rng rw
 
 (* Refresh the sensor memo from the current reader poses — once per
-   epoch, after the reader proposal, before the parallel per-object
-   pass. *)
+   epoch, after the reader proposal, before the parallel pass. *)
 let refresh_memo t =
   let j = num_readers t in
   Sensor_model.pre_resize t.pre j;
@@ -193,24 +264,6 @@ let refresh_memo t =
     let loc = s.Reader_state.loc in
     Sensor_model.pre_set_pose t.pre i ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z
       ~heading:s.Reader_state.heading
-  done
-
-let fresh_particle_into t rng rw store i =
-  let idx = sample_reader_idx rng rw in
-  let reader = t.readers.(idx).state in
-  let loc =
-    Common.sample_initial_location t.cache
-      ~overestimate:t.config.Config.init_overestimate ~world:t.world
-      ~reader_loc:reader.Reader_state.loc ~heading:reader.Reader_state.heading rng
-  in
-  Ps.set_loc store i ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z;
-  Ps.set_reader store i idx;
-  Ps.set_log_w store i 0.
-
-let init_object_particles_into t rng rw store n =
-  Ps.resize store n;
-  for i = 0 to n - 1 do
-    fresh_particle_into t rng rw store i
   done
 
 let decompress_into t rng rw store g =
@@ -232,50 +285,87 @@ let sensing_box t loc =
   let r = t.cache.Common.Sensor_cache.range +. t.config.Config.case4_margin in
   Box2.of_center loc ~half_width:r ~half_height:r
 
-let shelf_evidence_tags t reported shelf_read =
-  (* Shelf tags that matter this epoch: those read, plus unread ones
-     near enough that their miss carries weight (the Case-4 rounding
-     applied to shelf tags). *)
-  let box = sensing_box t reported in
-  let near = Rtree.query t.shelf_rtree box in
-  let read_ids = Hashtbl.fold (fun id () acc -> Int_set.add id acc) shelf_read Int_set.empty in
-  let near_ids = List.fold_left (fun acc (id, _) -> Int_set.add id acc) Int_set.empty near in
-  let missing = Int_set.diff read_ids near_ids in
-  let extra =
-    (* A read shelf tag outside the probe box (possible with heavy
-       location noise) still contributes evidence; find it by id. *)
-    Int_set.fold
-      (fun id acc ->
-        match World.shelf_tag_location t.world id with
-        | loc -> (id, loc) :: acc
-        | exception Not_found -> acc)
-      missing []
-  in
-  near @ extra
+(* Was a shelf-tag hit with this id returned by the last shelf-tree
+   probe? Non-negative ids are answered by the scratch bitset; the
+   (never-seen-in-practice) negative ids a hand-built world could carry
+   fall back to scanning the hit buffer, since a bitset cannot hold
+   them. *)
+let shelf_near_mem t near id =
+  if id >= 0 then Bitset.mem near id
+  else begin
+    let found = ref false in
+    for h = 0 to Rtree.Hits.length t.shelf_hits - 1 do
+      let hid, _ = Rtree.Hits.get t.shelf_hits h in
+      if hid = id then found := true
+    done;
+    !found
+  end
 
-(* Requires the memo to hold the current (freshly proposed) poses: the
-   per-tag accumulation below evaluates the sensor term against every
-   pose in one batched call. Miss evidence is tempered by
+(* Requires the memo to hold the current (freshly proposed) poses: both
+   the batched location term and the per-tag accumulation evaluate
+   against every pose in one call. Miss evidence is tempered by
    [Config.shelf_miss_weight]: it flows through the sensor model's soft
    boundary, where a fitted logistic deviates most from the true
-   region. *)
-let weight_readers t reported shelf_read =
-  let tags = shelf_evidence_tags t reported shelf_read in
+   region. Tag processing order is the order the former list-building
+   code produced — probe hits in reverse visit order (the reversed
+   [Rtree.query] list), then read-but-not-near tags by descending id
+   (the prepend-built [Int_set.fold] list) — so the accumulated floats
+   are bit-identical. *)
+let weight_readers t reported =
   let sensing = t.params.Params.sensing in
   let j = num_readers t in
   let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
   let acc = Scratch.float_buf scratch0 ~slot:slot_reader_scratch j in
-  Array.iteri
-    (fun i r ->
-      acc.(i) <-
-        Location_sensing.log_pdf sensing ~true_loc:r.state.Reader_state.loc ~reported)
-    t.readers;
-  List.iter
-    (fun (id, tag_loc) ->
-      let read = Hashtbl.mem shelf_read id in
-      Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
-        ~tz:tag_loc.Vec3.z ~read ~miss_weight:t.config.Config.shelf_miss_weight acc)
-    tags;
+  let rx, ry, rz, _ = Sensor_model.pre_poses t.pre in
+  Location_sensing.log_pdf_poses_into sensing ~reported ~rx ~ry ~rz ~n:j acc;
+  let box = sensing_box t reported in
+  Rtree.query_into t.shelf_rtree box t.shelf_hits;
+  let nh = Rtree.Hits.length t.shelf_hits in
+  for h = nh - 1 downto 0 do
+    let id, tag_loc = Rtree.Hits.get t.shelf_hits h in
+    let read = Hashtbl.mem t.shelf_read id in
+    Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
+      ~tz:tag_loc.Vec3.z ~read ~miss_weight:t.config.Config.shelf_miss_weight acc
+  done;
+  (* A read shelf tag outside the probe box (possible with heavy
+     location noise) still contributes evidence; find it by id. *)
+  if Hashtbl.length t.shelf_read > 0 then begin
+    let near = Scratch.bits scratch0 ~slot:bslot_near in
+    Bitset.clear near;
+    for h = 0 to nh - 1 do
+      let id, _ = Rtree.Hits.get t.shelf_hits h in
+      if id >= 0 then Bitset.add near id
+    done;
+    ensure_tmp t (Hashtbl.length t.shelf_read);
+    let m = ref 0 in
+    Hashtbl.iter
+      (fun id () ->
+        if not (shelf_near_mem t near id) then begin
+          t.tmp_ids.(!m) <- id;
+          incr m
+        end)
+      t.shelf_read;
+    (* Descending id order; the set is almost always empty and never
+       more than the epoch's read list, so insertion sort suffices. *)
+    for a = 1 to !m - 1 do
+      let v = t.tmp_ids.(a) in
+      let b = ref a in
+      while !b > 0 && t.tmp_ids.(!b - 1) < v do
+        t.tmp_ids.(!b) <- t.tmp_ids.(!b - 1);
+        decr b
+      done;
+      t.tmp_ids.(!b) <- v
+    done;
+    for k = 0 to !m - 1 do
+      let id = t.tmp_ids.(k) in
+      match World.shelf_tag_location t.world id with
+      | tag_loc ->
+          Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
+            ~tz:tag_loc.Vec3.z ~read:true ~miss_weight:t.config.Config.shelf_miss_weight
+            acc
+      | exception Not_found -> ()
+    done
+  end;
   Array.iteri (fun i (r : reader_particle) -> r.log_w <- r.log_w +. acc.(i)) t.readers;
   (* Centre to avoid drift to -inf over long streams. *)
   let m =
@@ -316,19 +406,20 @@ let propose_readers t e reported =
 
 (* Objects to process this epoch beyond those read now (Case 2): with an
    index, the union of object sets of past sensing boxes overlapping the
-   current one; without, every known object. *)
-let case2_objects t reported ~case1 =
+   current one; without, every known object. The result lands in the
+   [scope] bitset (which already holds Case 1). *)
+let add_case2_objects t reported scope =
   match t.index with
-  | None ->
-      Hashtbl.fold
-        (fun id _ acc -> if Int_set.mem id case1 then acc else Int_set.add id acc)
-        t.objects Int_set.empty
+  | None -> Hashtbl.iter (fun id _ -> Bitset.add scope id) t.objects
   | Some idx ->
       let probe = sensing_box t reported in
-      let hits = Rtree.query idx.rtree probe in
-      List.fold_left
-        (fun acc set -> Int_set.union acc (Int_set.diff set case1))
-        Int_set.empty hits
+      Rtree.query_into idx.rtree probe t.idx_hits;
+      for h = 0 to Rtree.Hits.length t.idx_hits - 1 do
+        let ids = Rtree.Hits.get t.idx_hits h in
+        for k = 0 to Array.length ids - 1 do
+          Bitset.add scope (Array.unsafe_get ids k)
+        done
+      done
 
 let refresh_pointers t rng rw (obj : obj_state) =
   if obj.reader_gen <> t.reader_gen then begin
@@ -387,8 +478,10 @@ let propose_and_weight_object t scratch rng (obj : obj_state) ~read =
 
 (* Reader resampling instrumented to favor readers associated with good
    object particles: each in-scope object contributes, per reader, the
-   mean normalized weight of its particles pointing there. *)
-let maybe_resample_readers t scope =
+   mean normalized weight of its particles pointing there. The scope is
+   read from the dense ascending [scope_ids] buffer filled by [step] —
+   the same visit order the former [Int_set.iter] produced. *)
+let maybe_resample_readers t =
   let j = num_readers t in
   let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
   let rw = Scratch.float_buf scratch0 ~slot:slot_reader_weights j in
@@ -438,9 +531,11 @@ let maybe_resample_readers t scope =
             done
       | Active _ -> ()
     in
-    Int_set.iter
-      (fun id -> match Hashtbl.find_opt t.objects id with Some o -> consider o | None -> ())
-      scope;
+    for k = 0 to t.scope_len - 1 do
+      match Hashtbl.find_opt t.objects t.scope_ids.(k) with
+      | Some o -> consider o
+      | None -> ()
+    done;
     let combined = Scratch.float_buf scratch0 ~slot:slot_reader_scratch j in
     for i = 0 to j - 1 do
       combined.(i) <- log (Float.max 1e-300 rw.(i)) +. adj.(i)
@@ -471,9 +566,11 @@ let maybe_resample_readers t scope =
           obj.reader_gen <- t.reader_gen
       | Active _ -> ()
     in
-    Int_set.iter
-      (fun id -> match Hashtbl.find_opt t.objects id with Some o -> remap o | None -> ())
-      scope
+    for k = 0 to t.scope_len - 1 do
+      match Hashtbl.find_opt t.objects t.scope_ids.(k) with
+      | Some o -> remap o
+      | None -> ()
+    done
   end
 
 let update_index t reported scope =
@@ -481,7 +578,9 @@ let update_index t reported scope =
   | None -> ()
   | Some idx ->
       let box = sensing_box t reported in
-      idx.pending_objs <- Int_set.union idx.pending_objs scope;
+      (* Delta update: the pending set accumulates the processed scope
+         by word-wise OR — O(scope words), never a set rebuild. *)
+      Bitset.union_into ~into:idx.pending scope;
       idx.pending_box <-
         Some (match idx.pending_box with None -> box | Some b -> Box2.union b box);
       let should_flush =
@@ -491,7 +590,7 @@ let update_index t reported scope =
       in
       if should_flush then begin
         (match idx.pending_box with
-        | Some b when not (Int_set.is_empty idx.pending_objs) ->
+        | Some b when not (Bitset.is_empty idx.pending) ->
             (* Fig. 4(b): a box's object set is the objects with at
                least one particle inside it — not the whole processed
                scope, which would snowball transitively through future
@@ -510,10 +609,19 @@ let update_index t reported scope =
                   in
                   scan 0
             in
-            let inside = Int_set.filter has_particle_in idx.pending_objs in
-            if not (Int_set.is_empty inside) then Rtree.insert idx.rtree b inside
+            ensure_tmp t (Bitset.cardinal idx.pending);
+            let m = ref 0 in
+            Bitset.iter idx.pending (fun id ->
+                if has_particle_in id then begin
+                  t.tmp_ids.(!m) <- id;
+                  incr m
+                end);
+            (* The stored array is a fresh exact-size copy (ascending,
+               as the bitset iterates): allocation happens on flush
+               only, and the entry must outlive the scratch buffer. *)
+            if !m > 0 then Rtree.insert idx.rtree b (Array.sub t.tmp_ids 0 !m)
         | Some _ | None -> ());
-        idx.pending_objs <- Int_set.empty;
+        Bitset.clear idx.pending;
         idx.pending_box <- None;
         idx.last_insert_loc <- Some reported
       end
@@ -551,17 +659,29 @@ let run_compression t e =
     drain ()
   end
 
-(* Evidence-driven initialization planned on the coordinator and
-   executed inside the parallel per-object pass. *)
-type init_action =
-  | No_init
-  | Init_fresh of int  (* creation or far re-detection: n fresh particles *)
-  | Init_decompress of Rfid_prob.Gaussian.t
-  | Init_half  (* near re-detection: keep half, redraw half *)
-
-type work_item = { w_obj : obj_state; w_action : init_action; w_read : bool }
-
-
+(* Lazy staleness sweep: each read enqueues (read epoch + horizon + 1,
+   id); draining every entry whose deadline has passed marks exactly
+   the objects with [e - last_read > out_of_scope_after] out of scope —
+   an entry made stale by a later re-read is skipped, because that read
+   enqueued a later deadline of its own. Equivalent to testing every
+   tracked object per epoch, but touches only fired candidates. *)
+let drain_evictions t e =
+  let horizon = t.config.Config.out_of_scope_after in
+  let rec go () =
+    match Queue.peek_opt t.evict_queue with
+    | Some (fire, id) when fire <= e ->
+        ignore (Queue.pop t.evict_queue);
+        (match Hashtbl.find_opt t.objects id with
+        | Some obj when obj.last_read + horizon + 1 <= fire ->
+            if obj.in_scope then begin
+              obj.in_scope <- false;
+              Obs.incr c_evictions 1
+            end
+        | Some _ | None -> ());
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
 
 let step t (obs : Types.observation) =
   if obs.Types.o_epoch <= t.epoch then
@@ -569,17 +689,16 @@ let step t (obs : Types.observation) =
   let e = obs.Types.o_epoch in
   let reported = obs.Types.o_reported_loc in
   t.newly_seen <- [];
-  let shelf_read = Hashtbl.create 8 in
-  let case1 =
-    List.fold_left
-      (fun acc tag ->
-        match tag with
-        | Types.Object_tag i -> Int_set.add i acc
-        | Types.Shelf_tag i ->
-            Hashtbl.replace shelf_read i ();
-            acc)
-      Int_set.empty obs.Types.o_read_tags
-  in
+  Hashtbl.clear t.shelf_read;
+  let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
+  let case1 = Scratch.bits scratch0 ~slot:bslot_case1 in
+  Bitset.clear case1;
+  List.iter
+    (fun tag ->
+      match tag with
+      | Types.Object_tag i -> Bitset.add case1 i
+      | Types.Shelf_tag i -> Hashtbl.replace t.shelf_read i ())
+    obs.Types.o_read_tags;
   (* 1–2. Reader proposal and weighting (Eq. 5 reader factor). The
      pose memo is refreshed between the two: [weight_readers] and the
      parallel pass both evaluate sensor terms through it. *)
@@ -588,22 +707,28 @@ let step t (obs : Types.observation) =
   refresh_memo t;
   Obs.stop sp_pose_memo t_pose;
   let t_weight = Obs.start sp_weighting in
-  weight_readers t reported shelf_read;
-  let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
+  weight_readers t reported;
   let rw = Scratch.float_buf scratch0 ~slot:slot_reader_weights (num_readers t) in
   reader_weights_into t rw;
-  (* 3. Scope. *)
-  let case2 = case2_objects t reported ~case1 in
-  let scope = Int_set.union case1 case2 in
-  t.processed_last <- Int_set.cardinal scope;
+  (* 3. Scope: Case 1 ∪ Case 2, as a scratch bitset, then densified
+     into the ascending [scope_ids] stack every later phase walks. *)
+  let scope = Scratch.bits scratch0 ~slot:bslot_scope in
+  Bitset.clear scope;
+  Bitset.union_into ~into:scope case1;
+  add_case2_objects t reported scope;
+  t.processed_last <- Bitset.cardinal scope;
+  ensure_scope t t.processed_last;
+  t.scope_len <- Bitset.fill_into scope t.scope_ids;
   (* 4. Coordinator pre-pass: the [objects] Hashtbl is not thread-safe,
      so discovery (insertion) and scope bookkeeping happen here, before
      any domain fans out. Newly read objects get a placeholder state;
      the evidence-driven initialization itself (creation,
      decompression, re-initialization) is planned as a per-object
-     action and executed inside the parallel pass. *)
-  Int_set.iter
-    (fun id ->
+     action and executed inside the parallel pass. The eviction queue
+     is drained first, so "seen again after falling out of scope" is
+     judged against deadlines that have actually fired. *)
+  drain_evictions t e;
+  Bitset.iter case1 (fun id ->
       match Hashtbl.find_opt t.objects id with
       | None ->
           Hashtbl.replace t.objects id
@@ -613,37 +738,35 @@ let step t (obs : Types.observation) =
               reader_gen = t.reader_gen;
               last_read = e;
               last_read_reader = reported;
+              in_scope = true;
             };
           t.newly_seen <- id :: t.newly_seen
-      | Some obj ->
-          if e - obj.last_read > t.config.Config.out_of_scope_after then
-            t.newly_seen <- id :: t.newly_seen)
-    case1;
-  let work =
-    Array.of_list
-      (List.filter_map
-         (fun id ->
-           match Hashtbl.find_opt t.objects id with
-           | None -> None
-           | Some obj ->
-               let read = Int_set.mem id case1 in
-               let action =
-                 if not read then No_init
-                 else
-                   match obj.belief with
-                   | Active store when Ps.length store = 0 ->
-                       Init_fresh t.config.Config.num_object_particles
-                   | Compressed g -> Init_decompress g
-                   | Active store ->
-                       let d = Vec3.dist reported obj.last_read_reader in
-                       if d >= t.config.Config.reinit_far then
-                         Init_fresh (Ps.length store)
-                       else if d >= t.config.Config.reinit_near then Init_half
-                       else No_init
-               in
-               Some { w_obj = obj; w_action = action; w_read = read })
-         (Int_set.elements scope))
-  in
+      | Some obj -> if not obj.in_scope then t.newly_seen <- id :: t.newly_seen);
+  ensure_work t t.scope_len;
+  let wn = ref 0 in
+  for k = 0 to t.scope_len - 1 do
+    let id = t.scope_ids.(k) in
+    match Hashtbl.find_opt t.objects id with
+    | None -> ()
+    | Some obj ->
+        let read = Bitset.mem case1 id in
+        let action =
+          if not read then No_init
+          else
+            match obj.belief with
+            | Active store when Ps.length store = 0 ->
+                Init_fresh t.config.Config.num_object_particles
+            | Compressed g -> Init_decompress g
+            | Active store ->
+                let d = Vec3.dist reported obj.last_read_reader in
+                if d >= t.config.Config.reinit_far then Init_fresh (Ps.length store)
+                else if d >= t.config.Config.reinit_near then Init_half
+                else No_init
+        in
+        t.work.(!wn) <- { w_obj = obj; w_action = action; w_read = read };
+        incr wn
+  done;
+  t.work_len <- !wn;
   (* 5. Parallel per-object update (§IV-B's conditional independence
      given the reader particles): initialization action, pointer
      refresh, proposal, weighting and per-object resampling all run in
@@ -671,7 +794,10 @@ let step t (obs : Types.observation) =
               obj.belief <- Active s;
               s
         in
-        init_object_particles_into t rng rw store n;
+        Ps.resize store n;
+        Common.fill_fresh_particles t.cache
+          ~overestimate:t.config.Config.init_overestimate ~world:t.world ~pre:t.pre ~rw
+          ~rng ~store ~step:1;
         obj.reader_gen <- t.reader_gen
     | Init_decompress g ->
         Obs.incr_shard c_decompressions ~shard:(Scratch.shard scratch) 1;
@@ -685,13 +811,14 @@ let step t (obs : Types.observation) =
         | Compressed _ -> ()
         | Active store ->
             refresh_pointers t rng rw obj;
-            for i = 0 to Ps.length store - 1 do
-              if i mod 2 = 0 then fresh_particle_into t rng rw store i
-            done));
+            Common.fill_fresh_particles t.cache
+              ~overestimate:t.config.Config.init_overestimate ~world:t.world ~pre:t.pre
+              ~rw ~rng ~store ~step:2));
     refresh_pointers t rng rw obj;
     propose_and_weight_object t scratch rng obj ~read:it.w_read
   in
-  Rfid_par.Pool.parallel_for_chunked_did t.pool ~n:(Array.length work)
+  let work = t.work in
+  Rfid_par.Pool.parallel_for_chunked_did t.pool ~n:t.work_len
     (fun did lo hi ->
       let scratch = Rfid_par.Pool.get_scratch t.pool did in
       for i = lo to hi - 1 do
@@ -700,34 +827,35 @@ let step t (obs : Types.observation) =
   (* Memo accounting happens on the coordinator after the pass (never
      inside bodies), so the counters are deterministic. *)
   let hits = ref 0 in
-  Array.iter
-    (fun it ->
-      match it.w_obj.belief with
-      | Active store -> hits := !hits + Ps.length store
-      | Compressed _ -> ())
-    work;
+  for i = 0 to t.work_len - 1 do
+    match t.work.(i).w_obj.belief with
+    | Active store -> hits := !hits + Ps.length store
+    | Compressed _ -> ()
+  done;
   Sensor_model.pre_note_hits t.pre !hits;
   Obs.stop sp_weighting t_weight;
   Obs.set g_scope_objects (float_of_int t.processed_last);
   Obs.set g_particles_in_scope (float_of_int !hits);
   (* 6. Reader resampling (rare; ESS-triggered). *)
   let t_res = Obs.start sp_resampling in
-  maybe_resample_readers t scope;
+  maybe_resample_readers t;
   Obs.stop sp_resampling t_res;
   (* 7. Spatial index bookkeeping. *)
   let t_comp = Obs.start sp_compression in
   update_index t reported scope;
-  (* 8–9. Compression and scope bookkeeping. *)
-  Int_set.iter
-    (fun id ->
+  (* 8–9. Compression and scope bookkeeping: each read refreshes the
+     object's staleness deadline and (with compression on) its
+     compression deadline, in ascending id order as before. *)
+  Bitset.iter case1 (fun id ->
       match Hashtbl.find_opt t.objects id with
       | None -> ()
       | Some obj ->
           obj.last_read <- e;
           obj.last_read_reader <- reported;
+          obj.in_scope <- true;
+          Queue.push (e + t.config.Config.out_of_scope_after + 1, id) t.evict_queue;
           if t.compress then
-            Queue.push (e + t.config.Config.compress_after, id) t.compress_queue)
-    case1;
+            Queue.push (e + t.config.Config.compress_after, id) t.compress_queue);
   run_compression t e;
   Obs.stop sp_compression t_comp;
   Obs.set g_index_boxes
@@ -769,16 +897,19 @@ let dead_reckon t ~epoch:e =
   let w = t.config.Config.degraded_widen_sigma in
   if t.consecutive_degraded >= t.config.Config.degraded_widen_after && w > 0. then begin
     let wsigma = Vec3.make w w 0. in
+    (* Widening visits every tracked object by evidence semantics (the
+       whole posterior decays); the per-object generator is re-keyed
+       into the coordinator arena's scratch RNG instead of allocating
+       one per object — identical derived state, identical draws. *)
+    let krng = Scratch.rng (Rfid_par.Pool.get_scratch t.pool 0) in
     Hashtbl.iter
       (fun id obj ->
-        let rng =
-          Rfid_prob.Rng.for_key t.substream ~key:(Rfid_prob.Rng.key_pair id e)
-        in
+        Rfid_prob.Rng.for_key_into t.substream ~key:(Rfid_prob.Rng.key_pair id e) krng;
         match obj.belief with
         | Active store ->
             for i = 0 to Ps.length store - 1 do
               let p = Vec3.make (Ps.x store i) (Ps.y store i) (Ps.z store i) in
-              let l = Common.jitter p ~sigma:wsigma rng in
+              let l = Common.jitter p ~sigma:wsigma krng in
               let l =
                 if World.contains t.world l then l else World.clamp_to_shelves t.world l
               in
@@ -846,7 +977,12 @@ let iter_reader_particles t f =
    queries are consumed as sets, so the exact tree shape is
    unobservable. The particle slabs are serialized to the same logical
    (loc, reader pointer, log weight) tuples as before the SoA layout,
-   so snapshots stay layout-independent. *)
+   and index entries / pending sets to the same ascending id lists as
+   before the bitset layout, so snapshots stay layout-independent. The
+   eviction queue and the [in_scope] flags are not serialized: both are
+   derived from [last_read] on restore (each object re-enqueues its
+   deadline and is marked in scope; already-stale deadlines fire on the
+   next step, before any newly-seen decision reads the flag). *)
 
 type belief_snapshot =
   | Snap_active of (Vec3.t * int * float) array  (* loc, reader_idx, log_w *)
@@ -916,11 +1052,11 @@ let snapshot t =
     Option.map
       (fun idx ->
         let entries = ref [] in
-        Rtree.iter_overlapping idx.rtree everything_box (fun box set ->
-            entries := (box, Int_set.elements set) :: !entries);
+        Rtree.iter_overlapping idx.rtree everything_box (fun box ids ->
+            entries := (box, Array.to_list ids) :: !entries);
         {
           si_entries = List.rev !entries;
-          si_pending_objs = Int_set.elements idx.pending_objs;
+          si_pending_objs = Bitset.elements idx.pending;
           si_pending_box = idx.pending_box;
           si_last_insert_loc = idx.last_insert_loc;
         })
@@ -982,6 +1118,7 @@ let restore ~world ~params ~config s =
           reader_gen = o.so_reader_gen;
           last_read = o.so_last_read;
           last_read_reader = o.so_last_read_reader;
+          in_scope = true;
         })
     s.fs_objects;
   let index =
@@ -989,11 +1126,13 @@ let restore ~world ~params ~config s =
       (fun (si : index_snapshot) ->
         let rtree = Rtree.create () in
         List.iter
-          (fun (box, ids) -> Rtree.insert rtree box (Int_set.of_list ids))
+          (fun (box, ids) -> Rtree.insert rtree box (Array.of_list ids))
           si.si_entries;
+        let pending = Bitset.create () in
+        List.iter (fun id -> Bitset.add pending id) si.si_pending_objs;
         {
           rtree;
-          pending_objs = Int_set.of_list si.si_pending_objs;
+          pending;
           pending_box = si.si_pending_box;
           last_insert_loc = si.si_last_insert_loc;
         })
@@ -1001,6 +1140,14 @@ let restore ~world ~params ~config s =
   in
   let compress_queue = Queue.create () in
   List.iter (fun item -> Queue.push item compress_queue) s.fs_compress_queue;
+  (* Re-derive the eviction queue: one deadline per object from its
+     last read, pushed in deadline order so the lazy drain stays a
+     head-of-queue scan. *)
+  let evict_queue = Queue.create () in
+  let horizon = config.Config.out_of_scope_after in
+  List.map (fun (o : obj_snapshot) -> (o.so_last_read + horizon + 1, o.so_id)) s.fs_objects
+  |> List.sort compare
+  |> List.iter (fun item -> Queue.push item evict_queue);
   {
     world;
     params;
@@ -1020,6 +1167,16 @@ let restore ~world ~params ~config s =
     index;
     compress;
     compress_queue;
+    evict_queue;
+    shelf_read = Hashtbl.create 8;
+    idx_hits = Rtree.Hits.create ~dummy:[||];
+    shelf_hits = Rtree.Hits.create ~dummy:(0, Vec3.zero);
+    scope_ids = [||];
+    scope_len = 0;
+    work = [||];
+    work_len = 0;
+    work_dummy = dummy_work_item ();
+    tmp_ids = [||];
     last_reported = s.fs_last_reported;
     epoch = s.fs_epoch;
     newly_seen = s.fs_newly_seen;

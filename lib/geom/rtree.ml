@@ -142,6 +142,50 @@ let query t probe =
   iter_overlapping t probe (fun _ v -> acc := v :: !acc);
   !acc
 
+module Hits = struct
+  type 'a t = { mutable buf : 'a array; mutable len : int; dummy : 'a }
+
+  let create ~dummy = { buf = [||]; len = 0; dummy }
+  let length h = h.len
+
+  let get h i =
+    if i < 0 || i >= h.len then invalid_arg "Rtree.Hits.get: index out of range";
+    h.buf.(i)
+
+  let clear h =
+    (* Drop value references so a cleared buffer does not pin old hits
+       for the GC; the array itself is kept for reuse. *)
+    Array.fill h.buf 0 h.len h.dummy;
+    h.len <- 0
+
+  let push h v =
+    let cap = Array.length h.buf in
+    if h.len = cap then begin
+      let bigger = Array.make (Int.max 4 (2 * cap)) h.dummy in
+      Array.blit h.buf 0 bigger 0 cap;
+      h.buf <- bigger
+    end;
+    h.buf.(h.len) <- v;
+    h.len <- h.len + 1
+end
+
+(* [query] materializes a list per call; the filters probe the shelf
+   tree and the sensing-region index every epoch, so the hot path takes
+   this variant instead: hits append to a caller-owned growable buffer
+   (cleared here first), and the walk is a direct recursion rather than
+   an [iter_overlapping] closure, so a steady-state query allocates
+   nothing. Hits arrive in visit order — the reverse of [query]'s list
+   order, since that list is built by prepending. *)
+let query_into t probe hits =
+  Hits.clear hits;
+  let rec walk = function
+    | Leaf entries ->
+        List.iter (fun (box, v) -> if Box2.intersects box probe then Hits.push hits v) entries
+    | Inner children ->
+        List.iter (fun (box, child) -> if Box2.intersects box probe then walk child) children
+  in
+  if t.count > 0 then walk t.root
+
 let size t = t.count
 
 let depth t =

@@ -24,6 +24,30 @@ val query : 'a t -> Box2.t -> 'a list
 (** All values whose box intersects the probe box, in unspecified
     order. *)
 
+(** Reusable hit buffers for {!query_into}: a growable array that keeps
+    its storage across queries, so per-epoch probes stop building
+    lists. *)
+module Hits : sig
+  type 'a t
+
+  val create : dummy:'a -> 'a t
+  (** [dummy] fills unused capacity (and cleared slots, so stale hits
+      are not pinned for the GC). *)
+
+  val length : 'a t -> int
+
+  val get : 'a t -> int -> 'a
+  (** @raise Invalid_argument outside [0, length). *)
+
+  val clear : 'a t -> unit
+end
+
+val query_into : 'a t -> Box2.t -> 'a Hits.t -> unit
+(** [query_into t probe hits] clears [hits] and appends every value
+    whose box intersects [probe], in tree visit order — the {e reverse}
+    of the list {!query} returns (that list is built by prepending).
+    Allocation-free once the buffer has grown to the working size. *)
+
 val iter_overlapping : 'a t -> Box2.t -> (Box2.t -> 'a -> unit) -> unit
 (** Like {!query} but streaming box/value pairs without building a
     list. *)

@@ -32,3 +32,47 @@ let log_pdf t ~true_loc ~reported =
   gauss_log_pdf ~sigma:t.sigma.Vec3.x d.Vec3.x
   +. gauss_log_pdf ~sigma:t.sigma.Vec3.y d.Vec3.y
   +. gauss_log_pdf ~sigma:t.sigma.Vec3.z d.Vec3.z
+
+(* Batched variant for the reader-weighting hot path: one cross-module
+   call per epoch against the sensor memo's pose slabs instead of one
+   [log_pdf] per reader particle (which, without flambda, boxes a
+   [Vec3.t] pair and three floats per call). The per-axis term is
+   [gauss_log_pdf] with [Gaussian.Univariate.log_pdf] at mu = 0 inlined
+   textually — same constant, same operation order — and the three
+   terms sum left-to-right as in [log_pdf], so each written value is
+   bit-identical. *)
+let log_2pi = log (2. *. Float.pi)
+
+let log_pdf_poses_into t ~reported ~rx ~ry ~rz ~n out =
+  if Array.length out < n then
+    invalid_arg "Location_sensing.log_pdf_poses_into: output shorter than pose set";
+  let bx = t.bias.Vec3.x and by = t.bias.Vec3.y and bz = t.bias.Vec3.z in
+  let sx = t.sigma.Vec3.x and sy = t.sigma.Vec3.y and sz = t.sigma.Vec3.z in
+  let px = reported.Vec3.x and py = reported.Vec3.y and pz = reported.Vec3.z in
+  for i = 0 to n - 1 do
+    let dx = px -. (Float.Array.unsafe_get rx i +. bx) in
+    let dy = py -. (Float.Array.unsafe_get ry i +. by) in
+    let dz = pz -. (Float.Array.unsafe_get rz i +. bz) in
+    let gx =
+      if sx = 0. then 0.
+      else begin
+        let z = dx /. sx in
+        (-0.5 *. ((z *. z) +. log_2pi)) -. log sx
+      end
+    in
+    let gy =
+      if sy = 0. then 0.
+      else begin
+        let z = dy /. sy in
+        (-0.5 *. ((z *. z) +. log_2pi)) -. log sy
+      end
+    in
+    let gz =
+      if sz = 0. then 0.
+      else begin
+        let z = dz /. sz in
+        (-0.5 *. ((z *. z) +. log_2pi)) -. log sz
+      end
+    in
+    Array.unsafe_set out i (gx +. gy +. gz)
+  done

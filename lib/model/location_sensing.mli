@@ -20,6 +20,23 @@ val default : t
 val sample_report : t -> Rfid_prob.Rng.t -> Rfid_geom.Vec3.t -> Rfid_geom.Vec3.t
 (** Draw the reported location given the true one. *)
 
+val log_pdf_poses_into :
+  t ->
+  reported:Rfid_geom.Vec3.t ->
+  rx:floatarray ->
+  ry:floatarray ->
+  rz:floatarray ->
+  n:int ->
+  float array ->
+  unit
+(** [log_pdf_poses_into t ~reported ~rx ~ry ~rz ~n out] writes
+    [out.(i) <- log_pdf t ~true_loc:(rx.(i), ry.(i), rz.(i)) ~reported]
+    for [i < n], bit for bit, in one batched pass over pose slabs (as
+    returned by {!Rfid_model.Sensor_model.pre_poses}) — the
+    reader-weighting hot path's replacement for a boxing [log_pdf] call
+    per reader particle. @raise Invalid_argument if [out] is shorter
+    than [n]. *)
+
 val log_pdf : t -> true_loc:Rfid_geom.Vec3.t -> reported:Rfid_geom.Vec3.t -> float
 (** Log-likelihood of a report given the true location — the
     [p(R-hat|R)] factor of the reader-particle weight (Eq. 5). An axis

@@ -241,6 +241,8 @@ let pre_accumulate_joint_obj p store ~obj ~num_objects ~read acc =
     Array.unsafe_set acc r (Array.unsafe_get acc r +. l)
   done
 
+let pre_poses p = (p.prx, p.pry, p.prz, p.phead)
+
 let pre_note_hits p k = p.hits <- p.hits + k
 let pre_hits p = p.hits
 

@@ -129,6 +129,13 @@ val pre_accumulate_joint_obj :
     [poses * num_objects] slab, and the (unscaled) term accumulates
     into [acc.(r)]. @raise Invalid_argument on shape mismatch. *)
 
+val pre_poses : pre -> floatarray * floatarray * floatarray * floatarray
+(** The memo's backing pose slabs [(x, y, z, heading)], for batched
+    loops owned by other modules (e.g. the reader-location likelihood
+    over every pose, or the batched initialization sampler). Slots at
+    indices [>= pre_size] are unspecified; {!pre_resize} invalidates
+    the returned arrays. *)
+
 val pre_note_hits : pre -> int -> unit
 (** Add to the served-evaluation counter. The filters count hits on the
     coordinator after each parallel pass (never inside loop bodies), so

@@ -64,16 +64,24 @@ let clamp_to_box (b : Box2.t) (p : Vec3.t) =
 let clamp_to_shelves t p =
   if contains t p then p
   else begin
-    let best = ref None in
-    Array.iter
-      (fun s ->
-        let q = clamp_to_box s.surface p in
-        let d = Vec3.dist_xy p q in
-        match !best with
-        | Some (_, bd) when bd <= d -> ()
-        | _ -> best := Some (q, d))
-      t.shelves;
-    match !best with Some (q, _) -> q | None -> p
+    (* Scalar scan: same per-shelf clamp and distance as materializing a
+       candidate [Vec3.t] per shelf (first strict improvement wins, as
+       before), but tracking only the best index — the former
+       per-shelf allocation made this call O(num_shelves) words, which
+       dominated the re-initialization path on large worlds. *)
+    let best = ref (-1) and best_d = ref infinity in
+    for i = 0 to Array.length t.shelves - 1 do
+      let b = t.shelves.(i).surface in
+      let qx = Float.max b.Box2.min_x (Float.min b.Box2.max_x p.Vec3.x) in
+      let qy = Float.max b.Box2.min_y (Float.min b.Box2.max_y p.Vec3.y) in
+      let dx = p.Vec3.x -. qx and dy = p.Vec3.y -. qy in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+      if !best < 0 || d < !best_d then begin
+        best := i;
+        best_d := d
+      end
+    done;
+    if !best < 0 then p else clamp_to_box t.shelves.(!best).surface p
   end
 
 let bounding_box t = t.bbox

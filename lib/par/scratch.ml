@@ -8,10 +8,12 @@ module Rng = Rfid_prob.Rng
 
 let num_float_slots = 4
 let num_int_slots = 2
+let num_bits_slots = 4
 
 type t = {
   float_slots : (int * float array) list array;
   int_slots : (int * int array) list array;
+  bits_slots : Rfid_prob.Bitset.t option array;
   slab : Particle_store.t;
   rng : Rng.t;
   mutable allocations : int;
@@ -22,6 +24,7 @@ let create ?(shard = 0) () =
   {
     float_slots = Array.make num_float_slots [];
     int_slots = Array.make num_int_slots [];
+    bits_slots = Array.make num_bits_slots None;
     slab = Particle_store.create ~n:0;
     rng = Rng.create ~seed:0;
     allocations = 0;
@@ -53,6 +56,16 @@ let int_buf t ~slot n =
         b
   in
   find t.int_slots.(slot)
+
+let bits t ~slot =
+  if slot < 0 || slot >= num_bits_slots then invalid_arg "Scratch.bits: slot out of range";
+  match t.bits_slots.(slot) with
+  | Some b -> b
+  | None ->
+      let b = Rfid_prob.Bitset.create () in
+      t.bits_slots.(slot) <- Some b;
+      t.allocations <- t.allocations + 1;
+      b
 
 let slab t = t.slab
 let rng t = t.rng

@@ -31,6 +31,14 @@ val float_buf : t -> slot:int -> int -> float array
 val int_buf : t -> slot:int -> int -> int array
 (** As {!float_buf} for int buffers (resample indices); slots 0–1. *)
 
+val bits : t -> slot:int -> Rfid_prob.Bitset.t
+(** [bits t ~slot] is the arena's cached {!Rfid_prob.Bitset} for [slot]
+    (0–3), created empty on first use and reused forever after. Unlike
+    the length-keyed buffers a bitset grows in place, so one per slot
+    suffices. Contents are whatever the previous use left — callers
+    [Bitset.clear] before filling. @raise Invalid_argument on a slot
+    outside [0, 4). *)
+
 val slab : t -> Rfid_prob.Particle_store.t
 (** The arena's spare particle slab: gather a resampled particle set
     into it, then [Particle_store.swap] it with the live store. *)

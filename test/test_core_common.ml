@@ -40,6 +40,94 @@ let test_sample_initial_location_on_shelves () =
     if not (World.contains world p) then Alcotest.fail "initial sample off-shelf"
   done
 
+(* The batched initialization sampler must reproduce the scalar
+   reference path — categorical reader draw, then
+   [sample_initial_location] from that reader's pose — draw for draw
+   and bit for bit, since the golden traces pin the filter's output at
+   that level. *)
+let fill_setup () =
+  let world = Util.two_shelf_world () in
+  let c = cache () in
+  let j = 5 in
+  let pre = Sensor_model.precompute Sensor_model.default ~n:j in
+  for p = 0 to j - 1 do
+    Sensor_model.pre_set_pose pre p ~x:(0.5 *. float_of_int p)
+      ~y:(4. +. (0.3 *. float_of_int p))
+      ~z:0.2
+      ~heading:(0.4 *. float_of_int p)
+  done;
+  let rw = [| 0.1; 0.3; 0.2; 0.25; 0.15 |] in
+  (world, c, pre, rw)
+
+let reference_fresh world c pre rw rng i =
+  let rx, ry, rz, rh = Sensor_model.pre_poses pre in
+  ignore i;
+  let idx = Rfid_prob.Rng.categorical rng rw in
+  let reader_loc =
+    Util.vec3 (Float.Array.get rx idx) (Float.Array.get ry idx) (Float.Array.get rz idx)
+  in
+  let loc =
+    Common.sample_initial_location c ~overestimate:1.25 ~world ~reader_loc
+      ~heading:(Float.Array.get rh idx) rng
+  in
+  (idx, loc)
+
+let check_bits what expected actual =
+  if Int64.bits_of_float expected <> Int64.bits_of_float actual then
+    Alcotest.failf "%s: %.17g and %.17g differ bitwise" what expected actual
+
+let test_fill_fresh_particles_bit_identical () =
+  let world, c, pre, rw = fill_setup () in
+  let n = 64 in
+  let store = Rfid_prob.Particle_store.create ~n in
+  let rng_batch = Rfid_prob.Rng.create ~seed:99 in
+  let rng_ref = Rfid_prob.Rng.create ~seed:99 in
+  Common.fill_fresh_particles c ~overestimate:1.25 ~world ~pre ~rw ~rng:rng_batch
+    ~store ~step:1;
+  for i = 0 to n - 1 do
+    let idx, loc = reference_fresh world c pre rw rng_ref i in
+    Alcotest.(check int) "reader pointer" idx (Rfid_prob.Particle_store.reader store i);
+    check_bits "x" loc.Vec3.x (Rfid_prob.Particle_store.x store i);
+    check_bits "y" loc.Vec3.y (Rfid_prob.Particle_store.y store i);
+    check_bits "z" loc.Vec3.z (Rfid_prob.Particle_store.z store i);
+    check_bits "log_w" 0. (Rfid_prob.Particle_store.log_w store i)
+  done;
+  (* Exhausted the same number of draws. *)
+  Alcotest.(check bool) "rng states agree" true
+    (Rfid_prob.Rng.state rng_batch = Rfid_prob.Rng.state rng_ref)
+
+let test_fill_fresh_particles_half () =
+  let world, c, pre, rw = fill_setup () in
+  let n = 32 in
+  let store = Rfid_prob.Particle_store.create ~n in
+  for i = 0 to n - 1 do
+    Rfid_prob.Particle_store.set_loc store i ~x:(float_of_int i) ~y:(-1.) ~z:7.;
+    Rfid_prob.Particle_store.set_reader store i 3;
+    Rfid_prob.Particle_store.set_log_w store i 0.25
+  done;
+  let rng_batch = Rfid_prob.Rng.create ~seed:7 in
+  let rng_ref = Rfid_prob.Rng.create ~seed:7 in
+  Common.fill_fresh_particles c ~overestimate:1.25 ~world ~pre ~rw ~rng:rng_batch
+    ~store ~step:2;
+  for i = 0 to n - 1 do
+    if i mod 2 = 0 then begin
+      let idx, loc = reference_fresh world c pre rw rng_ref i in
+      Alcotest.(check int) "even slot redrawn" idx
+        (Rfid_prob.Particle_store.reader store i);
+      check_bits "even x" loc.Vec3.x (Rfid_prob.Particle_store.x store i);
+      check_bits "even log_w reset" 0. (Rfid_prob.Particle_store.log_w store i)
+    end
+    else begin
+      check_bits "odd x untouched" (float_of_int i) (Rfid_prob.Particle_store.x store i);
+      Alcotest.(check int) "odd pointer untouched" 3
+        (Rfid_prob.Particle_store.reader store i);
+      check_bits "odd log_w untouched" 0.25 (Rfid_prob.Particle_store.log_w store i)
+    end
+  done;
+  Util.check_raises_invalid "step 0" (fun () ->
+      Common.fill_fresh_particles c ~overestimate:1.25 ~world ~pre ~rw ~rng:rng_batch
+        ~store ~step:0)
+
 let test_propose_heading_known () =
   let rng = Util.rng () in
   let h =
@@ -132,6 +220,10 @@ let suite =
       Alcotest.test_case "init cone geometry" `Quick test_init_cone_geometry;
       Alcotest.test_case "initial samples on shelves" `Quick
         test_sample_initial_location_on_shelves;
+      Alcotest.test_case "batched fresh particles bit-identical" `Quick
+        test_fill_fresh_particles_bit_identical;
+      Alcotest.test_case "batched fresh particles half-redraw" `Quick
+        test_fill_fresh_particles_half;
       Alcotest.test_case "known heading" `Quick test_propose_heading_known;
       Alcotest.test_case "tracked heading" `Quick test_propose_heading_track;
       Alcotest.test_case "proposal delta" `Quick test_proposal_delta;

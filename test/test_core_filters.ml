@@ -239,6 +239,51 @@ let test_newly_seen_semantics () =
   let sorted = List.sort Int.compare !all_newly in
   Alcotest.(check (list int)) "each object once" [ 0; 1; 2; 3 ] sorted
 
+(* Edge cases of the lazy out-of-scope sweep (the eviction queue that
+   replaced the every-epoch staleness scan): a re-read exactly at the
+   staleness horizon resurrects the object before its queue entry
+   fires, a re-read one epoch later finds it evicted and reports it
+   newly seen again, and the eviction counter moves only for the
+   genuine eviction. *)
+let test_eviction_queue_edges () =
+  let world = Util.two_shelf_world () in
+  let horizon = 5 in
+  let config =
+    Config.create ~variant:Config.Factorized ~num_reader_particles:8
+      ~num_object_particles:16 ~out_of_scope_after:horizon ()
+  in
+  let loc = Util.vec3 0. 5. 0. in
+  let filter =
+    Factored_filter.create ~world ~params:Params.default ~config
+      ~init_reader:(Reader_state.make ~loc ~heading:0.)
+      ~rng:(Rfid_prob.Rng.create ~seed:3)
+  in
+  let evictions = Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "health.evicted_objects" in
+  let base = Rfid_obs.Metrics.counter_value evictions in
+  let step e tags =
+    Factored_filter.step filter
+      { Types.o_epoch = e; o_reported_loc = loc; o_read_tags = tags };
+    Factored_filter.newly_seen filter
+  in
+  Alcotest.(check (list int)) "first read is newly seen" [ 7 ]
+    (step 0 [ Types.Object_tag 7 ]);
+  for e = 1 to horizon - 1 do
+    Alcotest.(check (list int)) "silence" [] (step e [])
+  done;
+  (* Gap = horizon: not beyond it, so the object never left scope. *)
+  Alcotest.(check (list int)) "re-read at horizon not newly seen" []
+    (step horizon [ Types.Object_tag 7 ]);
+  Alcotest.(check int) "no eviction yet" base (Rfid_obs.Metrics.counter_value evictions);
+  for e = horizon + 1 to (2 * horizon) + 1 - 1 do
+    Alcotest.(check (list int)) "silence" [] (step e [])
+  done;
+  (* Gap = horizon + 1: the entry from the horizon-epoch read has fired
+     by now, so this read is a re-discovery. *)
+  Alcotest.(check (list int)) "re-read past horizon newly seen" [ 7 ]
+    (step ((2 * horizon) + 1) [ Types.Object_tag 7 ]);
+  Alcotest.(check int) "exactly one eviction" (base + 1)
+    (Rfid_obs.Metrics.counter_value evictions)
+
 let test_events_report_delay () =
   let wh, trace = scenario ~num_objects:4 () in
   let config =
@@ -336,6 +381,7 @@ let suite =
       Alcotest.test_case "reader estimate tracks truth" `Quick
         test_reader_estimate_tracks_truth;
       Alcotest.test_case "newly_seen semantics" `Quick test_newly_seen_semantics;
+      Alcotest.test_case "eviction queue edges" `Quick test_eviction_queue_edges;
       Alcotest.test_case "event report delay" `Quick test_events_report_delay;
       Alcotest.test_case "flush emits pending" `Quick test_flush_emits_pending;
       Alcotest.test_case "determinism" `Quick test_determinism;

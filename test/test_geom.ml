@@ -104,6 +104,45 @@ let test_rtree_invalid () =
   Util.check_raises_invalid "max_entries too small" (fun () ->
       ignore (Rtree.create ~max_entries:3 ()))
 
+let test_rtree_query_into_basic () =
+  let t = Rtree.create () in
+  let hits = Rtree.Hits.create ~dummy:(-1) in
+  Rtree.query_into t (box 0. 0. 10. 10.) hits;
+  Alcotest.(check int) "empty tree" 0 (Rtree.Hits.length hits);
+  Rtree.insert t (box 0. 0. 1. 1.) 1;
+  Rtree.insert t (box 5. 5. 6. 6.) 2;
+  Rtree.query_into t (box 0.5 0.5 0.7 0.7) hits;
+  Alcotest.(check int) "one hit" 1 (Rtree.Hits.length hits);
+  Alcotest.(check int) "hit value" 1 (Rtree.Hits.get hits 0);
+  Util.check_raises_invalid "get out of range" (fun () -> Rtree.Hits.get hits 1);
+  (* Reuse across probes: the buffer is cleared each call. *)
+  Rtree.query_into t (box 2. 2. 3. 3.) hits;
+  Alcotest.(check int) "miss clears previous hits" 0 (Rtree.Hits.length hits)
+
+(* [query_into] must visit the same entries as [query], in exactly the
+   reverse order ([query] builds its list by prepending; the buffer is
+   filled in visit order) — the factored filter's shelf-evidence loop
+   walks the buffer backwards relying on this. *)
+let prop_rtree_query_into_matches_query =
+  Util.qcheck ~count:60 "query_into = reversed query" QCheck.small_int (fun seed ->
+      let rng = Rfid_prob.Rng.create ~seed in
+      let t = Rtree.create ~max_entries:5 () in
+      let n = Rfid_prob.Rng.int rng 150 in
+      for i = 0 to n - 1 do
+        Rtree.insert t (random_box rng) i
+      done;
+      let hits = Rtree.Hits.create ~dummy:(-1) in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let probe = random_box rng in
+        Rtree.query_into t probe hits;
+        let buf =
+          List.init (Rtree.Hits.length hits) (fun i -> Rtree.Hits.get hits i)
+        in
+        if List.rev buf <> Rtree.query t probe then ok := false
+      done;
+      !ok)
+
 let prop_rtree_query_complete =
   Util.qcheck ~count:60 "rtree query matches brute force" QCheck.small_int (fun seed ->
       let rng = Rfid_prob.Rng.create ~seed in
@@ -210,6 +249,8 @@ let suite =
       Alcotest.test_case "rtree vs brute force" `Quick test_rtree_vs_bruteforce;
       Alcotest.test_case "rtree duplicates/depth" `Quick test_rtree_duplicates_and_depth;
       Alcotest.test_case "rtree validation" `Quick test_rtree_invalid;
+      Alcotest.test_case "rtree query_into" `Quick test_rtree_query_into_basic;
+      prop_rtree_query_into_matches_query;
       prop_rtree_query_complete;
       Alcotest.test_case "cone contains" `Quick test_cone_contains;
       Alcotest.test_case "cone relative angle" `Quick test_cone_relative_angle;
