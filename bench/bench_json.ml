@@ -20,6 +20,9 @@ type point = {
   pt_lat_p50_us : float;
   pt_lat_p95_us : float;
   pt_lat_p99_us : float;
+  pt_chunk : int;  (* pool's autotuned default-chunk floor *)
+  pt_sat_hits : int;  (* kernel evaluations skipped by saturation cull *)
+  pt_sat_rate : float;  (* hits / (hits + evaluations run) *)
 }
 
 let ns_per_epoch p =
@@ -28,10 +31,22 @@ let ns_per_epoch p =
 let epochs_per_sec p =
   if p.pt_elapsed_s <= 0. then 0. else float_of_int p.pt_epochs /. p.pt_elapsed_s
 
+(* Saturation-cull accounting: the filters record both the kernel
+   evaluations skipped by the exact saturation cull and the ones
+   actually run, so each point can carry its cull hit rate. Deltas
+   around the run keep points independent of whatever ran earlier in
+   the process. *)
+let c_sat = Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "health.saturated_particles"
+let c_evals = Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "health.sensor_evals"
+
 let run_point ~variant ~label ~objects ~num_domains ~params ~trace =
   Printf.printf "  ... %-16s n=%-5d domains=%d%!" label objects num_domains;
   let config = Scenarios.engine_config ~variant ~num_domains () in
+  let sat0 = Rfid_obs.Metrics.counter_value c_sat in
+  let ev0 = Rfid_obs.Metrics.counter_value c_evals in
   let r = Rfid_eval.Runner.run_engine ~params ~config ~seed:7 trace in
+  let sat = Rfid_obs.Metrics.counter_value c_sat - sat0 in
+  let ev = Rfid_obs.Metrics.counter_value c_evals - ev0 in
   let epochs = Rfid_model.Trace.epochs trace in
   Printf.printf "  %7.1f epochs/s\n%!"
     (if r.Rfid_eval.Runner.elapsed_s > 0. then
@@ -50,6 +65,9 @@ let run_point ~variant ~label ~objects ~num_domains ~params ~trace =
     pt_lat_p50_us = r.Rfid_eval.Runner.lat_p50_us;
     pt_lat_p95_us = r.Rfid_eval.Runner.lat_p95_us;
     pt_lat_p99_us = r.Rfid_eval.Runner.lat_p99_us;
+    pt_chunk = Rfid_par.Pool.min_chunk (Rfid_par.Pool.get ~num_domains);
+    pt_sat_hits = sat;
+    pt_sat_rate = (if sat + ev > 0 then float_of_int sat /. float_of_int (sat + ev) else 0.);
   }
 
 (* One fault-injected run through the ingest guard, so the bench file
@@ -153,14 +171,16 @@ let emit oc points robust =
        \"readings\": %d, \"elapsed_s\": %.6f, \"ns_per_epoch\": %.1f, \
        \"epochs_per_sec\": %.2f, \"err_xy_ft\": %.4f, \
        \"minor_words_per_epoch\": %.1f, \"major_words_per_epoch\": %.1f, \
-       \"lat_p50_us\": %.1f, \"lat_p95_us\": %.1f, \"lat_p99_us\": %.1f}"
+       \"lat_p50_us\": %.1f, \"lat_p95_us\": %.1f, \"lat_p99_us\": %.1f, \
+       \"chunk_size\": %d, \"sat_cull_hits\": %d, \"sat_cull_rate\": %.4f}"
       p.pt_variant p.pt_objects p.pt_domains p.pt_epochs p.pt_readings p.pt_elapsed_s
       (ns_per_epoch p) (epochs_per_sec p) p.pt_err_xy p.pt_minor_words p.pt_major_words
-      p.pt_lat_p50_us p.pt_lat_p95_us p.pt_lat_p99_us
+      p.pt_lat_p50_us p.pt_lat_p95_us p.pt_lat_p99_us p.pt_chunk p.pt_sat_hits
+      p.pt_sat_rate
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"bench_filter/v3\",\n\
+    \  \"schema\": \"bench_filter/v4\",\n\
     \  \"workload\": \"warehouse straight pass, J=100, K=200, seed 7\",\n\
     \  \"host_cores\": %d,\n\
     \  \"points\": [\n%s\n\
@@ -266,6 +286,16 @@ let measure_scaling () =
   let big = words 5000 in
   (small, big, if small > 0. then big /. small else infinity)
 
+(* The time bound is generous — wall-clock on a shared machine is far
+   noisier than allocation counts, which are exact — and the check it
+   feeds is warn-only unless explicitly promoted (PERF_GATE_TIME_FATAL,
+   `make perf-gate-strict`). *)
+let time_max_ratio = 2.0
+
+let run_ns_per_epoch (r : Rfid_eval.Runner.result) =
+  if r.Rfid_eval.Runner.epochs = 0 then 0.
+  else 1e9 *. r.Rfid_eval.Runner.elapsed_s /. float_of_int r.Rfid_eval.Runner.epochs
+
 let write_baseline ~path =
   Printf.printf "bench --perf-baseline: measuring %s\n%!" gate_workload;
   let ri = measure_gate Rfid_core.Config.Factorized_indexed in
@@ -278,15 +308,18 @@ let write_baseline ~path =
     (fun () ->
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"bench_baseline/v2\",\n\
+        \  \"schema\": \"bench_baseline/v4\",\n\
         \  \"workload\": %S,\n\
         \  \"epochs\": %d,\n\
         \  \"indexed_minor_words_per_epoch\": %.1f,\n\
         \  \"indexed_major_words_per_epoch\": %.1f,\n\
         \  \"indexed_allocated_words_per_epoch\": %.1f,\n\
+        \  \"indexed_ns_per_epoch\": %.1f,\n\
         \  \"compressed_minor_words_per_epoch\": %.1f,\n\
         \  \"compressed_major_words_per_epoch\": %.1f,\n\
         \  \"compressed_allocated_words_per_epoch\": %.1f,\n\
+        \  \"compressed_ns_per_epoch\": %.1f,\n\
+        \  \"time_max_ratio\": %.2f,\n\
         \  \"scaling_workload\": %S,\n\
         \  \"scaling_small_minor_words\": %.1f,\n\
         \  \"scaling_big_minor_words\": %.1f,\n\
@@ -296,17 +329,17 @@ let write_baseline ~path =
         gate_workload ri.Rfid_eval.Runner.epochs
         ri.Rfid_eval.Runner.minor_words_per_epoch
         ri.Rfid_eval.Runner.major_words_per_epoch
-        ri.Rfid_eval.Runner.allocated_words_per_epoch
+        ri.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch ri)
         rc.Rfid_eval.Runner.minor_words_per_epoch
         rc.Rfid_eval.Runner.major_words_per_epoch
-        rc.Rfid_eval.Runner.allocated_words_per_epoch scaling_workload small big ratio
-        scaling_max_ratio);
+        rc.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch rc)
+        time_max_ratio scaling_workload small big ratio scaling_max_ratio);
   Printf.printf
-    "wrote baseline (indexed %.0f, compressed %.0f allocated words/epoch, scaling \
-     ratio %.2f) to %s\n\
+    "wrote baseline (indexed %.0f, compressed %.0f allocated words/epoch, indexed \
+     %.0f ns/epoch, scaling ratio %.2f) to %s\n\
      %!"
     ri.Rfid_eval.Runner.allocated_words_per_epoch
-    rc.Rfid_eval.Runner.allocated_words_per_epoch ratio path
+    rc.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch ri) ratio path
 
 (* Minimal JSON number extraction — enough for the flat baseline file
    this module itself writes; no JSON library in the dependency set. *)
@@ -355,6 +388,51 @@ let check_gate ~baseline_path =
         exit 2
   in
   let failed = ref false in
+  (* Time bound: baseline's time_max_ratio unless PERF_GATE_TIME_RATIO
+     overrides it (noisy CI machines want more slack). Time breaches
+     warn by default and fail only under PERF_GATE_TIME_FATAL
+     (`make perf-gate-strict`); the allocation bound stays fatal. *)
+  let time_bound =
+    match Sys.getenv_opt "PERF_GATE_TIME_RATIO" with
+    | None | Some "" -> number "time_max_ratio"
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some v when v > 0. -> v
+        | _ ->
+            Printf.eprintf "perf-gate: PERF_GATE_TIME_RATIO=%S is not a positive number\n" s;
+            exit 2)
+  in
+  let time_fatal =
+    match Sys.getenv_opt "PERF_GATE_TIME_FATAL" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  let check_time label baseline_key (r : Rfid_eval.Runner.result) =
+    let baseline = number baseline_key in
+    let current = run_ns_per_epoch r in
+    let limit = baseline *. time_bound in
+    Printf.printf
+      "perf-gate: %-16s %.0f ns/epoch (baseline %.0f, limit %.0f = %.2fx)\n%!" label
+      current baseline limit time_bound;
+    if current > limit then
+      if time_fatal then begin
+        Printf.eprintf
+          "perf-gate: FAIL — %s ns/epoch exceeds %.2fx the committed baseline (time \
+           bound promoted to fatal by PERF_GATE_TIME_FATAL).\n\
+           If the slowdown is intended, refresh the baseline with `make \
+           perf-baseline` and commit BENCH_baseline.json.\n"
+          label time_bound;
+        failed := true
+      end
+      else
+        Printf.printf
+          "perf-gate: WARN — %s ns/epoch exceeds %.2fx the committed baseline. \
+           Wall-clock is noisy, so this does not fail the gate; rerun on a quiet \
+           machine, or set PERF_GATE_TIME_FATAL=1 (`make perf-gate-strict`) to \
+           enforce it.\n\
+           %!"
+          label time_bound
+  in
   let check_point label baseline_key (r : Rfid_eval.Runner.result) =
     let baseline = number baseline_key in
     let current = r.Rfid_eval.Runner.allocated_words_per_epoch in
@@ -377,10 +455,12 @@ let check_gate ~baseline_path =
     end
   in
   Printf.printf "perf-gate: measuring %s\n%!" gate_workload;
-  check_point "factorized+index" "indexed_allocated_words_per_epoch"
-    (measure_gate Rfid_core.Config.Factorized_indexed);
-  check_point "f+index+compress" "compressed_allocated_words_per_epoch"
-    (measure_gate Rfid_core.Config.Factorized_compressed);
+  let ri = measure_gate Rfid_core.Config.Factorized_indexed in
+  let rc = measure_gate Rfid_core.Config.Factorized_compressed in
+  check_point "factorized+index" "indexed_allocated_words_per_epoch" ri;
+  check_point "f+index+compress" "compressed_allocated_words_per_epoch" rc;
+  check_time "factorized+index" "indexed_ns_per_epoch" ri;
+  check_time "f+index+compress" "compressed_ns_per_epoch" rc;
   Printf.printf "perf-gate: measuring %s\n%!" scaling_workload;
   let bound = number "scaling_max_ratio" in
   let small, big, ratio = measure_scaling () in

@@ -38,13 +38,33 @@ let particles_arg =
     & info [ "particles"; "k" ] ~docv:"K" ~doc:"Particles per object.")
 
 let domains_arg =
+  (* An int conv with auto-detection: 0 asks the runtime how many
+     cores this host recommends; negatives are rejected with a clear
+     message instead of surfacing as a downstream invalid_arg
+     backtrace from Pool.create. *)
+  let domains_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | None -> Error (`Msg (Printf.sprintf "invalid domain count %S, expected an integer" s))
+      | Some 0 -> Ok (Domain.recommended_domain_count ())
+      | Some n when n < 0 ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "invalid domain count %d: must be positive, or 0 for auto-detection"
+                  n))
+      | Some n -> Ok n
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
   Arg.(
     value
-    & opt int 1
+    & opt domains_conv 1
     & info [ "domains"; "j" ] ~docv:"N"
         ~doc:
-          "Worker domains for the per-object update loop (1 = sequential). \
-           Output is bit-identical for every value.")
+          "Worker domains for the per-object update loop (1 = sequential, 0 = \
+           auto-detect from the host's core count). Output is bit-identical \
+           for every value.")
 
 let variant_arg =
   let variants =

@@ -13,6 +13,9 @@ let sp_weighting = Obs.span Obs.global "stage.weighting"
 let sp_resampling = Obs.span Obs.global "stage.resampling"
 let h_joint_ess = Obs.histogram Obs.global "health.joint_ess"
 let c_joint_resamples = Obs.counter Obs.global "filter.joint_resamples"
+let c_saturated = Obs.counter Obs.global "health.saturated_particles"
+let c_sensor_evals = Obs.counter Obs.global "health.sensor_evals"
+let c_memo_reused = Obs.counter Obs.global "health.pose_memo_reused"
 
 (* Joint particles in structure-of-arrays form: particle [p]'s object
    locations live in row [p] of a single [J * N] slab (slot
@@ -103,12 +106,16 @@ let create ~world ~params ~config ~init_reader ~num_objects ~rng =
 let num_particles t = Array.length t.readers
 
 let refresh_memo t =
+  let changed = ref false in
   for p = 0 to num_particles t - 1 do
     let r = t.readers.(p) in
     let loc = r.Reader_state.loc in
-    Sensor_model.pre_set_pose t.pre p ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z
-      ~heading:r.Reader_state.heading
-  done
+    if
+      Sensor_model.pre_set_pose_checked t.pre p ~x:loc.Vec3.x ~y:loc.Vec3.y
+        ~z:loc.Vec3.z ~heading:r.Reader_state.heading
+    then changed := true
+  done;
+  if not !changed then Obs.incr c_memo_reused 1
 
 let reinit_object t p i =
   let r = t.readers.(p) in
@@ -210,25 +217,32 @@ let step t (obs : Types.observation) =
   let rx, ry, rz, _ = Sensor_model.pre_poses t.pre in
   Location_sensing.log_pdf_poses_into t.params.Params.sensing ~reported ~rx ~ry ~rz
     ~n:j acc;
+  let culled = ref 0 in
   Array.iter
     (fun (tag, tag_loc) ->
       let read =
         match tag with Types.Shelf_tag i -> Hashtbl.mem t.shelf_read i | _ -> false
       in
-      Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
-        ~tz:tag_loc.Vec3.z ~read ~miss_weight:t.config.Config.shelf_miss_weight acc)
+      culled :=
+        !culled
+        + Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
+            ~tz:tag_loc.Vec3.z ~read ~miss_weight:t.config.Config.shelf_miss_weight acc)
     t.shelf_tags;
   for i = 0 to t.num_objects - 1 do
     (* Objects never read are still latent but carry no evidence
        coupling beyond the miss term; include it — this is the full
        joint model. *)
-    Sensor_model.pre_accumulate_joint_obj t.pre t.store ~obj:i
-      ~num_objects:t.num_objects ~read:t.obj_read.(i) acc
+    culled :=
+      !culled
+      + Sensor_model.pre_accumulate_joint_obj t.pre t.store ~obj:i
+          ~num_objects:t.num_objects ~read:t.obj_read.(i) acc
   done;
   for p = 0 to j - 1 do
     t.log_ws.(p) <- t.log_ws.(p) +. acc.(p)
   done;
   Sensor_model.pre_note_hits t.pre (j * (Array.length t.shelf_tags + t.num_objects));
+  if !culled > 0 then Obs.incr c_saturated !culled;
+  Obs.incr c_sensor_evals ((j * (Array.length t.shelf_tags + t.num_objects)) - !culled);
   Obs.stop sp_weighting t_weight;
   (* Normalize in log space, resample on degeneracy. All buffers are
      persistent: [log_ws] is the log-weight vector itself, [wbuf] its

@@ -24,6 +24,9 @@ let c_reader_resamples = Obs.counter Obs.global "filter.reader_resamples"
 let c_compressions = Obs.counter Obs.global "filter.compressions"
 let c_decompressions = Obs.counter Obs.global "filter.decompressions"
 let c_evictions = Obs.counter Obs.global "health.evicted_objects"
+let c_saturated = Obs.counter Obs.global "health.saturated_particles"
+let c_sensor_evals = Obs.counter Obs.global "health.sensor_evals"
+let c_memo_reused = Obs.counter Obs.global "health.pose_memo_reused"
 
 type reader_particle = { mutable state : Reader_state.t; mutable log_w : float }
 
@@ -255,16 +258,24 @@ let reader_weights t =
 let sample_reader_idx rng rw = Rfid_prob.Rng.categorical rng rw
 
 (* Refresh the sensor memo from the current reader poses — once per
-   epoch, after the reader proposal, before the parallel pass. *)
+   epoch, after the reader proposal, before the parallel pass. Writes
+   go through the compare-then-write entry point: when consecutive
+   epochs share every pose (duplicate, degraded-mode or
+   stationary-reader streams), no slot is rewritten, the memo's
+   fingerprint stamp survives, and the epoch counts as a reuse. *)
 let refresh_memo t =
   let j = num_readers t in
+  let changed = ref (Sensor_model.pre_size t.pre <> j) in
   Sensor_model.pre_resize t.pre j;
   for i = 0 to j - 1 do
     let s = t.readers.(i).state in
     let loc = s.Reader_state.loc in
-    Sensor_model.pre_set_pose t.pre i ~x:loc.Vec3.x ~y:loc.Vec3.y ~z:loc.Vec3.z
-      ~heading:s.Reader_state.heading
-  done
+    if
+      Sensor_model.pre_set_pose_checked t.pre i ~x:loc.Vec3.x ~y:loc.Vec3.y
+        ~z:loc.Vec3.z ~heading:s.Reader_state.heading
+    then changed := true
+  done;
+  if not !changed then Obs.incr c_memo_reused 1
 
 let decompress_into t rng rw store g =
   let n = t.config.Config.decompress_particles in
@@ -321,11 +332,18 @@ let weight_readers t reported =
   let box = sensing_box t reported in
   Rtree.query_into t.shelf_rtree box t.shelf_hits;
   let nh = Rtree.Hits.length t.shelf_hits in
+  (* Shelf-tag saturation-cull accounting stays on the coordinator
+     (this whole function runs there), recorded once at the end. *)
+  let tag_calls = ref 0 in
+  let tag_culled = ref 0 in
   for h = nh - 1 downto 0 do
     let id, tag_loc = Rtree.Hits.get t.shelf_hits h in
     let read = Hashtbl.mem t.shelf_read id in
-    Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
-      ~tz:tag_loc.Vec3.z ~read ~miss_weight:t.config.Config.shelf_miss_weight acc
+    tag_calls := !tag_calls + j;
+    tag_culled :=
+      !tag_culled
+      + Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
+          ~tz:tag_loc.Vec3.z ~read ~miss_weight:t.config.Config.shelf_miss_weight acc
   done;
   (* A read shelf tag outside the probe box (possible with heavy
      location noise) still contributes evidence; find it by id. *)
@@ -360,12 +378,17 @@ let weight_readers t reported =
       let id = t.tmp_ids.(k) in
       match World.shelf_tag_location t.world id with
       | tag_loc ->
-          Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x ~ty:tag_loc.Vec3.y
-            ~tz:tag_loc.Vec3.z ~read:true ~miss_weight:t.config.Config.shelf_miss_weight
-            acc
+          tag_calls := !tag_calls + j;
+          tag_culled :=
+            !tag_culled
+            + Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x
+                ~ty:tag_loc.Vec3.y ~tz:tag_loc.Vec3.z ~read:true
+                ~miss_weight:t.config.Config.shelf_miss_weight acc
       | exception Not_found -> ()
     done
   end;
+  if !tag_culled > 0 then Obs.incr c_saturated !tag_culled;
+  Obs.incr c_sensor_evals (!tag_calls - !tag_culled);
   Array.iteri (fun i (r : reader_particle) -> r.log_w <- r.log_w +. acc.(i)) t.readers;
   (* Centre to avoid drift to -inf over long streams. *)
   let m =
@@ -457,15 +480,20 @@ let propose_and_weight_object t scratch rng (obj : obj_state) ~read =
          done
        end);
       (* Sensor terms for the whole store in one batched call (each
-         particle against its own reader pointer's memoized pose). *)
-      Sensor_model.pre_accumulate_store t.pre store ~read;
+         particle against its own reader pointer's memoized pose).
+         Saturation-cull accounting is recorded into this domain's
+         metric shard — merged counter totals are schedule-independent
+         because the per-item cull counts are. *)
+      let shard = Scratch.shard scratch in
+      let culled = Sensor_model.pre_accumulate_store t.pre store ~read in
+      if culled > 0 then Obs.incr_shard c_saturated ~shard culled;
+      Obs.incr_shard c_sensor_evals ~shard (k - culled);
       let m = Ps.max_log_w store in
       if Float.is_finite m then Ps.shift_log_w store m;
       (* Per-object resampling, pointer-preserving (§IV-B). *)
       let w = Scratch.float_buf scratch ~slot:slot_obj_weights k in
       Ps.weights_into store w;
       let ess = Rfid_prob.Stats.effective_sample_size w in
-      let shard = Scratch.shard scratch in
       Obs.observe_shard h_object_ess ~shard ess;
       if ess < t.config.Config.resample_ratio *. float_of_int k then begin
         Obs.incr_shard c_obj_resamples ~shard 1;

@@ -60,6 +60,28 @@ val log_prob :
 (** Log-likelihood of one sensing outcome — the factored particle weight
     of Eq. 5, computed stably in log space. *)
 
+val saturation_radius : t -> float
+(** The exact-saturation culling radius of the model: a distance [r]
+    such that for {e any} computed distance [d > r] (up to 1e8, the
+    kernels' no-overflow envelope) and any angle, the miss
+    log-likelihood [log_prob ~read:false] evaluates to exactly [-0.0]
+    in IEEE-754 double — the logit is provably at or below
+    {!Rfid_prob.Logistic.exp_underflow}, where [exp] underflows to
+    +0.0 and [-.log1p 0. = -0.0]. Skipping such a term is therefore a
+    bitwise no-op on any accumulator, which is what lets the batched
+    kernels cull saturated entries while staying byte-identical to
+    the uncull ed evaluation.
+
+    Derived in closed form as the larger root of
+    [a2 d^2 + a1 d + (a0 + max_theta(b1 th + b2 th^2)
+    - exp_underflow)]; requires [a2 < 0] (distance-decaying logit).
+    Returns [0.] when the model saturates at every distance,
+    [infinity] — culling disabled, kernels evaluate everything — when
+    the closed form does not apply ([a2 >= 0], non-finite
+    coefficients) or the coefficients are scaled so extremely that
+    float-evaluation error near the radius could not be proven away.
+    For the default model the radius is ~54 ft. *)
+
 (** {1 Per-epoch pose memo}
 
     The filter hot paths evaluate [log_prob] once per (object particle,
@@ -86,19 +108,45 @@ val pre_resize : pre -> int -> unit
 val pre_set_pose : pre -> int -> x:float -> y:float -> z:float -> heading:float -> unit
 (** Fill one pose slot. @raise Invalid_argument out of range. *)
 
+val pre_set_pose_checked :
+  pre -> int -> x:float -> y:float -> z:float -> heading:float -> bool
+(** As {!pre_set_pose}, but first compares the new pose against the
+    slot's current contents and skips the write (returning [false])
+    when they are identical. The comparison is zero-sign-exact — a
+    [-0.0] replacing a [+0.0] counts as a change, because the kernel
+    arithmetic ([atan2], subtraction) distinguishes them — and a NaN
+    component always counts as changed. A filter refreshing its memo
+    through this entry point can detect a fully unchanged epoch (every
+    call returned [false]) and count it as a memo reuse.
+    @raise Invalid_argument out of range. *)
+
+val pre_stamp : pre -> int
+(** Fingerprint of the memo's pose contents: bumped by every
+    {!pre_set_pose}, every {!pre_set_pose_checked} that actually
+    writes, and every {!pre_resize} that changes the slot count — and
+    by nothing else. Equal stamps therefore mean the memo still holds
+    exactly the poses it held before (the fingerprint is evicted on
+    any pose change). *)
+
 val log_prob_pre : pre -> int -> tx:float -> ty:float -> tz:float -> read:bool -> float
 (** [log_prob_pre p i ~tx ~ty ~tz ~read] is
     [log_prob m ~reader_loc ~reader_heading ~tag_loc:(tx,ty,tz) ~read]
     for the pose in slot [i], bit for bit.
     @raise Invalid_argument out of range. *)
 
-val pre_accumulate_store : pre -> Rfid_prob.Particle_store.t -> read:bool -> unit
+val pre_accumulate_store : pre -> Rfid_prob.Particle_store.t -> read:bool -> int
 (** Add the sensor term to every particle's log weight in one pass:
     for each particle, [log_prob_pre] at its reader-pointer slot
     against its own location. One cross-module call per (object,
     epoch) — the loop runs over the store's backing slabs with no
     boxing, where a call per particle would allocate ~30 words each.
-    Bit-identical to the per-particle calls.
+    Bit-identical to the per-particle calls, {e including} for the
+    particles it culls: a miss term at squared distance beyond the
+    model's {!saturation_radius} is exactly [-0.0], so the kernel
+    skips its transcendental evaluation outright (the accumulate
+    would be a bitwise no-op) and reports the number of entries so
+    skipped as its return value. Read terms are never culled (they
+    saturate to the non-constant logit, not to [-0.0]).
     @raise Invalid_argument if a reader index exceeds the pose set. *)
 
 val pre_accumulate_tag :
@@ -109,12 +157,16 @@ val pre_accumulate_tag :
   read:bool ->
   miss_weight:float ->
   float array ->
-  unit
+  int
 (** Add one tag's sensor term against {e every} pose to a per-pose
     accumulator: [acc.(r) <- acc.(r) +. l] where [l] is
     [log_prob_pre r] scaled by [miss_weight] when [not read] (pass
-    [1.0] for unscaled terms). @raise Invalid_argument if the
-    accumulator is shorter than the pose set. *)
+    [1.0] for unscaled terms). Returns the number of poses culled by
+    exact saturation (see {!pre_accumulate_store}); the cull is
+    additionally disabled unless [miss_weight] is positive or [+0.0],
+    since only then is the scaled term still exactly [-0.0].
+    @raise Invalid_argument if the accumulator is shorter than the
+    pose set. *)
 
 val pre_accumulate_joint_obj :
   pre ->
@@ -123,11 +175,13 @@ val pre_accumulate_joint_obj :
   num_objects:int ->
   read:bool ->
   float array ->
-  unit
+  int
 (** Joint-filter variant of {!pre_accumulate_tag}: pose [r]'s tag
     location is row [r]'s entry for [obj] in a row-major
     [poses * num_objects] slab, and the (unscaled) term accumulates
-    into [acc.(r)]. @raise Invalid_argument on shape mismatch. *)
+    into [acc.(r)]. Returns the saturation-culled pose count (see
+    {!pre_accumulate_store}). @raise Invalid_argument on shape
+    mismatch. *)
 
 val pre_poses : pre -> floatarray * floatarray * floatarray * floatarray
 (** The memo's backing pose slabs [(x, y, z, heading)], for batched

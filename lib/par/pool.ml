@@ -23,6 +23,7 @@ type t = {
   mutable generation : int;  (* bumped once per published job *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  mutable min_chunk : int;  (* calibrated default-chunk floor, >= 1 *)
 }
 
 let run_chunks pool (job : job) ~did =
@@ -71,7 +72,82 @@ let sequential =
     generation = 0;
     stopping = false;
     workers = [];
+    min_chunk = 1;
   }
+
+let num_domains pool = 1 + List.length pool.workers
+
+let parallel_for_chunked_did pool ?chunk ~n body =
+  if n > 0 then begin
+    let workers = num_domains pool - 1 in
+    if workers = 0 then body 0 0 n
+    else begin
+      let chunk =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | Some c -> invalid_arg (Printf.sprintf "Pool.parallel_for_chunked: chunk %d < 1" c)
+        | None -> Int.max pool.min_chunk (n / (4 * (workers + 1)))
+      in
+      let job =
+        { n; chunk; body; next = Atomic.make 0; running = workers + 1; error = None }
+      in
+      Mutex.lock pool.mutex;
+      pool.job <- Some job;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.mutex;
+      run_chunks pool job ~did:0;
+      Mutex.lock pool.mutex;
+      job.running <- job.running - 1;
+      while job.running > 0 do
+        Condition.wait pool.work_done pool.mutex
+      done;
+      pool.job <- None;
+      let error = job.error in
+      Mutex.unlock pool.mutex;
+      match error with Some e -> raise e | None -> ()
+    end
+  end
+
+let parallel_for_chunked pool ?chunk ~n body =
+  parallel_for_chunked_did pool ?chunk ~n (fun _did lo hi -> body lo hi)
+
+let g_min_chunk = Rfid_obs.Metrics.gauge Rfid_obs.Metrics.global "pool.min_chunk"
+
+(* One-shot default-chunk calibration, run once when a pool spawns.
+   The old default [n / (4 * num_domains)] ignored how expensive a
+   chunk claim actually is on this machine: for small [n] it hands out
+   chunks so short that the fetch-and-add plus cache traffic dominates
+   the body. Measure both sides — the per-item cost of a cheap float
+   loop (a lower bound on any real body) and the per-chunk cost of the
+   dispatch machinery (claims on an empty body) — and floor the default
+   chunk where claim overhead stays under ~2% of even that cheapest
+   body. Timing garbage (a zero/negative/non-finite reading from a
+   clock hiccup) falls back to a conservative 16. The floor only
+   affects scheduling granularity, never results: the loop contract
+   already promises bit-identical output for every chunking. *)
+let calibrate pool =
+  let items = 65536 in
+  let sink = ref 0. in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to items - 1 do
+    sink := Sys.opaque_identity (!sink +. (float_of_int i *. 1e-9))
+  done;
+  let item_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int items in
+  ignore (Sys.opaque_identity !sink);
+  let claims = 8192 in
+  let t1 = Unix.gettimeofday () in
+  parallel_for_chunked_did pool ~chunk:1 ~n:claims (fun _ _ _ -> ());
+  let claim_ns = (Unix.gettimeofday () -. t1) *. 1e9 /. float_of_int claims in
+  let chunk =
+    if
+      Float.is_finite item_ns && Float.is_finite claim_ns && item_ns > 0.
+      && claim_ns > 0.
+    then int_of_float (Float.ceil (claim_ns /. (0.02 *. item_ns)))
+    else 16
+  in
+  pool.min_chunk <- Int.max 1 (Int.min 4096 chunk);
+  Rfid_obs.Metrics.set g_min_chunk (float_of_int pool.min_chunk)
 
 let shutdown pool =
   Mutex.lock pool.mutex;
@@ -97,6 +173,7 @@ let create ~num_domains =
         generation = 0;
         stopping = false;
         workers = [];
+        min_chunk = 1;
       }
     in
     (* Worker i carries the stable domain id i + 1; the coordinator is
@@ -109,10 +186,11 @@ let create ~num_domains =
        abandoned without [shutdown] would otherwise block process
        exit on domains parked in [Condition.wait]. *)
     at_exit (fun () -> shutdown pool);
+    calibrate pool;
     pool
   end
 
-let num_domains pool = 1 + List.length pool.workers
+let min_chunk pool = pool.min_chunk
 
 let get_scratch pool did =
   if did < 0 || did >= Array.length pool.scratch then
@@ -144,41 +222,6 @@ let shutdown_cached () =
   Hashtbl.reset cache;
   Mutex.unlock cache_mutex;
   List.iter shutdown pools
-
-let parallel_for_chunked_did pool ?chunk ~n body =
-  if n > 0 then begin
-    let workers = num_domains pool - 1 in
-    if workers = 0 then body 0 0 n
-    else begin
-      let chunk =
-        match chunk with
-        | Some c when c >= 1 -> c
-        | Some c -> invalid_arg (Printf.sprintf "Pool.parallel_for_chunked: chunk %d < 1" c)
-        | None -> Int.max 1 (n / (4 * (workers + 1)))
-      in
-      let job =
-        { n; chunk; body; next = Atomic.make 0; running = workers + 1; error = None }
-      in
-      Mutex.lock pool.mutex;
-      pool.job <- Some job;
-      pool.generation <- pool.generation + 1;
-      Condition.broadcast pool.work_ready;
-      Mutex.unlock pool.mutex;
-      run_chunks pool job ~did:0;
-      Mutex.lock pool.mutex;
-      job.running <- job.running - 1;
-      while job.running > 0 do
-        Condition.wait pool.work_done pool.mutex
-      done;
-      pool.job <- None;
-      let error = job.error in
-      Mutex.unlock pool.mutex;
-      match error with Some e -> raise e | None -> ()
-    end
-  end
-
-let parallel_for_chunked pool ?chunk ~n body =
-  parallel_for_chunked_did pool ?chunk ~n (fun _did lo hi -> body lo hi)
 
 let map_array pool f a =
   let n = Array.length a in

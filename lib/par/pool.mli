@@ -41,9 +41,21 @@ val parallel_for_chunked : t -> ?chunk:int -> n:int -> (int -> int -> unit) -> u
 (** [parallel_for_chunked pool ~n body] calls [body lo hi] over
     half-open chunks [\[lo, hi)] covering [\[0, n)], concurrently across
     the pool's domains. [chunk] sets the chunk length (default:
-    [max 1 (n / (4 * num_domains))]). Blocks until every chunk has run.
-    If any [body] raises, one of the exceptions is re-raised on the
-    coordinator after all chunks finish or are abandoned. *)
+    [max (min_chunk pool) (n / (4 * num_domains))] — the calibrated
+    floor keeps chunk-claim overhead negligible for small [n]). Blocks
+    until every chunk has run. If any [body] raises, one of the
+    exceptions is re-raised on the coordinator after all chunks finish
+    or are abandoned. *)
+
+val min_chunk : t -> int
+(** The pool's calibrated default-chunk floor ([>= 1], [<= 4096]).
+    Measured once at pool creation by a microbenchmark comparing the
+    per-chunk dispatch cost (atomic claim + cache traffic) against the
+    per-item cost of a cheap float loop, and sized so dispatch stays
+    under ~2% of even that cheapest body. Published as the
+    ["pool.min_chunk"] gauge. Only affects scheduling granularity —
+    loop results are bit-identical for every chunking. The sequential
+    pool reports 1. *)
 
 val parallel_for_chunked_did : t -> ?chunk:int -> n:int -> (int -> int -> int -> unit) -> unit
 (** [parallel_for_chunked_did pool ~n body] is {!parallel_for_chunked}

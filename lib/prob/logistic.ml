@@ -7,6 +7,15 @@ let sigmoid x =
 
 let log_sigmoid x = if x >= 0. then -.log1p (exp (-.x)) else x -. log1p (exp x)
 
+(* IEEE-754 double [exp] underflows to exactly +0.0 once its argument
+   drops below about -745.1332 (ln of half the smallest subnormal,
+   -1075 ln 2); [-.log1p 0.] is then exactly -0.0, and adding -0.0 to
+   any accumulator is a bitwise no-op. -746 keeps ~0.87 of logit margin
+   below the true cutoff, dwarfing the few-ulp rounding of any sanely
+   scaled logit evaluation, so "z <= exp_underflow implies
+   log_sigmoid (-.z) = -0.0 exactly" holds with room to spare. *)
+let exp_underflow = -746.
+
 type model = { coef : float array }
 
 let predict m features = sigmoid (Linalg.dot m.coef features)

@@ -12,6 +12,17 @@ val sigmoid : float -> float
 val log_sigmoid : float -> float
 (** [log (sigmoid x)] without overflow: equals [-log1p (exp (-x))]. *)
 
+val exp_underflow : float
+(** A logit bound (-746) at which the complementary log-likelihood
+    saturates {e exactly} in IEEE-754 double: for any
+    [x <= exp_underflow], [log_sigmoid (-.x) = -0.0] bit for bit,
+    because [exp x] underflows to +0.0 (which happens just below
+    -745.134) and [-.log1p 0. = -0.0].
+    Since [w +. -0.0] is a bitwise no-op for every [w] (including
+    zeros of either sign), a log-likelihood term known to be this
+    saturated may be skipped outright without perturbing the
+    accumulator — the basis of the sensor kernel's saturation cull. *)
+
 type model = { coef : float array }
 (** Coefficients over a feature vector; [predict] and [fit] agree on the
     feature layout chosen by the caller. *)

@@ -161,6 +161,30 @@ let test_chunked_did_covers_and_isolates () =
       Rfid_par.Pool.shutdown pool)
     [ 1; 2; 4 ]
 
+let test_min_chunk_calibration () =
+  (* The sequential pool never dispatches chunks, so its floor is the
+     neutral 1. *)
+  Alcotest.(check int) "sequential floor" 1
+    (Rfid_par.Pool.min_chunk Rfid_par.Pool.sequential);
+  let pool = Rfid_par.Pool.create ~num_domains:2 in
+  let mc = Rfid_par.Pool.min_chunk pool in
+  Alcotest.(check bool) "calibrated floor within bounds" true (mc >= 1 && mc <= 4096);
+  (* Calibration publishes the chosen floor as a gauge. *)
+  let g = Rfid_obs.Metrics.gauge Rfid_obs.Metrics.global "pool.min_chunk" in
+  Alcotest.(check (float 0.)) "gauge records the floor" (float_of_int mc)
+    (Rfid_obs.Metrics.gauge_value g);
+  (* The autotuned default chunking computes the same results as any
+     explicit chunking — scheduling granularity only. *)
+  let n = 777 in
+  let expected = Array.init n kernel in
+  let got = Array.make n 0. in
+  Rfid_par.Pool.parallel_for_chunked pool ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        got.(i) <- kernel i
+      done);
+  Alcotest.(check (array (float 0.))) "autotuned default chunk correct" expected got;
+  Rfid_par.Pool.shutdown pool
+
 let test_pool_rejects_bad_sizes () =
   Util.check_raises_invalid "zero domains" (fun () ->
       ignore (Rfid_par.Pool.create ~num_domains:0));
@@ -230,6 +254,7 @@ let suite =
       Alcotest.test_case "pool propagates exceptions" `Quick
         test_pool_propagates_exceptions;
       Alcotest.test_case "pool rejects bad sizes" `Quick test_pool_rejects_bad_sizes;
+      Alcotest.test_case "min chunk calibration" `Quick test_min_chunk_calibration;
       Alcotest.test_case "scratch arenas reuse buffers" `Quick test_scratch_reuse;
       Alcotest.test_case "chunked_did covers range, isolates arenas" `Quick
         test_chunked_did_covers_and_isolates;
