@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test doc bench bench-json bench-smoke perf-gate perf-gate-strict perf-baseline fuzz fmt clean
+.PHONY: all build test doc bench bench-json bench-smoke perf-gate perf-gate-strict perf-baseline fuzz crash-test fmt clean
 
 all: build
 
@@ -16,6 +16,7 @@ build:
 test:
 	$(DUNE) build && $(DUNE) runtest && $(DUNE) exec fuzz/fuzz_main.exe -- 10
 	cd test && OBS_TRACE=/tmp/rfid_golden_trace.json $(DUNE) exec ./test_main.exe -- test golden
+	$(MAKE) crash-test
 	$(MAKE) bench-smoke
 	-$(MAKE) perf-gate
 
@@ -40,6 +41,14 @@ doc:
 # failure with `dune exec fuzz/fuzz_main.exe -- ITERS BASE_SEED`).
 fuzz:
 	$(DUNE) exec fuzz/fuzz_main.exe
+
+# Kill-anywhere durability proof: SIGKILL the CLI at randomized
+# durable-byte offsets, recover with `infer --recover`, and require the
+# recovered event log to be byte-identical to an uninterrupted run's.
+# Seeds are logged; reproduce one trial with
+# `dune exec crash/crash_main.exe -- 1 SEED`.
+crash-test:
+	$(DUNE) exec crash/crash_main.exe -- 50
 
 # Full table/figure reproduction harness (slow).
 bench:

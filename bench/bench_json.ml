@@ -130,6 +130,91 @@ let run_robust_point ~objects ~params ~(trace : Rfid_model.Trace.t) =
     rp_engine = stats;
   }
 
+(* Durability-path costs: snapshot codec latency and size plus WAL
+   append cost, so a codec or framing change shows up in the same
+   diffable file as the filter throughput it protects. Timing the
+   save/load pair through [Checkpoint] (not just the pure codec) also
+   populates the stage.checkpoint_* and stage.wal_append histograms in
+   the "stages" block below. *)
+type durability_point = {
+  dp_objects : int;
+  dp_snapshot_bytes : int;
+  dp_encode_us : float;  (* pure codec, snapshot -> bytes *)
+  dp_decode_us : float;  (* pure codec, bytes -> snapshot *)
+  dp_save_us : float;  (* full checkpoint save: encode + fsync + rename *)
+  dp_load_us : float;  (* full checkpoint load: read + verify + decode *)
+  dp_wal_append_us : float;  (* per record, fsync every 8 *)
+  dp_wal_bytes_per_record : float;
+}
+
+let run_durability_point ~objects ~params ~(trace : Rfid_model.Trace.t) =
+  Printf.printf "  ... %-16s n=%-5d codec+wal%!" "durability" objects;
+  let config =
+    Scenarios.engine_config ~variant:Rfid_core.Config.Factorized_indexed
+      ~num_domains:1 ()
+  in
+  let engine =
+    Rfid_core.Engine.create ~world:trace.Rfid_model.Trace.world ~params ~config
+      ~init_reader:trace.Rfid_model.Trace.steps.(0).Rfid_model.Trace.true_reader
+      ~num_objects:trace.Rfid_model.Trace.num_objects ~seed:7 ()
+  in
+  let prefix =
+    List.filteri (fun i _ -> i < 150) (Rfid_model.Trace.observations trace)
+  in
+  List.iter (fun o -> ignore (Rfid_core.Engine.step engine o)) prefix;
+  let snap = Rfid_core.Engine.snapshot engine in
+  let time_us reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do f () done;
+    1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let data = Rfid_robust.Codec.encode snap in
+  let encode_us = time_us 10 (fun () -> ignore (Rfid_robust.Codec.encode snap)) in
+  let decode_us =
+    time_us 10 (fun () ->
+        match Rfid_robust.Codec.decode data with
+        | Ok _ -> ()
+        | Error msg -> failwith ("bench durability: " ^ msg))
+  in
+  let ckpt = Filename.temp_file "bench_ckpt" ".bin" in
+  let save_us = time_us 5 (fun () -> Rfid_robust.Checkpoint.save ~path:ckpt snap) in
+  let load_us =
+    time_us 5 (fun () -> ignore (Rfid_robust.Checkpoint.load_exn ~path:ckpt))
+  in
+  Sys.remove ckpt;
+  let wal_path = Filename.temp_file "bench_wal" ".log" in
+  let w = Rfid_robust.Wal.create_writer ~fsync_every:8 ~path:wal_path () in
+  let wal_append_us =
+    time_us 1 (fun () ->
+        List.iter (fun o -> Rfid_robust.Wal.append w (Rfid_robust.Wal.Step o)) prefix;
+        Rfid_robust.Wal.close w)
+    /. float_of_int (List.length prefix)
+  in
+  let wal_bytes = (Unix.stat wal_path).Unix.st_size in
+  Sys.remove wal_path;
+  Printf.printf "  %8d snapshot bytes\n%!" (String.length data);
+  {
+    dp_objects = trace.Rfid_model.Trace.num_objects;
+    dp_snapshot_bytes = String.length data;
+    dp_encode_us = encode_us;
+    dp_decode_us = decode_us;
+    dp_save_us = save_us;
+    dp_load_us = load_us;
+    dp_wal_append_us = wal_append_us;
+    dp_wal_bytes_per_record =
+      float_of_int wal_bytes /. float_of_int (List.length prefix);
+  }
+
+let durability_json dp =
+  Printf.sprintf
+    "  \"durability\": {\"workload\": \"factorized+index snapshot after 150 epochs, \
+     wal fsync_every 8, seed 7\", \"objects\": %d, \"snapshot_bytes\": %d, \
+     \"codec_encode_us\": %.1f, \"codec_decode_us\": %.1f, \"checkpoint_save_us\": \
+     %.1f, \"checkpoint_load_us\": %.1f, \"wal_append_us\": %.2f, \
+     \"wal_bytes_per_record\": %.1f}"
+    dp.dp_objects dp.dp_snapshot_bytes dp.dp_encode_us dp.dp_decode_us dp.dp_save_us
+    dp.dp_load_us dp.dp_wal_append_us dp.dp_wal_bytes_per_record
+
 let robust_json rp =
   let counters =
     String.concat ", "
@@ -164,7 +249,7 @@ let stages_json () =
   in
   String.concat ",\n" (List.map entry stages)
 
-let emit oc points robust =
+let emit oc points robust durability =
   let point_json p =
     Printf.sprintf
       "    {\"variant\": %S, \"objects\": %d, \"num_domains\": %d, \"epochs\": %d, \
@@ -180,19 +265,21 @@ let emit oc points robust =
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"bench_filter/v4\",\n\
+    \  \"schema\": \"bench_filter/v5\",\n\
     \  \"workload\": \"warehouse straight pass, J=100, K=200, seed 7\",\n\
     \  \"host_cores\": %d,\n\
     \  \"points\": [\n%s\n\
     \  ],\n\
     \  \"stages\": {\n%s\n\
     \  },\n\
+     %s,\n\
      %s\n\
      }\n"
     (Domain.recommended_domain_count ())
     (String.concat ",\n" (List.map point_json points))
     (stages_json ())
     (robust_json robust)
+    (durability_json durability)
 
 let run ~path ~large =
   Printf.printf "bench --json: filter throughput -> %s\n%!" path;
@@ -230,15 +317,16 @@ let run ~path ~large =
                    ~label:"factorized+index" ~objects ~num_domains ~params ~trace))
           domain_counts)
     sizes;
-  let robust =
+  let robust, durability =
     let objects = List.fold_left Int.min max_int sizes in
     let built = Scenarios.warehouse_trace ~num_objects:objects ~seed:111 () in
-    run_robust_point ~objects ~params ~trace:built.Scenarios.trace
+    ( run_robust_point ~objects ~params ~trace:built.Scenarios.trace,
+      run_durability_point ~objects ~params ~trace:built.Scenarios.trace )
   in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> emit oc (List.rev !points) robust);
+    (fun () -> emit oc (List.rev !points) robust durability);
   Printf.printf "wrote %d points to %s\n%!" (List.length !points) path
 
 (* Allocation regression gate. A small fixed workload is measured and
@@ -501,15 +589,24 @@ let smoke () =
     ]
   in
   let robust = run_robust_point ~objects ~params ~trace in
+  let durability = run_durability_point ~objects ~params ~trace in
   let path = Filename.temp_file "bench_smoke" ".json" in
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc points robust);
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> emit oc points robust durability);
   (* The emitted file must round-trip through the same extractor the
      gate uses on the committed baseline. *)
-  (match json_number ~key:"minor_words_per_epoch" (read_file path) with
+  let emitted = read_file path in
+  (match json_number ~key:"minor_words_per_epoch" emitted with
   | Some _ -> ()
   | None ->
       Printf.eprintf "bench --smoke: emitted JSON missing minor_words_per_epoch\n";
+      exit 1);
+  (match json_number ~key:"codec_encode_us" emitted with
+  | Some _ -> ()
+  | None ->
+      Printf.eprintf "bench --smoke: emitted JSON missing codec_encode_us\n";
       exit 1);
   Sys.remove path;
   Printf.printf "bench --smoke: OK (%d points)\n%!" (List.length points)

@@ -216,19 +216,18 @@ let on_ooo_arg =
         ~doc:"What to do with an out-of-order epoch: $(b,halt) (default) or $(b,drop).")
 
 (* Drive a (possibly corrupted) observation stream through the ingest
-   guard into the engine, checkpointing every [checkpoint_every]
-   admitted epochs.  Returns the events plus whether the run stopped
-   early ([--stop-after] or a halt policy). *)
-let guarded_run ?(on_admitted = fun _ -> ()) ~guard ~engine ~checkpoint
+   guard into the engine, calling [save_checkpoint] every
+   [checkpoint_every] admitted epochs and at exit, and [on_events] with
+   each batch of emitted events as they appear (the durable event log
+   rides on this, so events hit disk in emission order, before the
+   checkpoint that covers them).  Returns the events plus whether the
+   run stopped early ([--stop-after] or a halt policy). *)
+let guarded_run ?(on_admitted = fun _ -> ()) ?(on_events = fun _ -> ())
+    ?(on_flush_mark = fun () -> ()) ~guard ~engine ~save_checkpoint
     ~checkpoint_every ~stop_after observations =
   let events = ref [] in
   let admitted = ref 0 in
   let stopped = ref false in
-  let save_checkpoint () =
-    match checkpoint with
-    | Some path -> Rfid_robust.Checkpoint.save ~path (Rfid_core.Engine.snapshot engine)
-    | None -> ()
-  in
   (try
      List.iter
        (fun obs ->
@@ -238,6 +237,7 @@ let guarded_run ?(on_admitted = fun _ -> ()) ~guard ~engine ~checkpoint
          let before = Rfid_core.Engine.epoch engine in
          match Rfid_robust.Ingest.step_engine guard engine obs with
          | Ok evs ->
+             on_events evs;
              events := List.rev_append evs !events;
              if Rfid_core.Engine.epoch engine > before then begin
                incr admitted;
@@ -252,10 +252,55 @@ let guarded_run ?(on_admitted = fun _ -> ()) ~guard ~engine ~checkpoint
    with Exit -> stopped := true);
   if !stopped then save_checkpoint ()
   else begin
-    events := List.rev_append (Rfid_core.Engine.flush engine) !events;
+    let final = Rfid_core.Engine.flush engine in
+    (* The marker separates replayable step events from end-of-stream
+       flush events in the durable log: flush events share the final
+       step's epoch, so without it recovery could not tell whether the
+       log's tail still needs regenerating (see truncate_events_file). *)
+    on_flush_mark ();
+    on_events final;
+    events := List.rev_append final !events;
     save_checkpoint ()
   end;
   (List.rev !events, !stopped)
+
+(* Chop a durable event log back to the complete lines covered by the
+   checkpoint being recovered from (epoch <= [epoch]); everything past
+   that — a line torn mid-write by the crash, flush events (behind
+   their "# flush" marker, which deliberately fails the epoch parse),
+   anything newer than the checkpoint — is regenerated by WAL replay
+   and the continued run. *)
+let truncate_events_file ~path ~epoch =
+  let data =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  in
+  match data with
+  | None -> ()
+  | Some data ->
+      let len = String.length data in
+      let keep = ref 0 in
+      (try
+         let pos = ref 0 in
+         while !pos < len do
+           match String.index_from data !pos '\n' with
+           | exception Not_found -> raise Exit (* torn last line *)
+           | nl -> (
+               let line = String.sub data !pos (nl - !pos) in
+               match Scanf.sscanf line "t=%d" (fun e -> e) with
+               | e when e <= epoch ->
+                   keep := nl + 1;
+                   pos := nl + 1
+               | _ -> raise Exit
+               | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+                   raise Exit)
+         done
+       with Exit -> ());
+      if !keep <> len then Unix.truncate path !keep
 
 (* Write the collected observability snapshots as one JSON document;
    snapshots are ordered oldest first. *)
@@ -291,7 +336,8 @@ let print_stage_summary () =
   end
 
 let infer objects rounds read_rate seed variant particles domains ff on_ooo checkpoint
-    checkpoint_every resume stop_after metrics metrics_every =
+    checkpoint_keep checkpoint_every resume stop_after wal wal_fsync_every events_out
+    recover metrics metrics_every =
   (* Scope counters to this run: the registry is process-global and the
      snapshots below must start from zero for their deltas to mean
      anything. *)
@@ -314,26 +360,31 @@ let infer objects rounds read_rate seed variant particles domains ff on_ooo chec
       Rfid_sim.Faults.apply faults ~seed:ff.ff_seed observations
     end
   in
-  let engine =
-    match resume with
-    | Some path ->
-        let snapshot = Rfid_robust.Checkpoint.load_exn ~path in
-        Format.printf "# resuming from %s at epoch %d@." path
-          (Rfid_core.Engine.snapshot_epoch snapshot);
-        Rfid_core.Engine.restore ~world ~params ~config snapshot
-    | None ->
-        Rfid_core.Engine.create ~world ~params ~config
-          ~init_reader:(Rfid_sim.Warehouse.reader_start wh)
-          ~num_objects:objects ~seed ()
+  (if recover && checkpoint = None then
+     failwith "--recover needs --checkpoint to know where the checkpoints live");
+  let fresh_engine () =
+    Rfid_core.Engine.create ~world ~params ~config
+      ~init_reader:(Rfid_sim.Warehouse.reader_start wh)
+      ~num_objects:objects ~seed ()
   in
-  let observations =
-    (* After a resume the engine has already consumed everything up to
-       the snapshot epoch; feed it only the remainder. *)
-    match resume with
-    | None -> observations
-    | Some _ ->
-        let e0 = Rfid_core.Engine.epoch engine in
-        List.filter (fun (o : Types.observation) -> o.Types.o_epoch > e0) observations
+  let resume_source = if recover then checkpoint else resume in
+  let engine =
+    match resume_source with
+    | Some path -> (
+        (* Either a single checkpoint file or a rotation directory;
+           load_auto walks the rotation chain past corrupted files. *)
+        match Rfid_robust.Checkpoint.load_auto ~path with
+        | Ok snapshot ->
+            Format.eprintf "# resuming from %s at epoch %d@." path
+              (Rfid_core.Engine.snapshot_epoch snapshot);
+            Rfid_core.Engine.restore ~world ~params ~config snapshot
+        | Error msg when recover ->
+            (* The crash happened before the first checkpoint became
+               durable; recovery degenerates to a fresh run. *)
+            Format.eprintf "# no loadable checkpoint (%s); recovering from the start@." msg;
+            fresh_engine ()
+        | Error msg -> failwith msg)
+    | None -> fresh_engine ()
   in
   let guard =
     Rfid_robust.Ingest.create
@@ -341,6 +392,131 @@ let infer objects rounds read_rate seed variant particles domains ff on_ooo chec
         { Rfid_robust.Ingest.default_policies with
           Rfid_robust.Ingest.on_out_of_order_epoch = on_ooo }
       ~bounds:(World.bounding_box world) ~max_object_id:objects ()
+  in
+  (* A run starting from scratch truncates its WAL and event log below;
+     stale checkpoints need the same hygiene, or a later crash would
+     recover from a previous run's newer state instead of this one's. *)
+  (match checkpoint with
+  | Some path when resume_source = None ->
+      if checkpoint_keep > 1 then Rfid_robust.Checkpoint.clear_rotation ~dir:path
+      else
+        List.iter
+          (fun p -> if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ())
+          [ path; path ^ ".tmp" ]
+  | _ -> ());
+  (* Recovery, step 1: trim both durable logs back to a consistent
+     prefix — the event log to complete lines covered by the restored
+     checkpoint, the WAL to its last intact record — before anything
+     reopens them for append. *)
+  (if recover then begin
+     let e0 = Rfid_core.Engine.epoch engine in
+     (match events_out with
+     | Some path -> truncate_events_file ~path ~epoch:e0
+     | None -> ());
+     match wal with
+     | None -> ()
+     | Some path ->
+         let tail = Rfid_robust.Wal.read ~path in
+         (match tail.Rfid_robust.Wal.note with
+         | Some why ->
+             Format.eprintf "# wal: %s; discarding %d byte(s) of torn tail@." why
+               tail.Rfid_robust.Wal.discarded_bytes
+         | None -> ());
+         Rfid_robust.Wal.truncate ~path
+           ~valid_bytes:tail.Rfid_robust.Wal.valid_bytes
+   end);
+  let events_fd =
+    match events_out with
+    | None -> None
+    | Some path -> (
+        let flags =
+          Unix.O_WRONLY :: Unix.O_CREAT
+          :: (if recover then [ Unix.O_APPEND ] else [ Unix.O_TRUNC ])
+        in
+        match Unix.openfile path flags 0o644 with
+        | exception Unix.Unix_error (e, _, _) ->
+            raise (Sys_error (path ^ ": " ^ Unix.error_message e))
+        | fd -> Some fd)
+  in
+  let on_events evs =
+    match events_fd with
+    | None -> ()
+    | Some fd ->
+        List.iter
+          (fun ev ->
+            Rfid_robust.Durable.write fd
+              (Format.asprintf "%a\n" Rfid_core.Event.pp ev))
+          evs
+  in
+  let on_flush_mark () =
+    match events_fd with
+    | None -> ()
+    | Some fd -> Rfid_robust.Durable.write fd "# flush\n"
+  in
+  (* Recovery, step 2: replay the WAL entries past the checkpoint
+     through a fresh guard, regenerating the lost epochs' events —
+     bit-identical, because replayed inputs equal original inputs and
+     the checkpoint restored the RNG streams. The journal is attached
+     only afterwards, so replayed entries are not logged twice. *)
+  let replayed_events =
+    if not recover then []
+    else
+      match wal with
+      | None -> []
+      | Some path -> (
+          let tail = Rfid_robust.Wal.read ~path in
+          match Rfid_robust.Wal.replay ~guard ~engine tail.Rfid_robust.Wal.entries with
+          | Ok evs ->
+              if evs <> [] || tail.Rfid_robust.Wal.entries <> [] then
+                Format.eprintf "# wal: replayed %d entr(ies) to epoch %d@."
+                  (List.length tail.Rfid_robust.Wal.entries)
+                  (Rfid_core.Engine.epoch engine);
+              on_events evs;
+              evs
+          | Error msg -> failwith msg)
+  in
+  let wal_writer =
+    match wal with
+    | None -> None
+    | Some path ->
+        Some
+          (Rfid_robust.Wal.create_writer ~append:recover
+             ~fsync_every:wal_fsync_every ~path ())
+  in
+  (match wal_writer with
+  | None -> ()
+  | Some w ->
+      Rfid_core.Engine.set_journal engine
+        (Some
+           (fun entry ->
+             Rfid_robust.Wal.append w
+               (match entry with
+               | Rfid_core.Engine.Journal_step o -> Rfid_robust.Wal.Step o
+               | Rfid_core.Engine.Journal_degraded (e, tags) ->
+                   Rfid_robust.Wal.Degraded (e, tags)))));
+  let save_checkpoint () =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        (* Durability barrier: everything the checkpoint's epoch covers
+           — WAL records and event lines — must be on disk before the
+           checkpoint that supersedes them is published. *)
+        (match wal_writer with Some w -> Rfid_robust.Wal.sync w | None -> ());
+        (match events_fd with Some fd -> Rfid_robust.Durable.fsync fd | None -> ());
+        let snapshot = Rfid_core.Engine.snapshot engine in
+        if checkpoint_keep > 1 then
+          Rfid_robust.Checkpoint.save_rotating ~dir:path ~keep:checkpoint_keep snapshot
+        else Rfid_robust.Checkpoint.save ~path snapshot
+  in
+  let observations =
+    (* After a resume (or recovery replay) the engine has already
+       consumed everything up to its current epoch; feed it only the
+       remainder. *)
+    match resume_source with
+    | None -> observations
+    | Some _ ->
+        let e0 = Rfid_core.Engine.epoch engine in
+        List.filter (fun (o : Types.observation) -> o.Types.o_epoch > e0) observations
   in
   let snapshots = ref [] in
   let take_snapshot () =
@@ -356,9 +532,19 @@ let infer objects rounds read_rate seed variant particles domains ff on_ooo chec
   in
   let t0 = Unix.gettimeofday () in
   let events, stopped =
-    guarded_run ~on_admitted ~guard ~engine ~checkpoint ~checkpoint_every ~stop_after
-      observations
+    guarded_run ~on_admitted ~on_events ~on_flush_mark ~guard ~engine
+      ~save_checkpoint ~checkpoint_every ~stop_after observations
   in
+  let events = replayed_events @ events in
+  (match wal_writer with Some w -> Rfid_robust.Wal.close w | None -> ());
+  (match events_fd with
+  | Some fd ->
+      (try Rfid_robust.Durable.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  if wal <> None then
+    (* The crash-test harness reads this to bound its kill offsets. *)
+    Printf.eprintf "# durable-bytes=%d\n%!" (Rfid_robust.Durable.total_written ());
   List.iter (fun ev -> Format.printf "%a@." Rfid_core.Event.pp ev) events;
   let stats = Rfid_core.Engine.stats engine in
   Format.printf "@.ingest: %a@." Rfid_robust.Ingest.pp_counters guard;
@@ -377,7 +563,7 @@ let infer objects rounds read_rate seed variant particles domains ff on_ooo chec
       (match checkpoint with
       | Some path -> Printf.sprintf " (checkpoint saved to %s)" path
       | None -> "")
-  else if resume = None && Rfid_sim.Faults.is_none faults then begin
+  else if resume_source = None && Rfid_sim.Faults.is_none faults then begin
     let error = Rfid_eval.Metrics.inference_error events trace in
     Format.printf "%a | %.1fs total@." Rfid_eval.Metrics.pp_error error
       (Unix.gettimeofday () -. t0)
@@ -395,7 +581,20 @@ let infer_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Write engine checkpoints to FILE.")
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Write engine checkpoints to PATH — a single file, or with \
+             $(b,--checkpoint-keep) > 1 a rotation directory of \
+             $(i,ckpt-<epoch>.bin) files.")
+  in
+  let checkpoint_keep =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-keep" ] ~docv:"N"
+          ~doc:
+            "Keep the N newest checkpoints (rotating in a directory); recovery \
+             falls back down the chain past a corrupted file. 1 (default) = a \
+             single checkpoint file.")
   in
   let checkpoint_every =
     Arg.(
@@ -407,7 +606,45 @@ let infer_cmd =
     Arg.(
       value
       & opt (some file) None
-      & info [ "resume" ] ~docv:"FILE" ~doc:"Resume from a checkpoint file.")
+      & info [ "resume" ] ~docv:"PATH"
+          ~doc:
+            "Resume from a checkpoint: a file, or a rotation directory (the \
+             newest checkpoint that still verifies wins).")
+  in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:
+            "Append each admitted epoch to a write-ahead log at FILE, closing \
+             the data-loss window between checkpoints; see $(b,--recover).")
+  in
+  let wal_fsync_every =
+    Arg.(
+      value & opt int 8
+      & info [ "wal-fsync-every" ] ~docv:"K"
+          ~doc:"Force the write-ahead log to disk every K records (min 1).")
+  in
+  let events_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Also append cleaned events to FILE durably, in emission order \
+             (trimmed and regenerated consistently by $(b,--recover)).")
+  in
+  let recover =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Recover a crashed run: load the newest valid checkpoint from \
+             $(b,--checkpoint), trim the $(b,--wal) and $(b,--events) files to \
+             their intact prefixes, replay the logged epochs past the \
+             checkpoint, then continue the run — producing the event stream \
+             the uninterrupted run would have, bit-identically.")
   in
   let stop_after =
     Arg.(
@@ -438,7 +675,8 @@ let infer_cmd =
     Term.(
       const infer $ objects_arg $ rounds_arg $ read_rate_arg $ seed_arg $ variant_arg
       $ particles_arg $ domains_arg $ fault_flags_term $ on_ooo_arg $ checkpoint
-      $ checkpoint_every $ resume $ stop_after $ metrics $ metrics_every)
+      $ checkpoint_keep $ checkpoint_every $ resume $ stop_after $ wal
+      $ wal_fsync_every $ events_out $ recover $ metrics $ metrics_every)
 
 (* ------------------------------------------------------------------ *)
 (* calibrate                                                           *)

@@ -1,0 +1,177 @@
+(* Kill-anywhere recovery harness.
+
+   Forks the CLI with RFID_CRASH_AT_BYTE=k — the durable-write layer
+   SIGKILLs the process partway through the write that crosses byte k,
+   leaving a torn checkpoint, WAL record, or event line exactly as a
+   real crash would — then runs `infer --recover` in the same directory
+   and asserts the recovered durable event log is byte-identical to an
+   uninterrupted golden run's. Kill offsets are drawn uniformly over
+   the golden run's total durable bytes, so mid-checkpoint, mid-WAL,
+   and mid-event-line tears all get hit.
+
+   Usage: crash_main [TRIALS] [BASE_SEED]
+   Every trial logs its seed and offset, so any failure replays with
+   `crash_main 1 <seed>`. Exits 1 on the first failed trial, leaving
+   that trial's directory in place for inspection. *)
+
+let default_trials = 50
+let default_seed = 20260808
+
+let cli_path () =
+  let dir = Filename.dirname Sys.executable_name in
+  let candidate = Filename.concat dir "../bin/rfid_clean.exe" in
+  if Sys.file_exists candidate then candidate
+  else (
+    Printf.eprintf "crash_main: cannot find rfid_clean.exe near %s\n"
+      Sys.executable_name;
+    exit 2)
+
+let scenario_args ~dir ~recover =
+  let p = Filename.concat dir in
+  [
+    "infer"; "--objects"; "6"; "--particles"; "30"; "--rounds"; "1";
+    "--seed"; "42"; "--fault-nan"; "0.05"; "--variant"; "indexed";
+    "--checkpoint"; p "ck"; "--checkpoint-keep"; "3"; "--checkpoint-every"; "7";
+    "--wal"; p "wal.log"; "--wal-fsync-every"; "4";
+    "--events"; p "events.log";
+  ]
+  @ (if recover then [ "--recover" ] else [])
+
+(* Spawn the CLI with stdout/stderr redirected to files in [dir];
+   return the waitpid status. *)
+let run_cli ~cli ~dir ~crash_at ~recover =
+  let args = Array.of_list (cli :: scenario_args ~dir ~recover) in
+  let env =
+    let base =
+      Array.to_list (Unix.environment ())
+      |> List.filter (fun kv ->
+             not (String.length kv >= 19 && String.sub kv 0 19 = "RFID_CRASH_AT_BYTE="))
+    in
+    Array.of_list
+      (match crash_at with
+      | Some k -> Printf.sprintf "RFID_CRASH_AT_BYTE=%d" k :: base
+      | None -> base)
+  in
+  let open_log name =
+    Unix.openfile (Filename.concat dir name)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  let out = open_log (if recover then "recover.out" else "run.out") in
+  let err = open_log (if recover then "recover.err" else "run.err") in
+  let pid = Unix.create_process_env cli args env Unix.stdin out err in
+  Unix.close out;
+  Unix.close err;
+  let _, status = Unix.waitpid [] pid in
+  status
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_durable_bytes path =
+  let data = read_file path in
+  let marker = "# durable-bytes=" in
+  let rec find_line pos =
+    if pos >= String.length data then None
+    else
+      let eol =
+        match String.index_from data pos '\n' with
+        | nl -> nl
+        | exception Not_found -> String.length data
+      in
+      let line = String.sub data pos (eol - pos) in
+      if
+        String.length line > String.length marker
+        && String.sub line 0 (String.length marker) = marker
+      then
+        int_of_string_opt
+          (String.sub line (String.length marker)
+             (String.length line - String.length marker))
+      else find_line (eol + 1)
+  in
+  find_line 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let () =
+  let trials =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else default_trials
+  in
+  let base_seed =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else default_seed
+  in
+  let cli = cli_path () in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rfid_crash_%d" (Unix.getpid ()))
+  in
+  rm_rf root;
+  Unix.mkdir root 0o755;
+  (* Golden run: uninterrupted, same scenario. Its events.log is the
+     reference and its durable-byte count bounds the kill offsets. *)
+  let golden_dir = Filename.concat root "golden" in
+  Unix.mkdir golden_dir 0o755;
+  (match run_cli ~cli ~dir:golden_dir ~crash_at:None ~recover:false with
+  | Unix.WEXITED 0 -> ()
+  | _ ->
+      Printf.eprintf "crash_main: golden run failed (see %s)\n" golden_dir;
+      exit 2);
+  let total_bytes =
+    match parse_durable_bytes (Filename.concat golden_dir "run.err") with
+    | Some n when n > 1 -> n
+    | _ ->
+        Printf.eprintf "crash_main: golden run did not report durable-bytes\n";
+        exit 2
+  in
+  let golden_events = read_file (Filename.concat golden_dir "events.log") in
+  Printf.printf "crash-test: %d trials, base seed %d, %d durable bytes to aim at\n%!"
+    trials base_seed total_bytes;
+  let failures = ref 0 in
+  for t = 0 to trials - 1 do
+    let seed = base_seed + t in
+    let rng = Rfid_prob.Rng.create ~seed in
+    let k = Rfid_prob.Rng.int rng (total_bytes - 1) in
+    let dir = Filename.concat root (Printf.sprintf "trial_%03d" t) in
+    rm_rf dir;
+    Unix.mkdir dir 0o755;
+    let fail msg =
+      incr failures;
+      Printf.printf "trial %3d seed=%d kill@%-7d FAIL: %s (kept %s)\n%!" t seed k
+        msg dir
+    in
+    (match run_cli ~cli ~dir ~crash_at:(Some k) ~recover:false with
+    | Unix.WSIGNALED s when s = Sys.sigkill -> (
+        match run_cli ~cli ~dir ~crash_at:None ~recover:true with
+        | Unix.WEXITED 0 -> (
+            match read_file (Filename.concat dir "events.log") with
+            | events when events = golden_events ->
+                Printf.printf "trial %3d seed=%d kill@%-7d ok\n%!" t seed k;
+                rm_rf dir
+            | _ -> fail "recovered events.log differs from golden"
+            | exception Sys_error m -> fail ("no events.log after recovery: " ^ m))
+        | Unix.WEXITED c -> fail (Printf.sprintf "recovery exited %d" c)
+        | Unix.WSIGNALED s -> fail (Printf.sprintf "recovery died on signal %d" s)
+        | Unix.WSTOPPED s -> fail (Printf.sprintf "recovery stopped on signal %d" s))
+    | Unix.WEXITED c ->
+        fail (Printf.sprintf "crash run exited normally (%d) instead of dying" c)
+    | Unix.WSIGNALED s -> fail (Printf.sprintf "crash run died on signal %d, not SIGKILL" s)
+    | Unix.WSTOPPED s -> fail (Printf.sprintf "crash run stopped on signal %d" s))
+  done;
+  if !failures = 0 then begin
+    rm_rf root;
+    Printf.printf "crash-test: %d/%d trials recovered bit-identically\n" trials trials
+  end
+  else begin
+    Printf.printf "crash-test: %d/%d trials FAILED (artifacts under %s)\n" !failures
+      trials root;
+    exit 1
+  end

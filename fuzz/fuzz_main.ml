@@ -3,14 +3,19 @@
    ingest-guarded engine.  Every iteration logs its seed before running,
    so any failure reproduces with `fuzz_main.exe <iters> <base-seed>`.
 
-   Two layers per iteration:
+   Three layers per iteration:
      1. text fuzz   — serialize a clean stream, mutate the bytes
         (flips, truncation, garbage lines), parse leniently;
      2. stream fuzz — corrupt the observation stream itself
         (Faults.apply plus negative epochs and huge tag ids), then run
         it through the ingest guard into a real engine under a rotating
         policy set.  [Halt] policies may stop the run — as an [Error]
-        value, never an exception. *)
+        value, never an exception;
+     3. durability fuzz — corrupt a saved checkpoint and a write-ahead
+        log on disk.  [Checkpoint.load] must answer [Error] or the
+        bit-identical original snapshot (checksums make a silently
+        different decode effectively impossible), and [Wal.read] must
+        return a prefix of the records written.  Neither may raise. *)
 
 open Rfid_model
 
@@ -75,6 +80,70 @@ let mutate_stream rng observations =
         }
       else o)
     observations
+
+(* Random on-disk corruption: byte flips, truncation, or appended
+   garbage — at least one of them, often several. *)
+let mutate_file rng path =
+  let data =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let b = Buffer.create (String.length data) in
+  let n = String.length data in
+  if Rfid_prob.Rng.bernoulli rng ~p:0.3 && n > 1 then
+    Buffer.add_string b (String.sub data 0 (Rfid_prob.Rng.int rng n))
+  else Buffer.add_string b data;
+  let bytes = Buffer.to_bytes b in
+  let flips = 1 + Rfid_prob.Rng.int rng 8 in
+  for _ = 1 to flips do
+    if Bytes.length bytes > 0 then begin
+      let i = Rfid_prob.Rng.int rng (Bytes.length bytes) in
+      Bytes.set bytes i (Char.chr (Rfid_prob.Rng.int rng 256))
+    end
+  done;
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  if Rfid_prob.Rng.bernoulli rng ~p:0.3 then
+    for _ = 1 to 1 + Rfid_prob.Rng.int rng 40 do
+      output_char oc (Char.chr (Rfid_prob.Rng.int rng 256))
+    done;
+  close_out oc
+
+let fuzz_durability rng engine clean =
+  let snap = Rfid_core.Engine.snapshot engine in
+  let reference = Rfid_robust.Codec.encode snap in
+  let wal_entries =
+    List.filteri (fun i _ -> i < 12) clean
+    |> List.map (fun o -> Rfid_robust.Wal.Step o)
+  in
+  let ckpt = Filename.temp_file "rfid_fuzz_ckpt" ".bin" in
+  let wal = Filename.temp_file "rfid_fuzz_wal" ".log" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ ckpt; wal ])
+    (fun () ->
+      Rfid_robust.Checkpoint.save ~path:ckpt snap;
+      let w = Rfid_robust.Wal.create_writer ~path:wal () in
+      List.iter (Rfid_robust.Wal.append w) wal_entries;
+      Rfid_robust.Wal.close w;
+      mutate_file rng ckpt;
+      mutate_file rng wal;
+      (match Rfid_robust.Checkpoint.load ~path:ckpt with
+      | Error _ -> ()
+      | Ok snap' ->
+          if Rfid_robust.Codec.encode snap' <> reference then
+            failwith "corrupt checkpoint decoded to a different snapshot");
+      let tail = Rfid_robust.Wal.read ~path:wal in
+      let rec is_prefix got expected =
+        match (got, expected) with
+        | [], _ -> true
+        | g :: gs, e :: es -> g = e && is_prefix gs es
+        | _ :: _, [] -> false
+      in
+      if not (is_prefix tail.Rfid_robust.Wal.entries wal_entries) then
+        failwith "corrupt WAL read records that were never written")
 
 let policy_sets =
   [|
@@ -152,9 +221,11 @@ let () =
            ~bounds:(World.bounding_box wh.Rfid_sim.Warehouse.world)
            ~max_object_id:6 ~max_gap:50 ()
        in
-       match Rfid_robust.Ingest.run_engine guard engine corrupted with
+       (match Rfid_robust.Ingest.run_engine guard engine corrupted with
        | Ok events -> ignore (List.length events)
-       | Error (_fault, _msg) -> () (* a Halt policy stopping is fine *)
+       | Error (_fault, _msg) -> () (* a Halt policy stopping is fine *));
+       (* Layer 3: on-disk durability corruption. *)
+       fuzz_durability rng engine clean
      with exn ->
        incr failures;
        Printf.printf "  FAILURE at seed %d: %s\n%!" seed (Printexc.to_string exn))

@@ -291,13 +291,15 @@ let step t (obs : Types.observation) =
   t.consecutive_degraded <- 0;
   t.epoch <- e
 
-(* Degraded epoch: no usable location fix, no trusted readings. The
-   reader belief advances by the motion model alone with inflated
-   proposal noise (dead reckoning); weights are untouched because there
-   is no evidence to score against. Once the outage outlasts
-   [degraded_widen_after], object hypotheses start diffusing too: the
-   filter's knowledge of where things are genuinely decays. *)
-let dead_reckon t ~epoch:e =
+(* Degraded epoch: no usable location fix. The reader belief advances
+   by the motion model alone with inflated proposal noise (dead
+   reckoning). Shelf tags read during the outage still carry evidence —
+   their positions are known exactly — so [shelf_tags] re-weights the
+   reader hypotheses against them; with none (the default) weights are
+   untouched. Once the outage outlasts [degraded_widen_after], object
+   hypotheses start diffusing too: the filter's knowledge of where
+   things are genuinely decays. *)
+let dead_reckon ?(shelf_tags = []) t ~epoch:e =
   if e <= t.epoch then
     invalid_arg "Basic_filter.dead_reckon: observations out of epoch order";
   t.newly_seen <- [];
@@ -339,6 +341,39 @@ let dead_reckon t ~epoch:e =
         end
       done
   done;
+  (* Reader localization from shelf tags read this epoch: accumulate
+     their (read-only, never culled) sensor terms against the freshly
+     dead-reckoned poses and fold into the joint weights. Ids arrive
+     deduplicated and ascending from the engine. *)
+  if shelf_tags <> [] then begin
+    refresh_memo t;
+    let j = num_particles t in
+    let acc = t.accbuf in
+    Array.fill acc 0 j 0.;
+    let calls = ref 0 in
+    List.iter
+      (fun id ->
+        match World.shelf_tag_location t.world id with
+        | tag_loc ->
+            calls := !calls + j;
+            ignore
+              (Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x
+                 ~ty:tag_loc.Vec3.y ~tz:tag_loc.Vec3.z ~read:true
+                 ~miss_weight:t.config.Config.shelf_miss_weight acc)
+        | exception Not_found -> ())
+      shelf_tags;
+    for p = 0 to j - 1 do
+      t.log_ws.(p) <- t.log_ws.(p) +. acc.(p)
+    done;
+    Sensor_model.pre_note_hits t.pre !calls;
+    Obs.incr c_sensor_evals !calls;
+    (* Keep weights centred, as the evidence path does. *)
+    let z = Rfid_prob.Stats.log_sum_exp t.log_ws in
+    if Float.is_finite z then
+      for p = 0 to j - 1 do
+        t.log_ws.(p) <- t.log_ws.(p) -. z
+      done
+  end;
   t.epoch <- e
 
 let degraded_epochs t = t.degraded_total

@@ -48,11 +48,16 @@ val known_objects : t -> int list
 val epoch : t -> Rfid_model.Types.epoch
 (** Epoch of the last processed observation; -1 initially. *)
 
-val dead_reckon : t -> epoch:Rfid_model.Types.epoch -> unit
-(** Advance one epoch {e without} evidence (the location fix was missing
-    or rejected by the ingest guard): reader hypotheses move by the
+val dead_reckon :
+  ?shelf_tags:int list -> t -> epoch:Rfid_model.Types.epoch -> unit
+(** Advance one epoch {e without} a usable location fix (missing or
+    rejected by the ingest guard): reader hypotheses move by the
     motion model with proposal noise inflated by
-    [config.degraded_noise_scale]; weights are unchanged. After
+    [config.degraded_noise_scale]. [shelf_tags] (default [[]], expected
+    deduplicated and ascending) lists shelf tags read during the
+    outage; their exactly-known positions re-weight the joint
+    hypotheses, localizing the dead-reckoned reader. With none,
+    weights are unchanged. After
     [config.degraded_widen_after] consecutive dead-reckoned epochs,
     object hypotheses are additionally jittered by
     [config.degraded_widen_sigma] per epoch (clamped to shelves), so
@@ -75,8 +80,25 @@ val sensor_memo_size : t -> int
 
 (** {1 Checkpointing} *)
 
-type snapshot
-(** Complete dynamic filter state as plain (marshalable) data. *)
+(** Complete dynamic filter state as plain data. The representation is
+    public so [Rfid_robust.Codec] can serialize it field by field into
+    the portable checkpoint format; treat it as read-only elsewhere.
+    Field order is part of the legacy (v1, Marshal) checkpoint format —
+    do not add, remove or reorder fields without bumping it. *)
+type snapshot = {
+  s_rng : int64;  (** SplitMix64 generator state *)
+  s_num_objects : int;
+  s_particles :
+    (Rfid_model.Reader_state.t * Rfid_geom.Vec3.t array * float) array;
+      (** per joint particle: reader pose, per-object locations, log weight *)
+  s_last_reported : Rfid_geom.Vec3.t option;
+  s_epoch : int;
+  s_last_read : int array;  (** -1 = never read *)
+  s_last_read_reader : Rfid_geom.Vec3.t array;
+  s_newly_seen : int list;
+  s_consecutive_degraded : int;
+  s_degraded_total : int;
+}
 
 val snapshot : t -> snapshot
 (** Deep copy of the filter's dynamic state; the filter can keep

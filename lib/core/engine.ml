@@ -25,6 +25,10 @@ type stats = {
   degraded_events : int;
 }
 
+type journal_entry =
+  | Journal_step of Rfid_model.Types.observation
+  | Journal_degraded of Rfid_model.Types.epoch * Rfid_model.Types.tag list
+
 type t = {
   filter : filter;
   cfg : Config.t;
@@ -36,6 +40,7 @@ type t = {
   mutable ooo_dropped : int;
   mutable degraded_run : int;  (* consecutive degraded epochs, 0 after a normal step *)
   mutable degraded_event_count : int;
+  mutable journal : (journal_entry -> unit) option;
 }
 
 let create ~world ~params ~config ~init_reader ?num_objects ?(seed = 0) () =
@@ -59,7 +64,10 @@ let create ~world ~params ~config ~init_reader ?num_objects ?(seed = 0) () =
     ooo_dropped = 0;
     degraded_run = 0;
     degraded_event_count = 0;
+    journal = None;
   }
+
+let set_journal t j = t.journal <- j
 
 let filter_step t obs =
   match t.filter with
@@ -172,6 +180,10 @@ let step t obs =
   match admit_epoch t e ~what:"step" with
   | Skip -> []
   | Admit ->
+      (* Write-ahead: the journal sees the admitted entry before any
+         state changes, so a crash after the append but before (or
+         during) the update replays the epoch exactly once. *)
+      (match t.journal with Some j -> j (Journal_step obs) | None -> ());
       let t0 = Obs.start sp_step in
       t.degraded_run <- 0;
       filter_step t obs;
@@ -191,14 +203,24 @@ let step t obs =
       Obs.stop sp_step t0;
       events
 
-let step_degraded t ~epoch:e =
+let step_degraded ?(tags = []) t ~epoch:e =
   match admit_epoch t e ~what:"step_degraded" with
   | Skip -> []
   | Admit ->
+      (match t.journal with Some j -> j (Journal_degraded (e, tags)) | None -> ());
       let t0 = Obs.start sp_step_degraded in
+      (* Shelf tags read during the outage still localize the reader —
+         their positions are known exactly. Object tags carry no usable
+         evidence without a trusted fix and are ignored. *)
+      let shelf_tags =
+        List.filter_map
+          (function Rfid_model.Types.Shelf_tag i -> Some i | Rfid_model.Types.Object_tag _ -> None)
+          tags
+        |> List.sort_uniq Int.compare
+      in
       (match t.filter with
-      | Basic (f, _) -> Basic_filter.dead_reckon f ~epoch:e
-      | Factored f -> Factored_filter.dead_reckon f ~epoch:e);
+      | Basic (f, _) -> Basic_filter.dead_reckon f ~shelf_tags ~epoch:e
+      | Factored f -> Factored_filter.dead_reckon f ~shelf_tags ~epoch:e);
       t.degraded_run <- t.degraded_run + 1;
       (* Reports falling due mid-outage still honor the delay policy;
          their events are flagged so consumers can discount them. *)
@@ -291,4 +313,5 @@ let restore ~world ~params ~config s =
     ooo_dropped = s.es_ooo_dropped;
     degraded_run = s.es_degraded_run;
     degraded_event_count = s.es_degraded_event_count;
+    journal = None;
   }

@@ -56,12 +56,18 @@ val step : t -> Rfid_model.Types.observation -> Event.t list
     @raise Invalid_argument on a strictly decreasing epoch under the
     default (halt) policy. *)
 
-val step_degraded : t -> epoch:Rfid_model.Types.epoch -> Event.t list
-(** Advance one epoch with {e no usable evidence} — the location fix
-    was missing or rejected by the ingest guard. The underlying filter
-    dead-reckons (see [Factored_filter.dead_reckon]); reports falling
-    due during the outage are still emitted, flagged degraded. Epoch
-    ordering is policed exactly as in {!step}. *)
+val step_degraded :
+  ?tags:Rfid_model.Types.tag list -> t -> epoch:Rfid_model.Types.epoch -> Event.t list
+(** Advance one epoch with {e no usable location fix} — it was missing
+    or rejected by the ingest guard. The underlying filter dead-reckons
+    (see [Factored_filter.dead_reckon]); reports falling due during the
+    outage are still emitted, flagged degraded. [tags] (default [[]])
+    carries the epoch's tag readings, which survived validation even
+    though the fix did not: shelf tags among them localize the
+    dead-reckoned reader belief (their positions are known exactly),
+    while object tags are ignored — without a trusted fix there is no
+    proposal to weight object hypotheses against. Epoch ordering is
+    policed exactly as in {!step}. *)
 
 val run : t -> Rfid_model.Types.observation list -> Event.t list
 (** [step] over a whole stream, then {!flush}; returns all events in
@@ -89,13 +95,47 @@ val stats : t -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** {1 Write-ahead journaling} *)
+
+(** One admitted epoch, as the engine consumed it — exactly what a
+    write-ahead log must persist to replay the epoch later:
+    [Journal_step] the (possibly guard-repaired) observation,
+    [Journal_degraded] the epoch and surviving tag readings of a
+    degraded step. *)
+type journal_entry =
+  | Journal_step of Rfid_model.Types.observation
+  | Journal_degraded of Rfid_model.Types.epoch * Rfid_model.Types.tag list
+
+val set_journal : t -> (journal_entry -> unit) option -> unit
+(** Install (or clear) the write-ahead hook. When set, {!step} and
+    {!step_degraded} call it with the epoch's entry {e after} admission
+    but {e before} any state changes, so a journal flushed at entry
+    granularity always covers at least as much as any state the engine
+    exposed. Skipped duplicates / out-of-order drops are not
+    journaled. *)
+
 (** {1 Checkpointing} *)
 
-type snapshot
 (** Complete dynamic engine state — filter state (RNG streams, reader
     and object particles, spatial index, compression queue), pending
-    report queue, and robustness counters — as plain marshalable
-    data. *)
+    report queue, and robustness counters — as plain data. The
+    representation is public so [Rfid_robust.Codec] can serialize it
+    field by field; treat it as read-only elsewhere. Field and
+    constructor order are part of the legacy (v1, Marshal) checkpoint
+    format — do not add, remove or reorder without bumping it. *)
+type filter_snapshot =
+  | Basic_snapshot of Basic_filter.snapshot * int  (** declared object count *)
+  | Factored_snapshot of Factored_filter.snapshot
+
+type snapshot = {
+  es_filter : filter_snapshot;
+  es_pending : (int * int) list;  (** (due epoch, object) report queue *)
+  es_scheduled : int list;  (** objects with a pending report, ascending *)
+  es_dup_skipped : int;
+  es_ooo_dropped : int;
+  es_degraded_run : int;
+  es_degraded_event_count : int;
+}
 
 val snapshot : t -> snapshot
 (** Deep copy of the engine's state; the engine can keep running. *)

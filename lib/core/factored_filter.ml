@@ -899,7 +899,7 @@ let step t (obs : Types.observation) =
    admits that objects may have moved unseen. Per-object randomness is
    keyed by (object id, epoch) exactly as in [step], so the result is
    independent of hash-table iteration order and domain count. *)
-let dead_reckon t ~epoch:e =
+let dead_reckon ?(shelf_tags = []) t ~epoch:e =
   if e <= t.epoch then
     invalid_arg "Factored_filter.dead_reckon: observations out of epoch order";
   t.newly_seen <- [];
@@ -920,6 +920,40 @@ let dead_reckon t ~epoch:e =
       in
       r.state <- Reader_state.make ~loc ~heading)
     t.readers;
+  (* Reader localization from shelf tags read this epoch: their
+     positions are known exactly, so even without a trusted fix they
+     re-weight the dead-reckoned reader particles (read terms are never
+     saturation-culled). Ids arrive deduplicated and ascending from the
+     engine. *)
+  if shelf_tags <> [] then begin
+    refresh_memo t;
+    let j = num_readers t in
+    let scratch0 = Rfid_par.Pool.get_scratch t.pool 0 in
+    let acc = Scratch.float_buf scratch0 ~slot:slot_reader_scratch j in
+    Array.fill acc 0 j 0.;
+    let calls = ref 0 in
+    List.iter
+      (fun id ->
+        match World.shelf_tag_location t.world id with
+        | tag_loc ->
+            calls := !calls + j;
+            ignore
+              (Sensor_model.pre_accumulate_tag t.pre ~tx:tag_loc.Vec3.x
+                 ~ty:tag_loc.Vec3.y ~tz:tag_loc.Vec3.z ~read:true
+                 ~miss_weight:t.config.Config.shelf_miss_weight acc)
+        | exception Not_found -> ())
+      shelf_tags;
+    Sensor_model.pre_note_hits t.pre !calls;
+    Obs.incr c_sensor_evals !calls;
+    Array.iteri (fun i (r : reader_particle) -> r.log_w <- r.log_w +. acc.(i)) t.readers;
+    let m =
+      Array.fold_left
+        (fun acc (r : reader_particle) -> Float.max acc r.log_w)
+        neg_infinity t.readers
+    in
+    if Float.is_finite m then
+      Array.iter (fun (r : reader_particle) -> r.log_w <- r.log_w -. m) t.readers
+  end;
   t.consecutive_degraded <- t.consecutive_degraded + 1;
   t.degraded_total <- t.degraded_total + 1;
   let w = t.config.Config.degraded_widen_sigma in

@@ -51,10 +51,15 @@ val newly_seen : t -> int list
 val known_objects : t -> int list
 val epoch : t -> Rfid_model.Types.epoch
 
-val dead_reckon : t -> epoch:Rfid_model.Types.epoch -> unit
-(** Advance one epoch {e without} evidence (missing or rejected
-    location fix): reader particles move by the motion model with
-    proposal noise inflated by [config.degraded_noise_scale]; weights
+val dead_reckon :
+  ?shelf_tags:int list -> t -> epoch:Rfid_model.Types.epoch -> unit
+(** Advance one epoch {e without} a usable location fix (missing or
+    rejected by the ingest guard): reader particles move by the motion
+    model with proposal noise inflated by
+    [config.degraded_noise_scale]. [shelf_tags] (default [[]], expected
+    deduplicated and ascending) lists shelf tags read during the
+    outage; their exactly-known positions re-weight the reader
+    particles, localizing the dead-reckoned belief. With none, weights
     are unchanged. After [config.degraded_widen_after] consecutive
     dead-reckoned epochs, object beliefs additionally diffuse by
     [config.degraded_widen_sigma] per epoch (particle clouds are
@@ -72,10 +77,50 @@ val consecutive_degraded : t -> int
 
 (** {1 Checkpointing} *)
 
-type snapshot
-(** Complete dynamic filter state as plain (marshalable) data: RNG
-    states, reader particles, per-object beliefs, the spatial index's
-    entries, and the compression queue. *)
+(** Complete dynamic filter state as plain data: RNG states, reader
+    particles, per-object beliefs, the spatial index's entries, and the
+    compression queue. The representation is public so
+    [Rfid_robust.Codec] can serialize it field by field into the
+    portable checkpoint format; treat it as read-only elsewhere. Field
+    and constructor order are part of the legacy (v1, Marshal)
+    checkpoint format — do not add, remove or reorder without bumping
+    it. *)
+
+type belief_snapshot =
+  | Snap_active of (Rfid_geom.Vec3.t * int * float) array
+      (** particle (location, reader index, log weight) rows *)
+  | Snap_compressed of float array * Rfid_prob.Linalg.mat  (** mean, cov *)
+
+type obj_snapshot = {
+  so_id : int;
+  so_belief : belief_snapshot;
+  so_reader_gen : int;
+  so_last_read : int;
+  so_last_read_reader : Rfid_geom.Vec3.t;
+}
+
+type index_snapshot = {
+  si_entries : (Rfid_geom.Box2.t * int list) list;
+  si_pending_objs : int list;
+  si_pending_box : Rfid_geom.Box2.t option;
+  si_last_insert_loc : Rfid_geom.Vec3.t option;
+}
+
+type snapshot = {
+  fs_rng : int64;
+  fs_substream : int64;
+  fs_reader_gen : int;
+  fs_readers : (Rfid_model.Reader_state.t * float) array;
+  fs_objects : obj_snapshot list;  (** sorted by id *)
+  fs_index : index_snapshot option;
+  fs_compress_queue : (int * int) list;
+  fs_last_reported : Rfid_geom.Vec3.t option;
+  fs_epoch : int;
+  fs_newly_seen : int list;
+  fs_processed_last : int;
+  fs_consecutive_degraded : int;
+  fs_degraded_total : int;
+}
 
 val snapshot : t -> snapshot
 (** Deep copy of the dynamic state; the filter can keep running. *)

@@ -1,0 +1,46 @@
+(* The countdown is process-global: the harness samples a kill offset
+   over the run's total durable bytes, so checkpoint writes, WAL
+   appends and event-log appends all draw it down together. *)
+let crash_at = lazy (
+  match Sys.getenv_opt "RFID_CRASH_AT_BYTE" with
+  | None -> None
+  | Some s -> int_of_string_opt s)
+
+let countdown = ref (-1)  (* -1 = not yet initialized from the env *)
+let written = ref 0
+
+let total_written () = !written
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let write fd s =
+  let len = String.length s in
+  (if !countdown < 0 then
+     countdown := match Lazy.force crash_at with None -> max_int | Some n -> max n 0);
+  if !countdown < len then begin
+    (* Simulated crash mid-write: hand the kernel exactly the bytes
+       that "made it" and die without unwinding — no buffers flushed,
+       no finalizers, just like SIGKILL from outside. *)
+    write_all fd s 0 !countdown;
+    Unix.kill (Unix.getpid ()) Sys.sigkill;
+    (* unreachable, but keep the type checker honest *)
+    assert false
+  end
+  else begin
+    countdown := !countdown - len;
+    written := !written + len;
+    write_all fd s 0 len
+  end
+
+let fsync = Unix.fsync
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())

@@ -1,0 +1,33 @@
+(** Low-level durable writes. Every byte the robustness layer persists
+    — checkpoint files, write-ahead-log records, durable event logs —
+    flows through {!write}, for two reasons:
+
+    - it loops over short writes, so callers get all-or-crash
+      semantics from a single call;
+    - it hosts the kill-anywhere test hook: with
+      [RFID_CRASH_AT_BYTE=N] in the environment, the process SIGKILLs
+      itself after the N-th durable byte, leaving whatever prefix the
+      kernel already received — including a torn half-record — exactly
+      as a real crash would. The crash-test harness sweeps N across
+      the run to prove recovery from every byte position.
+
+    The hook is read once, at the first durable write; production runs
+    (no variable set) pay one [Sys.getenv_opt] total. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write the whole string (looping over short writes), counting the
+    bytes toward {!total_written} and the crash hook.
+    @raise Unix.Unix_error as [Unix.write] does. *)
+
+val fsync : Unix.file_descr -> unit
+(** [Unix.fsync], re-exported so durability call sites read uniformly. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory, making a just-renamed file durable against power
+    loss. Best-effort: errors from filesystems that refuse directory
+    fsync are swallowed. *)
+
+val total_written : unit -> int
+(** Durable bytes written by this process so far. The crash-test
+    harness reads this (echoed by the CLI) from an uninterrupted run to
+    bound its random kill offsets. *)

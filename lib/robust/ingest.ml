@@ -86,7 +86,7 @@ let policy_for ps = function
 
 type decision =
   | Accept of Types.observation
-  | Degraded of Types.epoch
+  | Degraded of Types.epoch * Types.tag list
   | Rejected
   | Halted of fault * string
 
@@ -223,7 +223,10 @@ let admit_inner t (obs : Types.observation) =
       | Ok tags -> (
           let degrade () =
             t.last_epoch <- e;
-            Degraded e
+            (* The fix is untrusted but the (validated) tag readings are
+               not: pass them along so degraded-mode inference can still
+               localize the reader from shelf tags. *)
+            Degraded (e, tags)
           in
           let accept loc =
             t.last_epoch <- e;
@@ -281,10 +284,13 @@ let admit t obs =
   Obs.stop sp_ingest t0;
   decision
 
+let advance_timeline t epoch =
+  if epoch > t.last_epoch then t.last_epoch <- epoch
+
 let step_engine t engine obs =
   match admit t obs with
   | Accept obs -> Ok (Rfid_core.Engine.step engine obs)
-  | Degraded epoch -> Ok (Rfid_core.Engine.step_degraded engine ~epoch)
+  | Degraded (epoch, tags) -> Ok (Rfid_core.Engine.step_degraded engine ~tags ~epoch)
   | Rejected -> Ok []
   | Halted (fault, msg) -> Error (fault, msg)
 

@@ -61,9 +61,10 @@ val uniform_policies : policy -> policies
 type decision =
   | Accept of Rfid_model.Types.observation
       (** possibly repaired; feed to {!Rfid_core.Engine.step} *)
-  | Degraded of Rfid_model.Types.epoch
-      (** fix rejected but timeline advanced; feed to
-          {!Rfid_core.Engine.step_degraded} *)
+  | Degraded of Rfid_model.Types.epoch * Rfid_model.Types.tag list
+      (** fix rejected but timeline advanced; the epoch's validated tag
+          readings ride along (shelf tags among them still localize the
+          reader). Feed to {!Rfid_core.Engine.step_degraded}. *)
   | Rejected  (** record discarded entirely *)
   | Halted of fault * string  (** a [Halt] policy tripped *)
 
@@ -95,6 +96,16 @@ val counters : t -> (fault * int) list
 
 val total_faults : t -> int
 (** Sum of all fault counts on this guard instance. *)
+
+val advance_timeline : t -> Rfid_model.Types.epoch -> unit
+(** Fast-forward the guard's last-admitted-epoch marker (no-op if it is
+    already at or past [epoch]). Recovery uses this to seed a fresh
+    guard from a checkpoint's epoch, and to keep the timeline in step
+    while replaying write-ahead-log entries that bypass {!admit} (see
+    [Rfid_robust.Wal.replay]). The last-good-fix memory is {e not}
+    restored — it is not persisted — so the first post-recovery
+    non-finite fix under a [Clamp] policy dead-reckons instead of
+    repairing from a pre-crash fix (conservative, never wrong). *)
 
 val step_engine :
   t ->

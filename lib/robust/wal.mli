@@ -1,0 +1,89 @@
+(** Write-ahead log of admitted epochs.
+
+    Checkpoints alone lose the epochs since the last save; the WAL
+    closes that window. {!Rfid_core.Engine} journals every admitted
+    epoch — the post-guard observation for a normal step, the epoch and
+    surviving tags for a degraded one — and a {!writer} appends each as
+    a checksummed record {e before} the engine's state changes.
+    Recovery is then: load the newest valid checkpoint, {!read} the
+    log, and {!replay} the entries past the checkpoint's epoch through
+    a fresh ingest guard — reproducing the pre-crash event stream
+    bit-identically, because replayed inputs equal original inputs and
+    the filters are deterministic given their (checkpointed) RNG state.
+
+    Record framing: [magic "RWL1", u32 body length, body, u32 Adler-32
+    of the body], bodies encoded with {!Codec.Prim}. A crash can tear
+    at most the final record; {!read} stops cleanly at the first
+    invalid byte and reports how much tail it discarded, and
+    {!truncate} chops the torn tail so the file can be appended to
+    again. Appends are batched: {!append} calls [fsync] every
+    [fsync_every] records (and {!sync}/{!close} always do), trading a
+    bounded number of lost-but-replayable epochs for not paying a disk
+    round-trip per epoch. *)
+
+type entry =
+  | Step of Rfid_model.Types.observation
+      (** an epoch admitted with a usable (possibly repaired) fix *)
+  | Degraded of Rfid_model.Types.epoch * Rfid_model.Types.tag list
+      (** an epoch whose fix was rejected; the validated tag readings
+          that survived ride along *)
+
+val entry_epoch : entry -> Rfid_model.Types.epoch
+
+(** {1 Writing} *)
+
+type writer
+
+val create_writer :
+  ?append:bool -> ?fsync_every:int -> path:string -> unit -> writer
+(** Open [path] for logging. [append] false (the default) truncates —
+    a fresh run starts a fresh log; recovery reopens with [append]
+    true after {!truncate}-ing the torn tail. [fsync_every] (default 8,
+    min 1) is the record count between forced syncs.
+    @raise Sys_error if the file cannot be opened. *)
+
+val append : writer -> entry -> unit
+(** Append one record (through the durable-write layer, so the
+    crash-test hook can tear it mid-record). Latency lands in the
+    [stage.wal_append] span. *)
+
+val sync : writer -> unit
+(** Force an [fsync] now regardless of the batch counter. *)
+
+val close : writer -> unit
+(** {!sync} then close the descriptor. Idempotent. *)
+
+(** {1 Reading and recovery} *)
+
+type tail = {
+  entries : entry list;  (** every complete, checksum-valid record *)
+  valid_bytes : int;  (** file prefix length those records occupy *)
+  discarded_bytes : int;  (** torn/corrupt tail length, 0 if clean *)
+  note : string option;  (** why reading stopped early, if it did *)
+}
+
+val read : path:string -> tail
+(** Scan the log from the start, collecting records until the file
+    ends or a record fails its length, magic, or checksum test. Never
+    raises on bad content — a missing file is an empty tail, and any
+    malformed suffix is simply reported as discarded. *)
+
+val truncate : path:string -> valid_bytes:int -> unit
+(** Chop the file to its valid prefix (no-op if already that size), so
+    a recovered process can append new records after a torn tail.
+    @raise Sys_error on I/O failure. *)
+
+val replay :
+  guard:Ingest.t ->
+  engine:Rfid_core.Engine.t ->
+  entry list ->
+  (Rfid_core.Event.t list, string) result
+(** Feed entries to the engine exactly as live ingest would: [Step]
+    observations go through {!Ingest.step_engine} (re-validated — the
+    guard is fresh after recovery), [Degraded] entries advance the
+    guard's timeline and call {!Rfid_core.Engine.step_degraded}
+    directly (their fix was already rejected once; there is nothing to
+    re-validate). Entries at or before the engine's current epoch are
+    skipped, so replaying a log that overlaps the checkpoint is safe.
+    [Error] if a replayed entry halts the guard — possible only if the
+    log was forged, since logged entries passed the guard once. *)

@@ -37,7 +37,8 @@ let small_engine ?(variant = Rfid_core.Config.Factorized_indexed) ?(seed = 11) (
 let check_decision what expected actual =
   let show = function
     | Ingest.Accept o -> Printf.sprintf "Accept@%d" o.Types.o_epoch
-    | Ingest.Degraded e -> Printf.sprintf "Degraded@%d" e
+    | Ingest.Degraded (e, tags) ->
+        Printf.sprintf "Degraded@%d/%d" e (List.length tags)
     | Ingest.Rejected -> "Rejected"
     | Ingest.Halted (f, _) -> "Halted:" ^ Ingest.fault_name f
   in
@@ -100,7 +101,8 @@ let test_guard_fix_faults () =
   (* Non-finite fix, default (Drop): the epoch survives as degraded. *)
   let g = Ingest.create () in
   ignore (Ingest.admit g (obs 0 (v 1. 1. 0.) []));
-  check_decision "nan fix degrades" (Ingest.Degraded 1)
+  check_decision "nan fix degrades"
+    (Ingest.Degraded (1, [ Types.Object_tag 2 ]))
     (Ingest.admit g (obs 1 nan3 [ Types.Object_tag 2 ]));
   (* The degraded epoch advanced the timeline: same epoch again is now
      a duplicate. *)
@@ -114,7 +116,8 @@ let test_guard_fix_faults () =
   | _ -> Alcotest.fail "clamped NaN must be accepted");
   (* ... unless there is no good fix yet. *)
   let g = Ingest.create ~policies:(Ingest.uniform_policies Ingest.Clamp) () in
-  check_decision "no fix to clamp to" (Ingest.Degraded 0) (Ingest.admit g (obs 0 nan3 []))
+  check_decision "no fix to clamp to" (Ingest.Degraded (0, []))
+    (Ingest.admit g (obs 0 nan3 []))
 
 let test_guard_bounds () =
   let bounds = Rfid_geom.Box2.make ~min_x:0. ~min_y:0. ~max_x:10. ~max_y:10. in
@@ -141,7 +144,7 @@ let test_guard_bounds () =
       ()
   in
   ignore (Ingest.admit g (obs 0 (v 1. 1. 0.) []));
-  check_decision "oob dropped to degraded" (Ingest.Degraded 1)
+  check_decision "oob dropped to degraded" (Ingest.Degraded (1, []))
     (Ingest.admit g (obs 1 (v 500. 500. 0.) []))
 
 let test_guard_tags () =
@@ -348,6 +351,71 @@ let test_degraded_recovery () =
         && Float.is_finite ev.Rfid_core.Event.ev_loc.Rfid_geom.Vec3.y))
     events
 
+let test_degraded_shelf_tag_localization () =
+  (* During an outage the fix is gone but validated shelf-tag reads
+     survive: feeding them to [step_degraded ~tags] must anchor the
+     reader posterior near the read tag, while a blind twin restored
+     from the same snapshot drifts on dead reckoning alone. *)
+  List.iter
+    (fun variant ->
+      let wh, trace = Lazy.force small_scenario in
+      let world = wh.Rfid_sim.Warehouse.world in
+      let config =
+        Rfid_core.Config.create ~variant ~num_reader_particles:30
+          ~num_object_particles:40 ()
+      in
+      let engine =
+        Rfid_core.Engine.create ~world ~params:Params.default ~config
+          ~init_reader:trace.Trace.steps.(0).Trace.true_reader ~num_objects:4
+          ~seed:11 ()
+      in
+      let stream = Trace.observations trace in
+      let n = List.length stream in
+      let outage_lo = n / 3 and outage_len = 20 in
+      List.iter
+        (fun (o : Types.observation) ->
+          if o.Types.o_epoch < outage_lo then ignore (Rfid_core.Engine.step engine o))
+        stream;
+      (* Twins from one snapshot: identical state, identical RNG. *)
+      let snap = Rfid_core.Engine.snapshot engine in
+      let restore () =
+        Rfid_core.Engine.restore ~world ~params:Params.default ~config snap
+      in
+      let informed = restore () and blind = restore () in
+      let nearest_tag e =
+        let loc = trace.Trace.steps.(e).Trace.true_reader.Reader_state.loc in
+        List.fold_left
+          (fun (bt, bl) (t, l) ->
+            if Rfid_geom.Vec3.dist_xy loc l < Rfid_geom.Vec3.dist_xy loc bl then (t, l)
+            else (bt, bl))
+          (List.hd (World.shelf_tags world))
+          (World.shelf_tags world)
+      in
+      let informed_events = ref [] in
+      for e = outage_lo to outage_lo + outage_len - 1 do
+        let tag, _ = nearest_tag e in
+        informed_events :=
+          List.rev_append
+            (Rfid_core.Engine.step_degraded ~tags:[ tag ] informed ~epoch:e)
+            !informed_events;
+        ignore (Rfid_core.Engine.step_degraded blind ~epoch:e)
+      done;
+      List.iter
+        (fun (ev : Rfid_core.Event.t) ->
+          Alcotest.(check bool) "outage events flagged degraded" true
+            ev.Rfid_core.Event.ev_degraded)
+        !informed_events;
+      let last = outage_lo + outage_len - 1 in
+      let _, anchor = nearest_tag last in
+      let d engine =
+        Rfid_geom.Vec3.dist_xy (Rfid_core.Engine.reader_estimate engine) anchor
+      in
+      let di = d informed and db = d blind in
+      Alcotest.(check bool)
+        (Printf.sprintf "shelf tags localize the reader (%.2f < %.2f)" di db)
+        true (di < db))
+    [ Rfid_core.Config.Unfactorized; Rfid_core.Config.Factorized_indexed ]
+
 let test_engine_ooo_drop_policy () =
   let wh, trace = Lazy.force small_scenario in
   let engine =
@@ -376,5 +444,7 @@ let suite =
       Alcotest.test_case "fault matrix" `Slow test_fault_matrix;
       Alcotest.test_case "degraded mode" `Quick test_degraded_mode;
       Alcotest.test_case "degraded recovery" `Quick test_degraded_recovery;
+      Alcotest.test_case "degraded shelf-tag localization" `Quick
+        test_degraded_shelf_tag_localization;
       Alcotest.test_case "engine ooo drop policy" `Quick test_engine_ooo_drop_policy;
     ] )
