@@ -55,7 +55,11 @@ bench:
 	$(DUNE) exec bench/main.exe
 
 # Machine-readable throughput bench; BENCH_filter.json is committed so
-# the perf trajectory is diffable across PRs.
+# the perf trajectory is diffable across PRs. The workload string
+# records the adaptive-effort knobs (resample_ess, min_particles); the
+# f+index+adaptive points and the adaptive_check block track the
+# speed/accuracy trade-off and domain bit-identity of the adaptive
+# configuration.
 bench-json:
 	$(DUNE) exec bench/main.exe -- --json BENCH_filter.json
 
@@ -65,16 +69,19 @@ bench-json:
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- --smoke
 
-# Allocation regression gate on two 200-object workload points
-# (factorized+index and f+index+compress) plus a scaling guard: the
+# Allocation + accuracy regression gate on three 200-object workload
+# points (factorized+index, f+index+compress, and f+index+adaptive
+# with the canonical adaptive knobs) plus a scaling guard: the
 # 5000-vs-500-object minor-words ratio must stay under the baseline's
 # pinned bound, pinning per-epoch cost to O(sensing scope). Fails if
-# allocation exceeds the committed baseline by >10% or the ratio
-# exceeds the bound. Also compares wall-clock ns/epoch against the
-# baseline (warn-only: timing is noisy on shared machines); override
-# the ratio bound with PERF_GATE_TIME_RATIO=<float>, or promote the
-# time check to fatal with PERF_GATE_TIME_FATAL=1 / `make
-# perf-gate-strict`.
+# allocation exceeds the committed baseline by >10%, if mean XY error
+# exceeds the baseline's err_max_ratio (fatal — a speedup must not
+# quietly trade away accuracy; the seeded workload makes the error
+# measurement exact), or if the scaling ratio exceeds its bound. Also
+# compares wall-clock ns/epoch against the baseline (warn-only: timing
+# is noisy on shared machines); override the ratio bound with
+# PERF_GATE_TIME_RATIO=<float>, or promote the time check to fatal
+# with PERF_GATE_TIME_FATAL=1 / `make perf-gate-strict`.
 perf-gate:
 	$(DUNE) exec bench/main.exe -- --perf-gate BENCH_baseline.json
 

@@ -23,6 +23,8 @@ type point = {
   pt_chunk : int;  (* pool's autotuned default-chunk floor *)
   pt_sat_hits : int;  (* kernel evaluations skipped by saturation cull *)
   pt_sat_rate : float;  (* hits / (hits + evaluations run) *)
+  pt_mean_budget : float;  (* mean per-object particle budget (0 = not tracked) *)
+  pt_skip_rate : float;  (* ESS-cap vetoes / resample decisions *)
 }
 
 let ns_per_epoch p =
@@ -39,14 +41,47 @@ let epochs_per_sec p =
 let c_sat = Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "health.saturated_particles"
 let c_evals = Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "health.sensor_evals"
 
-let run_point ~variant ~label ~objects ~num_domains ~params ~trace =
+(* Adaptive-effort accounting: the filters observe every active
+   object's current particle budget into health.object_budget each
+   epoch, and count ESS-cap vetoes next to the resamples that did run,
+   so each point carries its mean budget and skip rate. *)
+let c_skipped =
+  Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "filter.resamples_skipped"
+let c_obj_rs = Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "filter.object_resamples"
+let c_reader_rs =
+  Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "filter.reader_resamples"
+let c_joint_rs = Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "filter.joint_resamples"
+let h_budget = Rfid_obs.Metrics.histogram Rfid_obs.Metrics.global "health.object_budget"
+
+let run_point ?min_object_particles ?resample_ess_ratio ~variant ~label ~objects
+    ~num_domains ~params ~trace () =
   Printf.printf "  ... %-16s n=%-5d domains=%d%!" label objects num_domains;
-  let config = Scenarios.engine_config ~variant ~num_domains () in
+  let config =
+    Scenarios.engine_config ~variant ?min_object_particles ?resample_ess_ratio
+      ~num_domains ()
+  in
   let sat0 = Rfid_obs.Metrics.counter_value c_sat in
   let ev0 = Rfid_obs.Metrics.counter_value c_evals in
+  let sk0 = Rfid_obs.Metrics.counter_value c_skipped in
+  let rs0 =
+    Rfid_obs.Metrics.counter_value c_obj_rs
+    + Rfid_obs.Metrics.counter_value c_reader_rs
+    + Rfid_obs.Metrics.counter_value c_joint_rs
+  in
+  let bsum0 = Rfid_obs.Metrics.histogram_sum h_budget in
+  let bcount0 = Rfid_obs.Metrics.histogram_count h_budget in
   let r = Rfid_eval.Runner.run_engine ~params ~config ~seed:7 trace in
   let sat = Rfid_obs.Metrics.counter_value c_sat - sat0 in
   let ev = Rfid_obs.Metrics.counter_value c_evals - ev0 in
+  let skipped = Rfid_obs.Metrics.counter_value c_skipped - sk0 in
+  let resampled =
+    Rfid_obs.Metrics.counter_value c_obj_rs
+    + Rfid_obs.Metrics.counter_value c_reader_rs
+    + Rfid_obs.Metrics.counter_value c_joint_rs
+    - rs0
+  in
+  let bsum = Rfid_obs.Metrics.histogram_sum h_budget -. bsum0 in
+  let bcount = Rfid_obs.Metrics.histogram_count h_budget - bcount0 in
   let epochs = Rfid_model.Trace.epochs trace in
   Printf.printf "  %7.1f epochs/s\n%!"
     (if r.Rfid_eval.Runner.elapsed_s > 0. then
@@ -68,6 +103,11 @@ let run_point ~variant ~label ~objects ~num_domains ~params ~trace =
     pt_chunk = Rfid_par.Pool.min_chunk (Rfid_par.Pool.get ~num_domains);
     pt_sat_hits = sat;
     pt_sat_rate = (if sat + ev > 0 then float_of_int sat /. float_of_int (sat + ev) else 0.);
+    pt_mean_budget = (if bcount > 0 then bsum /. float_of_int bcount else 0.);
+    pt_skip_rate =
+      (if skipped + resampled > 0 then
+         float_of_int skipped /. float_of_int (skipped + resampled)
+       else 0.);
   }
 
 (* One fault-injected run through the ingest guard, so the bench file
@@ -249,37 +289,118 @@ let stages_json () =
   in
   String.concat ",\n" (List.map entry stages)
 
-let emit oc points robust durability =
+let emit ?(extra = []) oc points robust durability =
+  let host_cores = Domain.recommended_domain_count () in
   let point_json p =
+    (* Bench honesty: a domain-scaling point measured on a single-core
+       host exercises only scheduling overhead, not parallel speedup —
+       tag it so downstream comparisons can skip it. *)
+    let scaling_valid = not (p.pt_domains > 1 && host_cores = 1) in
     Printf.sprintf
-      "    {\"variant\": %S, \"objects\": %d, \"num_domains\": %d, \"epochs\": %d, \
+      "    {\"variant\": %S, \"objects\": %d, \"num_domains\": %d, \
+       \"scaling_valid\": %b, \"epochs\": %d, \
        \"readings\": %d, \"elapsed_s\": %.6f, \"ns_per_epoch\": %.1f, \
        \"epochs_per_sec\": %.2f, \"err_xy_ft\": %.4f, \
        \"minor_words_per_epoch\": %.1f, \"major_words_per_epoch\": %.1f, \
        \"lat_p50_us\": %.1f, \"lat_p95_us\": %.1f, \"lat_p99_us\": %.1f, \
-       \"chunk_size\": %d, \"sat_cull_hits\": %d, \"sat_cull_rate\": %.4f}"
-      p.pt_variant p.pt_objects p.pt_domains p.pt_epochs p.pt_readings p.pt_elapsed_s
-      (ns_per_epoch p) (epochs_per_sec p) p.pt_err_xy p.pt_minor_words p.pt_major_words
-      p.pt_lat_p50_us p.pt_lat_p95_us p.pt_lat_p99_us p.pt_chunk p.pt_sat_hits
-      p.pt_sat_rate
+       \"chunk_size\": %d, \"sat_cull_hits\": %d, \"sat_cull_rate\": %.4f, \
+       \"mean_budget\": %.1f, \"resample_skip_rate\": %.4f}"
+      p.pt_variant p.pt_objects p.pt_domains scaling_valid p.pt_epochs p.pt_readings
+      p.pt_elapsed_s (ns_per_epoch p) (epochs_per_sec p) p.pt_err_xy p.pt_minor_words
+      p.pt_major_words p.pt_lat_p50_us p.pt_lat_p95_us p.pt_lat_p99_us p.pt_chunk
+      p.pt_sat_hits p.pt_sat_rate p.pt_mean_budget p.pt_skip_rate
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"bench_filter/v5\",\n\
-    \  \"workload\": \"warehouse straight pass, J=100, K=200, seed 7\",\n\
+    \  \"schema\": \"bench_filter/v6\",\n\
+    \  \"workload\": \"warehouse straight pass, J=100, K=200, resample_ess=1.0, \
+     min_particles=200, seed 7; f+index+adaptive points: resample_ess=0.25, \
+     min_particles=32\",\n\
     \  \"host_cores\": %d,\n\
     \  \"points\": [\n%s\n\
     \  ],\n\
     \  \"stages\": {\n%s\n\
     \  },\n\
      %s,\n\
-     %s\n\
+     %s%s\n\
      }\n"
-    (Domain.recommended_domain_count ())
+    host_cores
     (String.concat ",\n" (List.map point_json points))
     (stages_json ())
     (robust_json robust)
     (durability_json durability)
+    (String.concat "" (List.map (fun block -> ",\n" ^ block) extra))
+
+(* Canonical adaptive-effort knobs: the bench's speed/accuracy
+   trade-off points all use this one setting so the trajectory stays
+   comparable across PRs. *)
+let adaptive_min_particles = 32
+
+(* Below the classic 0.5 trigger on purpose: a cap at or above the
+   trigger never vetoes anything (the conjunction is empty). 0.25
+   skips the mildly-degenerate resamples — which also preserves
+   particle diversity; on the 5000-object workload it measured both
+   faster AND closer to the fixed-budget error than a vacuous cap. *)
+let adaptive_resample_ess = 0.25
+let adaptive_label = "f+index+adaptive"
+
+let adaptive_point ~objects ~num_domains ~params ~trace =
+  run_point ~variant:Rfid_core.Config.Factorized_indexed ~label:adaptive_label
+    ~min_object_particles:adaptive_min_particles
+    ~resample_ess_ratio:adaptive_resample_ess ~objects ~num_domains ~params ~trace ()
+
+(* Schedule-independence of the adaptive machinery, checked end to end:
+   the full event stream of an adaptive run must be identical for every
+   domain count (budgets and skips are driven by per-(object, epoch)
+   keyed randomness, never by chunking). *)
+let adaptive_bit_identity ~params ~(trace : Rfid_model.Trace.t) =
+  let events num_domains =
+    let config =
+      Scenarios.engine_config ~variant:Rfid_core.Config.Factorized_indexed
+        ~min_object_particles:adaptive_min_particles
+        ~resample_ess_ratio:adaptive_resample_ess ~num_domains ()
+    in
+    let engine =
+      Rfid_core.Engine.create ~world:trace.Rfid_model.Trace.world ~params ~config
+        ~init_reader:trace.Rfid_model.Trace.steps.(0).Rfid_model.Trace.true_reader
+        ~num_objects:trace.Rfid_model.Trace.num_objects ~seed:7 ()
+    in
+    Rfid_core.Engine.run engine (Rfid_model.Trace.observations trace)
+    @ Rfid_core.Engine.flush engine
+  in
+  let reference = events 1 in
+  List.for_all (fun d -> events d = reference) [ 2; 4 ]
+
+let adaptive_check_json ~scaling_n ~points ~params ~bit_identity_trace =
+  let find label =
+    List.find_opt
+      (fun p -> p.pt_variant = label && p.pt_objects = scaling_n && p.pt_domains = 1)
+      points
+  in
+  match (find "factorized+index", find adaptive_label) with
+  | Some fixed, Some adaptive ->
+      Printf.printf "  ... %-16s n=%-5d domains 1/2/4%!" "adaptive ident."
+        bit_identity_trace.Rfid_model.Trace.num_objects;
+      let identical = adaptive_bit_identity ~params ~trace:bit_identity_trace in
+      Printf.printf "  %s\n%!" (if identical then "bit-identical" else "DIVERGED");
+      let nf = ns_per_epoch fixed and na = ns_per_epoch adaptive in
+      [
+        Printf.sprintf
+          "  \"adaptive_check\": {\"knobs\": \"resample_ess=%.2f, min_particles=%d\", \
+           \"speedup_workload\": \"factorized+index fixed vs adaptive, %d objects, \
+           domains=1\", \"ns_per_epoch_fixed\": %.1f, \"ns_per_epoch_adaptive\": \
+           %.1f, \"speedup\": %.3f, \"err_xy_ft_fixed\": %.4f, \
+           \"err_xy_ft_adaptive\": %.4f, \"err_ratio\": %.4f, \"mean_budget\": %.1f, \
+           \"resample_skip_rate\": %.4f, \"bit_identity_workload\": \"%d objects, \
+           domains 1 vs 2 vs 4, full event stream\", \"domain_bit_identical\": %b}"
+          adaptive_resample_ess adaptive_min_particles scaling_n nf na
+          (if na > 0. then nf /. na else 0.)
+          fixed.pt_err_xy adaptive.pt_err_xy
+          (if fixed.pt_err_xy > 0. then adaptive.pt_err_xy /. fixed.pt_err_xy else 0.)
+          adaptive.pt_mean_budget adaptive.pt_skip_rate
+          bit_identity_trace.Rfid_model.Trace.num_objects identical;
+      ]
+  | _ -> []
 
 let run ~path ~large =
   Printf.printf "bench --json: filter throughput -> %s\n%!" path;
@@ -299,13 +420,14 @@ let run ~path ~large =
       if objects <= 500 then
         add
           (run_point ~variant:Rfid_core.Config.Factorized ~label:"factorized" ~objects
-             ~num_domains:1 ~params ~trace);
+             ~num_domains:1 ~params ~trace ());
       add
         (run_point ~variant:Rfid_core.Config.Factorized_indexed ~label:"factorized+index"
-           ~objects ~num_domains:1 ~params ~trace);
+           ~objects ~num_domains:1 ~params ~trace ());
       add
         (run_point ~variant:Rfid_core.Config.Factorized_compressed
-           ~label:"f+index+compress" ~objects ~num_domains:1 ~params ~trace);
+           ~label:"f+index+compress" ~objects ~num_domains:1 ~params ~trace ());
+      add (adaptive_point ~objects ~num_domains:1 ~params ~trace);
       (* Domain scaling at the largest size, where per-epoch scope is
          widest and the parallel section dominates. *)
       if objects = scaling_n then
@@ -314,20 +436,26 @@ let run ~path ~large =
             if num_domains > 1 then
               add
                 (run_point ~variant:Rfid_core.Config.Factorized_indexed
-                   ~label:"factorized+index" ~objects ~num_domains ~params ~trace))
+                   ~label:"factorized+index" ~objects ~num_domains ~params ~trace ()))
           domain_counts)
     sizes;
+  let small_objects = List.fold_left Int.min max_int sizes in
+  let small_built = Scenarios.warehouse_trace ~num_objects:small_objects ~seed:111 () in
   let robust, durability =
-    let objects = List.fold_left Int.min max_int sizes in
-    let built = Scenarios.warehouse_trace ~num_objects:objects ~seed:111 () in
-    ( run_robust_point ~objects ~params ~trace:built.Scenarios.trace,
-      run_durability_point ~objects ~params ~trace:built.Scenarios.trace )
+    ( run_robust_point ~objects:small_objects ~params ~trace:small_built.Scenarios.trace,
+      run_durability_point ~objects:small_objects ~params
+        ~trace:small_built.Scenarios.trace )
+  in
+  let points = List.rev !points in
+  let extra =
+    adaptive_check_json ~scaling_n ~points ~params
+      ~bit_identity_trace:small_built.Scenarios.trace
   in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> emit oc (List.rev !points) robust durability);
-  Printf.printf "wrote %d points to %s\n%!" (List.length !points) path
+    (fun () -> emit ~extra oc points robust durability);
+  Printf.printf "wrote %d points to %s\n%!" (List.length points) path
 
 (* Allocation regression gate. A small fixed workload is measured and
    its per-epoch allocated words compared against the committed
@@ -339,6 +467,15 @@ let run ~path ~large =
 
 let gate_workload = "warehouse straight pass, 200 objects, J=100, K=200, seed 7"
 let gate_tolerance = 0.10
+
+(* Accuracy bound: mean XY error on the gate workload may exceed the
+   committed baseline by at most this factor, and the check is fatal —
+   the whole point of recording accuracy next to throughput is that a
+   speedup which quietly trades away error must not pass the gate. The
+   workload is seeded and single-domain, so the measured error is
+   exactly reproducible; the 5% headroom only absorbs legitimate
+   baseline refreshes on other machines' floating-point quirks. *)
+let err_max_ratio = 1.05
 
 (* The scaling guard pins the index's O(sensing scope) promise at the
    allocation level: per-epoch minor words for factorized+index at
@@ -353,11 +490,18 @@ let scaling_max_ratio = 1.5
 
 let gate_trace = lazy (Scenarios.warehouse_trace ~num_objects:200 ~seed:111 ())
 
-let measure_gate variant =
+let measure_gate ?min_object_particles ?resample_ess_ratio variant =
   let params = Scenarios.cone_params () in
   let built = Lazy.force gate_trace in
-  let config = Scenarios.engine_config ~variant ~num_domains:1 () in
+  let config =
+    Scenarios.engine_config ~variant ?min_object_particles ?resample_ess_ratio
+      ~num_domains:1 ()
+  in
   Rfid_eval.Runner.run_engine ~params ~config ~seed:7 built.Scenarios.trace
+
+let measure_gate_adaptive () =
+  measure_gate ~min_object_particles:adaptive_min_particles
+    ~resample_ess_ratio:adaptive_resample_ess Rfid_core.Config.Factorized_indexed
 
 let measure_scaling () =
   let params = Scenarios.cone_params () in
@@ -384,10 +528,18 @@ let run_ns_per_epoch (r : Rfid_eval.Runner.result) =
   if r.Rfid_eval.Runner.epochs = 0 then 0.
   else 1e9 *. r.Rfid_eval.Runner.elapsed_s /. float_of_int r.Rfid_eval.Runner.epochs
 
+let adaptive_gate_workload =
+  Printf.sprintf
+    "warehouse straight pass, 200 objects, J=100, K=200, resample_ess=%.2f, \
+     min_particles=%d, seed 7"
+    adaptive_resample_ess adaptive_min_particles
+
 let write_baseline ~path =
   Printf.printf "bench --perf-baseline: measuring %s\n%!" gate_workload;
   let ri = measure_gate Rfid_core.Config.Factorized_indexed in
   let rc = measure_gate Rfid_core.Config.Factorized_compressed in
+  Printf.printf "bench --perf-baseline: measuring %s\n%!" adaptive_gate_workload;
+  let ra = measure_gate_adaptive () in
   Printf.printf "bench --perf-baseline: measuring %s\n%!" scaling_workload;
   let small, big, ratio = measure_scaling () in
   let oc = open_out path in
@@ -396,17 +548,26 @@ let write_baseline ~path =
     (fun () ->
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"bench_baseline/v4\",\n\
+        \  \"schema\": \"bench_baseline/v6\",\n\
         \  \"workload\": %S,\n\
         \  \"epochs\": %d,\n\
         \  \"indexed_minor_words_per_epoch\": %.1f,\n\
         \  \"indexed_major_words_per_epoch\": %.1f,\n\
         \  \"indexed_allocated_words_per_epoch\": %.1f,\n\
         \  \"indexed_ns_per_epoch\": %.1f,\n\
+        \  \"indexed_err_xy_ft\": %.4f,\n\
         \  \"compressed_minor_words_per_epoch\": %.1f,\n\
         \  \"compressed_major_words_per_epoch\": %.1f,\n\
         \  \"compressed_allocated_words_per_epoch\": %.1f,\n\
         \  \"compressed_ns_per_epoch\": %.1f,\n\
+        \  \"compressed_err_xy_ft\": %.4f,\n\
+        \  \"adaptive_workload\": %S,\n\
+        \  \"adaptive_minor_words_per_epoch\": %.1f,\n\
+        \  \"adaptive_major_words_per_epoch\": %.1f,\n\
+        \  \"adaptive_allocated_words_per_epoch\": %.1f,\n\
+        \  \"adaptive_ns_per_epoch\": %.1f,\n\
+        \  \"adaptive_err_xy_ft\": %.4f,\n\
+        \  \"err_max_ratio\": %.2f,\n\
         \  \"time_max_ratio\": %.2f,\n\
         \  \"scaling_workload\": %S,\n\
         \  \"scaling_small_minor_words\": %.1f,\n\
@@ -418,16 +579,27 @@ let write_baseline ~path =
         ri.Rfid_eval.Runner.minor_words_per_epoch
         ri.Rfid_eval.Runner.major_words_per_epoch
         ri.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch ri)
+        ri.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy
         rc.Rfid_eval.Runner.minor_words_per_epoch
         rc.Rfid_eval.Runner.major_words_per_epoch
         rc.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch rc)
+        rc.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy adaptive_gate_workload
+        ra.Rfid_eval.Runner.minor_words_per_epoch
+        ra.Rfid_eval.Runner.major_words_per_epoch
+        ra.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch ra)
+        ra.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy err_max_ratio
         time_max_ratio scaling_workload small big ratio scaling_max_ratio);
   Printf.printf
-    "wrote baseline (indexed %.0f, compressed %.0f allocated words/epoch, indexed \
-     %.0f ns/epoch, scaling ratio %.2f) to %s\n\
+    "wrote baseline (indexed %.0f, compressed %.0f, adaptive %.0f allocated \
+     words/epoch, indexed %.0f ns/epoch, err %.2f/%.2f/%.2f ft, scaling ratio \
+     %.2f) to %s\n\
      %!"
     ri.Rfid_eval.Runner.allocated_words_per_epoch
-    rc.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch ri) ratio path
+    rc.Rfid_eval.Runner.allocated_words_per_epoch
+    ra.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch ri)
+    ri.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy
+    rc.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy
+    ra.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy ratio path
 
 (* Minimal JSON number extraction — enough for the flat baseline file
    this module itself writes; no JSON library in the dependency set. *)
@@ -521,6 +693,27 @@ let check_gate ~baseline_path =
            %!"
           label time_bound
   in
+  (* Accuracy bound: fatal, unlike the time bound — the gate workload
+     is seeded and single-domain, so the measured error is exact, not
+     noisy, and an accuracy regression is precisely what an
+     effort-reduction optimisation must not smuggle through. *)
+  let err_bound = number "err_max_ratio" in
+  let check_err label baseline_key (r : Rfid_eval.Runner.result) =
+    let baseline = number baseline_key in
+    let current = r.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy in
+    let limit = baseline *. err_bound in
+    Printf.printf "perf-gate: %-16s %.3f ft err_xy (baseline %.3f, limit %.3f)\n%!"
+      label current baseline limit;
+    if current > limit then begin
+      Printf.eprintf
+        "perf-gate: FAIL — %s mean XY error exceeds %.2fx the committed baseline: \
+         a throughput win is trading away accuracy.\n\
+         If the accuracy shift is intended and justified, refresh the baseline \
+         with `make perf-baseline` and commit BENCH_baseline.json.\n"
+        label err_bound;
+      failed := true
+    end
+  in
   let check_point label baseline_key (r : Rfid_eval.Runner.result) =
     let baseline = number baseline_key in
     let current = r.Rfid_eval.Runner.allocated_words_per_epoch in
@@ -545,10 +738,17 @@ let check_gate ~baseline_path =
   Printf.printf "perf-gate: measuring %s\n%!" gate_workload;
   let ri = measure_gate Rfid_core.Config.Factorized_indexed in
   let rc = measure_gate Rfid_core.Config.Factorized_compressed in
+  Printf.printf "perf-gate: measuring %s\n%!" adaptive_gate_workload;
+  let ra = measure_gate_adaptive () in
   check_point "factorized+index" "indexed_allocated_words_per_epoch" ri;
   check_point "f+index+compress" "compressed_allocated_words_per_epoch" rc;
+  check_point "f+index+adaptive" "adaptive_allocated_words_per_epoch" ra;
+  check_err "factorized+index" "indexed_err_xy_ft" ri;
+  check_err "f+index+compress" "compressed_err_xy_ft" rc;
+  check_err "f+index+adaptive" "adaptive_err_xy_ft" ra;
   check_time "factorized+index" "indexed_ns_per_epoch" ri;
   check_time "f+index+compress" "compressed_ns_per_epoch" rc;
+  check_time "f+index+adaptive" "adaptive_ns_per_epoch" ra;
   Printf.printf "perf-gate: measuring %s\n%!" scaling_workload;
   let bound = number "scaling_max_ratio" in
   let small, big, ratio = measure_scaling () in
@@ -578,15 +778,34 @@ let smoke () =
   let objects = 100 in
   let built = Scenarios.warehouse_trace ~num_objects:objects ~seed:111 () in
   let trace = built.Scenarios.trace in
+  let host_cores = Domain.recommended_domain_count () in
   let points =
     [
       run_point ~variant:Rfid_core.Config.Factorized ~label:"factorized" ~objects
-        ~num_domains:1 ~params ~trace;
+        ~num_domains:1 ~params ~trace ();
       run_point ~variant:Rfid_core.Config.Factorized_indexed ~label:"factorized+index"
-        ~objects ~num_domains:1 ~params ~trace;
+        ~objects ~num_domains:1 ~params ~trace ();
       run_point ~variant:Rfid_core.Config.Factorized_compressed
-        ~label:"f+index+compress" ~objects ~num_domains:1 ~params ~trace;
+        ~label:"f+index+compress" ~objects ~num_domains:1 ~params ~trace ();
+      adaptive_point ~objects ~num_domains:1 ~params ~trace;
     ]
+  in
+  (* A domains>1 point on a single-core host measures nothing but
+     scheduling overhead; skip it rather than emit a misleading number
+     (the full bench tags such points "scaling_valid": false instead,
+     because its committed output must keep a stable point set). *)
+  let points =
+    if host_cores > 1 then
+      points
+      @ [
+          run_point ~variant:Rfid_core.Config.Factorized_indexed
+            ~label:"factorized+index" ~objects ~num_domains:2 ~params ~trace ();
+        ]
+    else begin
+      Printf.printf
+        "  ... skipping domains=2 point: host has 1 core, scaling not measurable\n%!";
+      points
+    end
   in
   let robust = run_robust_point ~objects ~params ~trace in
   let durability = run_durability_point ~objects ~params ~trace in
@@ -598,15 +817,27 @@ let smoke () =
   (* The emitted file must round-trip through the same extractor the
      gate uses on the committed baseline. *)
   let emitted = read_file path in
-  (match json_number ~key:"minor_words_per_epoch" emitted with
-  | Some _ -> ()
-  | None ->
-      Printf.eprintf "bench --smoke: emitted JSON missing minor_words_per_epoch\n";
-      exit 1);
-  (match json_number ~key:"codec_encode_us" emitted with
-  | Some _ -> ()
-  | None ->
-      Printf.eprintf "bench --smoke: emitted JSON missing codec_encode_us\n";
-      exit 1);
+  let require_number key =
+    match json_number ~key emitted with
+    | Some _ -> ()
+    | None ->
+        Printf.eprintf "bench --smoke: emitted JSON missing %s\n" key;
+        exit 1
+  in
+  require_number "minor_words_per_epoch";
+  require_number "codec_encode_us";
+  require_number "mean_budget";
+  require_number "resample_skip_rate";
+  (* scaling_valid is a boolean, so the numeric extractor can't read
+     it; presence of the key is what the v6 schema promises. *)
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  if not (contains emitted "\"scaling_valid\"") then begin
+    Printf.eprintf "bench --smoke: emitted JSON missing scaling_valid\n";
+    exit 1
+  end;
   Sys.remove path;
   Printf.printf "bench --smoke: OK (%d points)\n%!" (List.length points)

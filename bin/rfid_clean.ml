@@ -37,6 +37,36 @@ let particles_arg =
     & opt int 200
     & info [ "particles"; "k" ] ~docv:"K" ~doc:"Particles per object.")
 
+let min_particles_arg =
+  (* Same 0-means-auto convention as --domains: 0 resolves to the
+     --particles value, which disables adaptation entirely. *)
+  Arg.(
+    value
+    & opt int 0
+    & info [ "min-particles" ] ~docv:"K"
+        ~doc:
+          "Floor of the adaptive per-object particle budget (0 = equal to \
+           $(b,--particles), disabling adaptation). When strictly below \
+           $(b,--particles), each object's budget walks a doubling ladder \
+           between the two driven by its posterior spread: tight posteriors \
+           drop to the floor, uncertain ones keep the full budget. Output \
+           stays bit-identical across $(b,--domains) values.")
+
+let resample_ess_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "resample-ess" ] ~docv:"R"
+        ~doc:
+          "Additional ESS cap on every resample: the gather runs only when \
+           additionally ESS < R * n. The default 1.0 is vacuous and preserves \
+           bit-identical output; lowering it below the 0.5 trigger skips \
+           resamples whose weight degeneracy is still mild, trading diversity \
+           refresh for throughput.")
+
+let resolve_budget ~particles ~min_particles =
+  if min_particles = 0 then particles else min_particles
+
 let domains_arg =
   (* An int conv with auto-detection: 0 asks the runtime how many
      cores this host recommends; negatives are rejected with a clear
@@ -335,9 +365,9 @@ let print_stage_summary () =
       stages
   end
 
-let infer objects rounds read_rate seed variant particles domains ff on_ooo checkpoint
-    checkpoint_keep checkpoint_every resume stop_after wal wal_fsync_every events_out
-    recover metrics metrics_every =
+let infer objects rounds read_rate seed variant particles min_particles resample_ess
+    domains ff on_ooo checkpoint checkpoint_keep checkpoint_every resume stop_after
+    wal wal_fsync_every events_out recover metrics metrics_every =
   (* Scope counters to this run: the registry is process-global and the
      snapshots below must start from zero for their deltas to mean
      anything. *)
@@ -347,7 +377,8 @@ let infer objects rounds read_rate seed variant particles domains ff on_ooo chec
   let params = fitted_params sensor in
   let config =
     Rfid_core.Config.create ~variant ~num_object_particles:particles
-      ~num_domains:domains
+      ~min_object_particles:(resolve_budget ~particles ~min_particles)
+      ~resample_ess_ratio:resample_ess ~num_domains:domains
       ~drop_out_of_order:(on_ooo = Rfid_robust.Ingest.Drop)
       ()
   in
@@ -674,9 +705,10 @@ let infer_cmd =
     (Cmd.info "infer" ~doc)
     Term.(
       const infer $ objects_arg $ rounds_arg $ read_rate_arg $ seed_arg $ variant_arg
-      $ particles_arg $ domains_arg $ fault_flags_term $ on_ooo_arg $ checkpoint
-      $ checkpoint_keep $ checkpoint_every $ resume $ stop_after $ wal
-      $ wal_fsync_every $ events_out $ recover $ metrics $ metrics_every)
+      $ particles_arg $ min_particles_arg $ resample_ess_arg $ domains_arg
+      $ fault_flags_term $ on_ooo_arg $ checkpoint $ checkpoint_keep
+      $ checkpoint_every $ resume $ stop_after $ wal $ wal_fsync_every $ events_out
+      $ recover $ metrics $ metrics_every)
 
 (* ------------------------------------------------------------------ *)
 (* calibrate                                                           *)
@@ -724,7 +756,8 @@ let calibrate_cmd =
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)
 
-let replay file objects variant particles seed domains lenient =
+let replay file objects variant particles min_particles resample_ess seed domains
+    lenient =
   let ic = open_in file in
   let observations =
     Fun.protect
@@ -748,7 +781,8 @@ let replay file objects variant particles seed domains lenient =
   let params = fitted_params sensor in
   let config =
     Rfid_core.Config.create ~variant ~num_object_particles:particles
-      ~num_domains:domains ()
+      ~min_object_particles:(resolve_budget ~particles ~min_particles)
+      ~resample_ess_ratio:resample_ess ~num_domains:domains ()
   in
   let init_reader =
     match observations with
@@ -810,8 +844,8 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay" ~doc)
     Term.(
-      const replay $ file $ objects_arg $ variant_arg $ particles_arg $ seed_arg
-      $ domains_arg $ lenient)
+      const replay $ file $ objects_arg $ variant_arg $ particles_arg
+      $ min_particles_arg $ resample_ess_arg $ seed_arg $ domains_arg $ lenient)
 
 (* ------------------------------------------------------------------ *)
 (* lab                                                                 *)

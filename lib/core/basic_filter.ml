@@ -13,6 +13,7 @@ let sp_weighting = Obs.span Obs.global "stage.weighting"
 let sp_resampling = Obs.span Obs.global "stage.resampling"
 let h_joint_ess = Obs.histogram Obs.global "health.joint_ess"
 let c_joint_resamples = Obs.counter Obs.global "filter.joint_resamples"
+let c_resamples_skipped = Obs.counter Obs.global "filter.resamples_skipped"
 let c_saturated = Obs.counter Obs.global "health.saturated_particles"
 let c_sensor_evals = Obs.counter Obs.global "health.sensor_evals"
 let c_memo_reused = Obs.counter Obs.global "health.pose_memo_reused"
@@ -251,7 +252,17 @@ let step t (obs : Types.observation) =
   Rfid_prob.Stats.normalize_log_weights_into ~src:t.log_ws ~dst:t.wbuf;
   let ess = Rfid_prob.Stats.effective_sample_size t.wbuf in
   Obs.observe h_joint_ess ess;
-  if ess < t.config.Config.resample_ratio *. float_of_int j then begin
+  let jf = float_of_int j in
+  let degenerate = ess < t.config.Config.resample_ratio *. jf in
+  let vetoed =
+    (* The same ESS cap the factored filter applies: when the classic
+       gate fires but ESS still clears [resample_ess_ratio * j], the
+       joint resample is skipped and the weights carry over (vacuous at
+       the default cap of 1.0). *)
+    degenerate && ess >= t.config.Config.resample_ess_ratio *. jf
+  in
+  if vetoed then Obs.incr c_resamples_skipped 1;
+  if degenerate && not vetoed then begin
     Obs.incr c_joint_resamples 1;
     Common.resample_into t.config.Config.resample_scheme t.rng t.wbuf ~n:j
       ~out:t.idxbuf;

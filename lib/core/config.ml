@@ -10,7 +10,9 @@ type t = {
   variant : variant;
   num_reader_particles : int;
   num_object_particles : int;
+  min_object_particles : int;
   resample_ratio : float;
+  resample_ess_ratio : float;
   proposal : proposal;
   heading_model : heading_model;
   init_overestimate : float;
@@ -36,7 +38,8 @@ type t = {
 }
 
 let create ?(variant = Factorized_indexed) ?(num_reader_particles = 100)
-    ?(num_object_particles = 200) ?(resample_ratio = 0.5)
+    ?(num_object_particles = 200) ?min_object_particles ?(resample_ratio = 0.5)
+    ?(resample_ess_ratio = 1.0)
     ?(proposal = From_reported_displacement)
     ?(heading_model = Known_heading (fun _ -> 0.)) ?(init_overestimate = 1.25)
     ?(reinit_near = 1.0) ?(reinit_far = 6.0) ?(out_of_scope_after = 15)
@@ -49,6 +52,19 @@ let create ?(variant = Factorized_indexed) ?(num_reader_particles = 100)
     invalid_arg "Config.create: particle counts must be positive";
   if not (resample_ratio > 0. && resample_ratio <= 1.) then
     invalid_arg "Config.create: resample_ratio must be in (0, 1]";
+  if not (resample_ess_ratio > 0. && resample_ess_ratio <= 1.) then
+    invalid_arg "Config.create: resample_ess_ratio must be in (0, 1]";
+  let min_object_particles =
+    Option.value min_object_particles ~default:num_object_particles
+  in
+  if min_object_particles <= 0 || min_object_particles > num_object_particles then
+    invalid_arg
+      "Config.create: min_object_particles must be in [1, num_object_particles]";
+  if min_object_particles < num_object_particles && not (reinit_near > 0.) then
+    invalid_arg
+      "Config.create: adaptive budgets (min_object_particles < \
+       num_object_particles) need reinit_near > 0 to anchor the spread \
+       thresholds";
   if init_overestimate <= 0. then
     invalid_arg "Config.create: init_overestimate must be positive";
   if reinit_near < 0. || reinit_far < reinit_near then
@@ -76,7 +92,9 @@ let create ?(variant = Factorized_indexed) ?(num_reader_particles = 100)
     variant;
     num_reader_particles;
     num_object_particles;
+    min_object_particles;
     resample_ratio;
+    resample_ess_ratio;
     proposal;
     heading_model;
     init_overestimate;

@@ -39,7 +39,30 @@ type t = {
   variant : variant;
   num_reader_particles : int;  (** J, reader-location hypotheses *)
   num_object_particles : int;  (** K, per-object location hypotheses *)
+  min_object_particles : int;
+      (** floor of the adaptive per-object particle budget. Default =
+          [num_object_particles], which disables adaptation entirely —
+          every object keeps the fixed budget and the hot path does no
+          extra work. When strictly below, each object's budget walks a
+          doubling ladder
+          [min, 2*min, 4*min, ..., num_object_particles], moving at
+          most one rung per resample event: posterior spread (sqrt of
+          the weighted covariance trace) at or above [reinit_near]
+          earns the full budget, and each halving of spread steps one
+          rung down; stepping back up requires 1.5x the rung threshold
+          (hysteresis). Shrinking resamples directly to the smaller
+          count; growth resamples then replicates with keyed-RNG
+          jitter, so budgets stay domain-count independent. *)
   resample_ratio : float;  (** resample when ESS < ratio * n (0.5) *)
+  resample_ess_ratio : float;
+      (** additional ESS cap on every resample (object, reader and the
+          unfactorized joint): the gather+swap runs only when
+          additionally [ess < resample_ess_ratio * n]. The default 1.0
+          is vacuous (ESS never exceeds n), preserving bit-identical
+          behavior; lowering it below [resample_ratio] skips resamples
+          whose weight degeneracy is still mild, trading resampling
+          work (and particle-diversity refresh) for throughput. Skips
+          are counted in the [filter.resamples_skipped] metric. *)
   proposal : proposal;
   heading_model : heading_model;
   init_overestimate : float;
@@ -133,7 +156,9 @@ val create :
   ?variant:variant ->
   ?num_reader_particles:int ->
   ?num_object_particles:int ->
+  ?min_object_particles:int ->
   ?resample_ratio:float ->
+  ?resample_ess_ratio:float ->
   ?proposal:proposal ->
   ?heading_model:heading_model ->
   ?init_overestimate:float ->

@@ -15,12 +15,14 @@ let sp_weighting = Obs.span Obs.global "stage.weighting"
 let sp_resampling = Obs.span Obs.global "stage.resampling"
 let sp_compression = Obs.span Obs.global "stage.compression"
 let h_object_ess = Obs.histogram Obs.global "health.object_ess"
+let h_object_budget = Obs.histogram Obs.global "health.object_budget"
 let g_reader_ess = Obs.gauge Obs.global "health.reader_ess"
 let g_scope_objects = Obs.gauge Obs.global "health.scope_objects"
 let g_particles_in_scope = Obs.gauge Obs.global "health.particles_in_scope"
 let g_index_boxes = Obs.gauge Obs.global "health.index_boxes"
 let c_obj_resamples = Obs.counter Obs.global "filter.object_resamples"
 let c_reader_resamples = Obs.counter Obs.global "filter.reader_resamples"
+let c_resamples_skipped = Obs.counter Obs.global "filter.resamples_skipped"
 let c_compressions = Obs.counter Obs.global "filter.compressions"
 let c_decompressions = Obs.counter Obs.global "filter.decompressions"
 let c_evictions = Obs.counter Obs.global "health.evicted_objects"
@@ -82,6 +84,13 @@ type t = {
       (* frozen base for per-(object, epoch) keyed substreams; never
          advanced after [create], so derivations commute across domains *)
   pool : Rfid_par.Pool.t;
+  adaptive : bool;
+      (* min_object_particles < num_object_particles: per-object
+         budgets walk [budget_rungs]; off by default, leaving the hot
+         path untouched *)
+  budget_rungs : int array;
+      (* ascending doubling ladder [min, 2*min, ..., num]; a single
+         rung when adaptation is off *)
   pre : Sensor_model.pre;
       (* per-epoch memo of reader-particle poses, refreshed once per
          [step] before the parallel pass *)
@@ -144,6 +153,43 @@ let make_shelf_rtree world =
     (World.shelf_tags world);
   shelf_rtree
 
+(* The adaptive budget ladder: doubling rungs from the floor up, capped
+   at the full budget. *)
+let budget_ladder config =
+  let min_b = config.Config.min_object_particles in
+  let max_b = config.Config.num_object_particles in
+  let rec go acc r =
+    if r >= max_b then List.rev (max_b :: acc) else go (r :: acc) (2 * r)
+  in
+  Array.of_list (go [] min_b)
+
+(* Deterministic budget rule (DESIGN.md section 9): map posterior spread
+   — sqrt of the weighted covariance trace — onto the rung ladder with
+   thresholds anchored at [reinit_near]. Spread at or above
+   [reinit_near] earns the full budget; each halving of spread lowers
+   the target one rung. The budget moves at most one rung per resample
+   event, and stepping {e up} requires 1.5x the rung's down-threshold,
+   so a posterior hovering at a boundary cannot flap. A store below the
+   ladder floor (e.g. a just-decompressed belief) is pulled up to the
+   floor. The rule reads only this object's particles and config
+   constants, so it is independent of domain count and schedule. *)
+let next_budget t ~k ~spread =
+  let rungs = t.budget_rungs in
+  let last = Array.length rungs - 1 in
+  let c =
+    let r = ref (-1) in
+    for i = 0 to last do
+      if rungs.(i) <= k then r := i
+    done;
+    !r
+  in
+  if c < 0 then rungs.(0)
+  else
+    let thr i = t.config.Config.reinit_near *. (0.5 ** float_of_int (last - i)) in
+    if c < last && spread >= 1.5 *. thr (c + 1) then rungs.(c + 1)
+    else if c > 0 && spread < thr c then rungs.(c - 1)
+    else rungs.(c)
+
 let dummy_work_item () =
   {
     w_obj =
@@ -188,6 +234,9 @@ let create ~world ~params ~config ~init_reader ~rng =
     rng;
     substream;
     pool = Rfid_par.Pool.get ~num_domains:config.Config.num_domains;
+    adaptive =
+      config.Config.min_object_particles < config.Config.num_object_particles;
+    budget_rungs = budget_ladder config;
     pre = Sensor_model.precompute params.Params.sensor ~n:config.Config.num_reader_particles;
     readers;
     reader_gen = 0;
@@ -495,13 +544,69 @@ let propose_and_weight_object t scratch rng (obj : obj_state) ~read =
       Ps.weights_into store w;
       let ess = Rfid_prob.Stats.effective_sample_size w in
       Obs.observe_shard h_object_ess ~shard ess;
-      if ess < t.config.Config.resample_ratio *. float_of_int k then begin
-        Obs.incr_shard c_obj_resamples ~shard 1;
-        let idx = Scratch.int_buf scratch ~slot:slot_resample_idx k in
-        Common.resample_into t.config.Config.resample_scheme rng w ~n:k ~out:idx;
-        let slab = Scratch.slab scratch in
-        Ps.gather ~src:store ~dst:slab idx ~n:k;
-        Ps.swap store slab
+      Obs.observe_shard h_object_budget ~shard (float_of_int k);
+      let kf = float_of_int k in
+      if ess < t.config.Config.resample_ratio *. kf then begin
+        if ess >= t.config.Config.resample_ess_ratio *. kf then
+          (* The classic gate fired but the ESS cap vetoed it: the
+             weights carry over unresampled and the gather+swap (and
+             any budget move) is skipped. Vacuous at the default cap of
+             1.0, since ESS never exceeds k. *)
+          Obs.incr_shard c_resamples_skipped ~shard 1
+        else begin
+          Obs.incr_shard c_obj_resamples ~shard 1;
+          let scheme = t.config.Config.resample_scheme in
+          let slab = Scratch.slab scratch in
+          if not t.adaptive then begin
+            let idx = Scratch.int_buf scratch ~slot:slot_resample_idx k in
+            Common.resample_into scheme rng w ~n:k ~out:idx;
+            Ps.gather ~src:store ~dst:slab idx ~n:k;
+            Ps.swap store slab
+          end
+          else begin
+            (* Budget moves ride on resample events only. Weighted
+               per-axis moments give the spread for the rung rule and
+               the jitter scale for growth; all O(k), touched only in
+               adaptive mode. *)
+            let wvar get =
+              let mean = ref 0. in
+              for i = 0 to k - 1 do
+                mean := !mean +. (Array.unsafe_get w i *. get store i)
+              done;
+              let m = !mean in
+              let v = ref 0. in
+              for i = 0 to k - 1 do
+                let d = get store i -. m in
+                v := !v +. (Array.unsafe_get w i *. d *. d)
+              done;
+              !v
+            in
+            let vx = wvar Ps.unsafe_x in
+            let vy = wvar Ps.unsafe_y in
+            let vz = wvar Ps.unsafe_z in
+            let m = next_budget t ~k ~spread:(sqrt (vx +. vy +. vz)) in
+            if m <= k then begin
+              (* Shrink (or hold): draw the target count directly over
+                 the k weights — a full-CDF stride, unlike truncating a
+                 k-sized systematic draw, whose prefix is biased. *)
+              let idx = Scratch.int_buf scratch ~slot:slot_resample_idx m in
+              Common.resample_into scheme rng w ~n:m ~out:idx;
+              Ps.gather ~src:store ~dst:slab idx ~n:m;
+              Ps.swap store slab
+            end
+            else begin
+              let idx = Scratch.int_buf scratch ~slot:slot_resample_idx k in
+              Common.resample_into scheme rng w ~n:k ~out:idx;
+              Ps.gather ~src:store ~dst:slab idx ~n:k;
+              Ps.swap store slab;
+              (* Jitter at a quarter of the posterior's per-axis std:
+                 enough to de-duplicate replicas, well inside the
+                 spread that triggered the growth. *)
+              Ps.resize_up store ~n:m ~rng ~sigma_x:(0.25 *. sqrt vx)
+                ~sigma_y:(0.25 *. sqrt vy) ~sigma_z:(0.25 *. sqrt vz)
+            end
+          end
+        end
       end
 
 (* Reader resampling instrumented to favor readers associated with good
@@ -516,7 +621,12 @@ let maybe_resample_readers t =
   reader_weights_into t rw;
   let ess = Rfid_prob.Stats.effective_sample_size rw in
   Obs.set g_reader_ess ess;
-  if ess >= t.config.Config.resample_ratio *. float_of_int j then ()
+  let jf = float_of_int j in
+  if ess >= t.config.Config.resample_ratio *. jf then ()
+  else if ess >= t.config.Config.resample_ess_ratio *. jf then
+    (* Same ESS cap as the per-object resample: the classic gate would
+       fire, the cap vetoes it, weights carry over. *)
+    Obs.incr c_resamples_skipped 1
   else begin
     Obs.incr c_reader_resamples 1;
     (* Everything transient here lives in the coordinator's scratch
@@ -1217,6 +1327,9 @@ let restore ~world ~params ~config s =
     rng = Rfid_prob.Rng.of_state s.fs_rng;
     substream = Rfid_prob.Rng.of_state s.fs_substream;
     pool = Rfid_par.Pool.get ~num_domains:config.Config.num_domains;
+    adaptive =
+      config.Config.min_object_particles < config.Config.num_object_particles;
+    budget_rungs = budget_ladder config;
     pre = Sensor_model.precompute params.Params.sensor ~n:config.Config.num_reader_particles;
     readers = Array.map (fun (state, log_w) -> { state; log_w }) s.fs_readers;
     reader_gen = s.fs_reader_gen;

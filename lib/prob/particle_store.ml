@@ -50,6 +50,52 @@ let resize t n =
   end;
   t.n <- n
 
+(* Budget shrink: drop the tail, keep the slabs. Note the survivors are
+   the *prefix* — after a systematic resample that is a biased subsample
+   (ancestor indices come out in CDF order), so filters shrinking a
+   posterior resample directly to the target count instead; this
+   primitive is for callers whose particles carry no meaningful order. *)
+let resize_down t n =
+  if n < 0 || n > t.n then
+    invalid_arg "Particle_store.resize_down: size outside [0, length]";
+  t.n <- n
+
+(* Budget grow: cyclic replication with per-axis Gaussian jitter. New
+   particle [k + i] copies particle [i mod k] (log weight and reader
+   pointer included) and perturbs each coordinate by [sigma_* *
+   gaussian]. Three deviates are drawn per new particle in x, y, z
+   order from [rng] alone, so results depend only on the generator
+   state — the filters pass their per-(object, epoch) keyed substream,
+   making growth placement- and domain-count-independent. *)
+let resize_up t ~n ~rng ~sigma_x ~sigma_y ~sigma_z =
+  let k = t.n in
+  if k = 0 then invalid_arg "Particle_store.resize_up: empty store";
+  if n < k then invalid_arg "Particle_store.resize_up: target below current length";
+  if n > capacity t then begin
+    (* [resize] reallocates without preserving contents on growth; keep
+       the old slabs and blit the live prefix across. *)
+    let xs = t.xs and ys = t.ys and zs = t.zs and lw = t.lw in
+    let reader_idx = t.reader_idx in
+    resize t n;
+    FA.blit xs 0 t.xs 0 k;
+    FA.blit ys 0 t.ys 0 k;
+    FA.blit zs 0 t.zs 0 k;
+    FA.blit lw 0 t.lw 0 k;
+    Array.blit reader_idx 0 t.reader_idx 0 k
+  end
+  else t.n <- n;
+  for i = k to n - 1 do
+    let j = (i - k) mod k in
+    FA.unsafe_set t.xs i
+      (FA.unsafe_get t.xs j +. (sigma_x *. Rng.gaussian rng ()));
+    FA.unsafe_set t.ys i
+      (FA.unsafe_get t.ys j +. (sigma_y *. Rng.gaussian rng ()));
+    FA.unsafe_set t.zs i
+      (FA.unsafe_get t.zs j +. (sigma_z *. Rng.gaussian rng ()));
+    FA.unsafe_set t.lw i (FA.unsafe_get t.lw j);
+    Array.unsafe_set t.reader_idx i (Array.unsafe_get t.reader_idx j)
+  done
+
 let swap a b =
   let n = a.n and xs = a.xs and ys = a.ys and zs = a.zs and lw = a.lw in
   let reader_idx = a.reader_idx in

@@ -32,6 +32,32 @@ val resize : t -> int -> unit
     exceeded. Slab contents are unspecified after a growing resize —
     callers fill [0, n) before reading. *)
 
+val resize_down : t -> int -> unit
+(** Truncate the live count to [n <= length], keeping the slabs. The
+    survivors are the {e prefix}: after a systematic resample the
+    ancestor indices are in CDF order, so a prefix is a biased
+    subsample — posterior-shrinking callers should resample directly to
+    the target count instead and use this only where particle order
+    carries no meaning.
+    @raise Invalid_argument if [n] is outside [[0, length]]. *)
+
+val resize_up :
+  t ->
+  n:int ->
+  rng:Rng.t ->
+  sigma_x:float ->
+  sigma_y:float ->
+  sigma_z:float ->
+  unit
+(** Grow the live count from [k = length] to [n]: new particle [k + i]
+    is a copy of particle [i mod k] (cyclic replication, log weight and
+    reader pointer included) jittered per axis by [sigma_* * gaussian].
+    Exactly three deviates are drawn per new particle (x, y, z order)
+    from [rng], so the result is a pure function of the generator state
+    — the filters pass per-(object, epoch) keyed substreams, keeping
+    growth independent of placement and domain count.
+    @raise Invalid_argument on an empty store or [n < length]. *)
+
 val swap : t -> t -> unit
 (** Exchange the entire contents (counts and slabs) of two stores in
     O(1) — the second half of a resample {!gather} into a scratch

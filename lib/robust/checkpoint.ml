@@ -2,7 +2,6 @@ module Obs = Rfid_obs.Metrics
 
 let magic = "rfid_streams-checkpoint"
 let version = 2
-let legacy_version = 1
 
 let sp_encode = Obs.span Obs.global "stage.checkpoint_encode"
 let sp_decode = Obs.span Obs.global "stage.checkpoint_decode"
@@ -14,9 +13,10 @@ let sp_decode = Obs.span Obs.global "stage.checkpoint_decode"
      epoch=<E> bytes=<N> adler32=<08x>\n
      <N bytes of payload>
 
-   v2 payload is the portable Codec encoding of Engine.snapshot; the
-   legacy v1 payload was Marshal output, which load still reads so
-   checkpoints written by the previous release survive an upgrade. *)
+   The v2 payload is the portable Codec encoding of Engine.snapshot.
+   The legacy v1 payload was Marshal output; its read path was kept for
+   exactly one release of migration and is now gone — a v1 file gets a
+   clean error naming the dropped format instead of a decode attempt. *)
 
 let save ~path snapshot =
   let payload =
@@ -62,18 +62,6 @@ let parse_version l1 =
   try Scanf.sscanf l1 "rfid_streams-checkpoint v%d%!" (fun v -> Some v)
   with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 
-(* The v1 payload was Marshal output. Marshal.from_string on corrupted
-   input can raise nearly anything (Failure, Invalid_argument, even
-   Out_of_memory on an insane size field), so the catch is total:
-   whatever escapes becomes a clean Error. *)
-let decode_v1 ~path payload =
-  match (Marshal.from_string payload 0 : Rfid_core.Engine.snapshot) with
-  | snapshot -> Ok snapshot
-  | exception exn ->
-      Error
-        (path ^ ": undecodable legacy (v1) checkpoint payload: "
-        ^ Printexc.to_string exn)
-
 let decode_v2 ~path payload =
   match Codec.decode payload with
   | Ok snapshot -> Ok snapshot
@@ -89,12 +77,19 @@ let load ~path =
           match (read_line_opt ic, read_line_opt ic) with
           | Some l1, Some l2 when parse_version l1 <> None -> (
               let v = Option.get (parse_version l1) in
-              if v <> version && v <> legacy_version then
+              if v = 1 then
+                Error
+                  (path
+                 ^ ": legacy v1 (Marshal) checkpoints are no longer readable — \
+                    the migration window closed; re-create the checkpoint by \
+                    replaying the event stream (or a WAL recovery) with this \
+                    build")
+              else if v <> version then
                 Error
                   (Printf.sprintf
                      "%s: unsupported checkpoint version v%d (this build reads \
-                      v%d and legacy v%d)"
-                     path v version legacy_version)
+                      v%d)"
+                     path v version)
               else
                 match parse_header2 l2 with
                 | None -> Error (path ^ ": malformed checkpoint header")
@@ -112,10 +107,7 @@ let load ~path =
                                path expected_sum actual)
                         else
                           let t0 = Obs.start sp_decode in
-                          let r =
-                            if v = legacy_version then decode_v1 ~path payload
-                            else decode_v2 ~path payload
-                          in
+                          let r = decode_v2 ~path payload in
                           Obs.stop sp_decode t0;
                           Result.bind r (fun snapshot ->
                               let e =

@@ -11,9 +11,10 @@
     checksum, and the header epoch is cross-checked against the decoded
     snapshot's epoch, so a truncated, corrupted, or mislabeled file
     yields a clean [Error] naming what went bad — never a garbage
-    engine state. {!load} also still reads the legacy v1 format (same
-    header, [Marshal] payload) for one release, so checkpoints written
-    by the previous build survive an upgrade; {!save} always writes v2.
+    engine state. The legacy v1 format (same header, [Marshal] payload)
+    was readable for exactly one release of migration and is now
+    refused with an explicit error telling the operator to re-create
+    the checkpoint; {!save} always writes v2.
 
     Checkpoints are written atomically (write to [path ^ ".tmp"],
     [fsync], then rename, then directory fsync), so a crash at any byte
@@ -27,8 +28,8 @@
 
 val version : int
 (** Current checkpoint envelope version (2), stamped into the header of
-    every file {!save} writes. {!load} accepts this version and the
-    legacy v1; bump it whenever the payload encoding changes. *)
+    every file {!save} writes. {!load} accepts only this version; bump
+    it whenever the payload encoding changes. *)
 
 val save : path:string -> Rfid_core.Engine.snapshot -> unit
 (** Write a checkpoint atomically and durably (via [path ^ ".tmp"] +
@@ -37,12 +38,12 @@ val save : path:string -> Rfid_core.Engine.snapshot -> unit
     @raise Sys_error if the file cannot be written. *)
 
 val load : path:string -> (Rfid_core.Engine.snapshot, string) result
-(** Read and verify a checkpoint (v2, or legacy v1). All failure modes
-    — missing file, wrong magic, unsupported version, truncation,
-    checksum mismatch, undecodable payload, header/payload epoch
-    disagreement — return [Error] with a descriptive message naming
-    the failing part. Decode time is recorded in the
-    [stage.checkpoint_decode] span. *)
+(** Read and verify a checkpoint (v2 only; a legacy v1 file gets an
+    [Error] naming the dropped format). All failure modes — missing
+    file, wrong magic, unsupported version, truncation, checksum
+    mismatch, undecodable payload, header/payload epoch disagreement —
+    return [Error] with a descriptive message naming the failing part.
+    Decode time is recorded in the [stage.checkpoint_decode] span. *)
 
 val load_exn : path:string -> Rfid_core.Engine.snapshot
 (** @raise Failure on any [Error] from {!load}. *)

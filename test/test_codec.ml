@@ -1,5 +1,5 @@
 (* The portable checkpoint codec: canonical round-trips over real and
-   randomized snapshots, the legacy-Marshal migration path, and the
+   randomized snapshots, the legacy-Marshal refusal path, and the
    promise that corrupted bytes always come back as [Error] — never a
    wrong snapshot, never an escaping exception. *)
 open Rfid_model
@@ -273,7 +273,9 @@ let qcheck_roundtrip =
       | Ok back -> String.equal data (Codec.encode back))
 
 (* ------------------------------------------------------------------ *)
-(* Migration: the legacy v1 (Marshal) checkpoint format must still load *)
+(* Legacy v1 (Marshal) checkpoints: the migration window has closed.
+   A v1 file must be refused with a clean error naming the dropped
+   format — never a Marshal decode attempt on untrusted bytes. *)
 
 let write_v1_file ~path snapshot =
   let payload = Marshal.to_string (snapshot : E.snapshot) [] in
@@ -287,8 +289,8 @@ let write_v1_file ~path snapshot =
         (Codec.adler32 payload);
       output_string oc payload)
 
-let test_v1_migration () =
-  let wh, engine, rest =
+let test_v1_rejected () =
+  let _, engine, _ =
     engine_at_midstream ~variant:Rfid_core.Config.Factorized_indexed ~num_domains:1
   in
   let snapshot = E.snapshot engine in
@@ -298,20 +300,19 @@ let test_v1_migration () =
     (fun () ->
       write_v1_file ~path snapshot;
       match Rfid_robust.Checkpoint.load ~path with
-      | Error msg -> Alcotest.failf "v1 checkpoint refused: %s" msg
-      | Ok loaded ->
-          let restored =
-            E.restore ~world:wh.Rfid_sim.Warehouse.world ~params:Params.default
-              ~config:(config_for Rfid_core.Config.Factorized_indexed 1)
-              loaded
+      | Ok _ -> Alcotest.fail "legacy v1 checkpoint loaded; it must be refused"
+      | Error msg ->
+          let contains hay needle =
+            let lh = String.length hay and ln = String.length needle in
+            let rec go i =
+              i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+            in
+            go 0
           in
-          let continue engine =
-            List.concat_map (E.step engine) rest @ E.flush engine
-          in
-          let a = continue engine and b = continue restored in
-          Alcotest.(check int) "v1 migration: event count" (List.length a)
-            (List.length b);
-          if a <> b then Alcotest.fail "v1-restored engine diverged")
+          if not (contains msg "v1") then
+            Alcotest.failf "v1 refusal does not name the format: %s" msg;
+          if not (contains msg path) then
+            Alcotest.failf "v1 refusal does not name the file: %s" msg)
 
 (* ------------------------------------------------------------------ *)
 (* Corruption: every single-byte flip and every truncation must fail
@@ -392,7 +393,8 @@ let suite =
     [
       Alcotest.test_case "round-trip + restore matrix" `Slow test_roundtrip_matrix;
       qcheck_roundtrip;
-      Alcotest.test_case "legacy v1 checkpoint migrates" `Quick test_v1_migration;
+      Alcotest.test_case "legacy v1 checkpoint cleanly refused" `Quick
+        test_v1_rejected;
       Alcotest.test_case "every byte flip rejected" `Slow test_every_flip_rejected;
       Alcotest.test_case "truncations rejected" `Quick test_every_truncation_rejected;
       Alcotest.test_case "errors name the failing section" `Quick

@@ -11,12 +11,17 @@
    and commit the updated test/golden/*.txt. *)
 open Rfid_model
 
+(* [adaptive = true] turns on the effort knobs (budget floor below K
+   plus an ESS resample cap), pinning the adaptive machinery's RNG draw
+   order and budget walk the same way the fixed-budget fixtures pin the
+   hot path. *)
 let variants =
   [
-    (Rfid_core.Config.Unfactorized, "unfactorized");
-    (Rfid_core.Config.Factorized, "factorized");
-    (Rfid_core.Config.Factorized_indexed, "factorized_indexed");
-    (Rfid_core.Config.Factorized_compressed, "factorized_compressed");
+    (false, Rfid_core.Config.Unfactorized, "unfactorized");
+    (false, Rfid_core.Config.Factorized, "factorized");
+    (false, Rfid_core.Config.Factorized_indexed, "factorized_indexed");
+    (false, Rfid_core.Config.Factorized_compressed, "factorized_compressed");
+    (true, Rfid_core.Config.Factorized_indexed, "factorized_indexed_adaptive");
   ]
 
 let scenario =
@@ -42,12 +47,14 @@ let degraded_epochs_of trace =
   List.filteri (fun i _ -> (i >= 6 && i < 9) || (i >= n / 2 && i < (n / 2) + 3)) obs
   |> List.map (fun (o : Types.observation) -> o.Types.o_epoch)
 
-let run ~variant ~num_domains =
+let run ~adaptive ~variant ~num_domains =
   let wh, trace = Lazy.force scenario in
   let config =
     Rfid_core.Config.create ~variant ~num_reader_particles:40
-      ~num_object_particles:60 ~compress_after:10 ~degraded_widen_after:2
-      ~report_delay:5 ~num_domains ()
+      ~num_object_particles:60
+      ?min_object_particles:(if adaptive then Some 15 else None)
+      ?resample_ess_ratio:(if adaptive then Some 0.25 else None)
+      ~compress_after:10 ~degraded_widen_after:2 ~report_delay:5 ~num_domains ()
   in
   let engine =
     Rfid_core.Engine.create ~world:wh.Rfid_sim.Warehouse.world
@@ -108,8 +115,8 @@ let check_dump what expected got =
       (try List.nth gl i with _ -> "<missing>")
   end
 
-let test_variant (variant, name) () =
-  let dump1 = dump_events (run ~variant ~num_domains:1) in
+let test_variant (adaptive, variant, name) () =
+  let dump1 = dump_events (run ~adaptive ~variant ~num_domains:1) in
   Alcotest.(check bool) (name ^ ": events exist") true (String.length dump1 > 0);
   (match Sys.getenv_opt "RFID_GOLDEN_PROMOTE" with
   | Some dir ->
@@ -127,13 +134,14 @@ let test_variant (variant, name) () =
       check_dump
         (Printf.sprintf "%s: %d domains vs 1 domain" name num_domains)
         dump1
-        (dump_events (run ~variant ~num_domains)))
+        (dump_events (run ~adaptive ~variant ~num_domains)))
     [ 2; 4 ];
   Rfid_par.Pool.shutdown_cached ()
 
 let suite =
   ( "golden",
     List.map
-      (fun (variant, name) ->
-        Alcotest.test_case (name ^ " event stream") `Quick (test_variant (variant, name)))
+      (fun (adaptive, variant, name) ->
+        Alcotest.test_case (name ^ " event stream") `Quick
+          (test_variant (adaptive, variant, name)))
       variants )

@@ -155,6 +155,117 @@ let test_fit_gaussian_bit_identical () =
   in
   Util.check_close ~eps:1e-9 "avg_nll matches row-wise reference" reference nll
 
+let test_resize_down () =
+  let n = 20 in
+  let s, xs, _, _, lw, rd = filled ~seed:61 n in
+  let cap = Particle_store.capacity s in
+  Particle_store.resize_down s 7;
+  Alcotest.(check int) "length truncated" 7 (Particle_store.length s);
+  Alcotest.(check int) "capacity kept" cap (Particle_store.capacity s);
+  for i = 0 to 6 do
+    Alcotest.(check (float 0.)) "prefix x intact" xs.(i) (Particle_store.x s i);
+    Alcotest.(check (float 0.)) "prefix log_w intact" lw.(i) (Particle_store.log_w s i);
+    Alcotest.(check int) "prefix reader intact" rd.(i) (Particle_store.reader s i)
+  done;
+  Particle_store.resize_down s 0;
+  Alcotest.(check int) "down to empty legal" 0 (Particle_store.length s);
+  Util.check_raises_invalid "negative target" (fun () ->
+      Particle_store.resize_down s (-1));
+  let s2, _, _, _, _, _ = filled ~seed:61 5 in
+  Util.check_raises_invalid "target above length" (fun () ->
+      Particle_store.resize_down s2 6)
+
+(* Reference for resize_up's appended tail: particle [k + t] is source
+   particle [t mod k] jittered by one fresh gaussian per axis in x, y,
+   z order, with log-weight and reader index copied verbatim. Drawing
+   from an identically-seeded RNG reproduces the jitter bit-for-bit. *)
+let check_resize_up ~seed ~k ~n ~sigma_x ~sigma_y ~sigma_z =
+  let s, xs, ys, zs, lw, rd = filled ~seed k in
+  Particle_store.resize_up s ~n ~rng:(mk_rng 991) ~sigma_x ~sigma_y ~sigma_z;
+  Alcotest.(check int) "grown length" n (Particle_store.length s);
+  for i = 0 to k - 1 do
+    Alcotest.(check (float 0.)) "prefix x intact" xs.(i) (Particle_store.x s i);
+    Alcotest.(check (float 0.)) "prefix y intact" ys.(i) (Particle_store.y s i);
+    Alcotest.(check (float 0.)) "prefix z intact" zs.(i) (Particle_store.z s i);
+    Alcotest.(check (float 0.)) "prefix log_w intact" lw.(i) (Particle_store.log_w s i);
+    Alcotest.(check int) "prefix reader intact" rd.(i) (Particle_store.reader s i)
+  done;
+  let ref_rng = mk_rng 991 in
+  for i = k to n - 1 do
+    let j = (i - k) mod k in
+    let ex = xs.(j) +. (sigma_x *. Rng.gaussian ref_rng ()) in
+    let ey = ys.(j) +. (sigma_y *. Rng.gaussian ref_rng ()) in
+    let ez = zs.(j) +. (sigma_z *. Rng.gaussian ref_rng ()) in
+    Alcotest.(check (float 0.)) "tail x jittered replica" ex (Particle_store.x s i);
+    Alcotest.(check (float 0.)) "tail y jittered replica" ey (Particle_store.y s i);
+    Alcotest.(check (float 0.)) "tail z jittered replica" ez (Particle_store.z s i);
+    Alcotest.(check (float 0.)) "tail log_w copied" lw.(j) (Particle_store.log_w s i);
+    Alcotest.(check int) "tail reader copied" rd.(j) (Particle_store.reader s i)
+  done
+
+let test_resize_up_within_capacity () =
+  (* Shrink first so the growth stays inside the existing slabs. *)
+  let s, xs, _, _, _, _ = filled ~seed:67 16 in
+  Particle_store.resize_down s 4;
+  Particle_store.resize_up s ~n:12 ~rng:(mk_rng 5) ~sigma_x:0. ~sigma_y:0. ~sigma_z:0.;
+  Alcotest.(check int) "grown back" 12 (Particle_store.length s);
+  for i = 4 to 11 do
+    (* sigma 0: exact cyclic replicas of the 4 survivors. *)
+    Alcotest.(check (float 0.)) "zero-sigma replica" xs.((i - 4) mod 4)
+      (Particle_store.x s i)
+  done
+
+let test_resize_up_capacity_crossing () =
+  (* A freshly created store has capacity = length, so growing forces
+     the realloc path, which must preserve the live prefix (the raw
+     [resize] primitive deliberately does not). *)
+  check_resize_up ~seed:71 ~k:5 ~n:23 ~sigma_x:0.3 ~sigma_y:0.2 ~sigma_z:0.1
+
+let test_resize_up_invalid () =
+  let s, _, _, _, _, _ = filled ~seed:73 6 in
+  Util.check_raises_invalid "target below current" (fun () ->
+      Particle_store.resize_up s ~n:5 ~rng:(mk_rng 1) ~sigma_x:0. ~sigma_y:0.
+        ~sigma_z:0.);
+  let empty = Particle_store.create ~n:0 in
+  Util.check_raises_invalid "empty store has nothing to replicate" (fun () ->
+      Particle_store.resize_up empty ~n:4 ~rng:(mk_rng 1) ~sigma_x:0. ~sigma_y:0.
+        ~sigma_z:0.)
+
+let qcheck_resize_up_replication =
+  Util.qcheck ~count:60 "resize_up tail = seeded jitter reference"
+    QCheck.(triple small_int (int_range 1 12) (int_range 0 40))
+    (fun (seed, k, extra) ->
+      check_resize_up ~seed ~k ~n:(k + extra) ~sigma_x:0.25 ~sigma_y:0.25
+        ~sigma_z:0.05;
+      true)
+
+let qcheck_resize_up_fit_invariant =
+  (* Growing with small jitter must not move the posterior summary
+     much: the weighted Gaussian fit of the grown cloud (uniform
+     weights, as after a resample) stays within a fraction of a foot of
+     the original fit's mean. *)
+  Util.qcheck ~count:40 "resize_up keeps the fitted mean"
+    QCheck.(pair small_int (int_range 8 40))
+    (fun (seed, k) ->
+      let s, _, _, _, _, _ = filled ~seed k in
+      Particle_store.reset_log_w s;
+      let w_before = Particle_store.normalized_weights s in
+      let before = Particle_store.fit_gaussian ~w:w_before s in
+      Particle_store.resize_up s ~n:(4 * k) ~rng:(mk_rng (seed + 77)) ~sigma_x:0.05
+        ~sigma_y:0.05 ~sigma_z:0.05;
+      let w_after = Particle_store.normalized_weights s in
+      let after = Particle_store.fit_gaussian ~w:w_after s in
+      let db = Gaussian.mean before and da = Gaussian.mean after in
+      let dist =
+        sqrt
+          (((db.(0) -. da.(0)) ** 2.)
+          +. ((db.(1) -. da.(1)) ** 2.)
+          +. ((db.(2) -. da.(2)) ** 2.))
+      in
+      if dist > 0.2 then
+        QCheck.Test.fail_reportf "fitted mean moved %.3f ft on grow" dist;
+      true)
+
 let test_copy_independent () =
   let n = 8 in
   let s, xs, _, _, _, _ = filled ~seed:59 n in
@@ -174,5 +285,13 @@ let suite =
       Alcotest.test_case "blit and swap" `Quick test_blit_and_swap;
       Alcotest.test_case "backing views live slabs" `Quick test_backing_views_live_slabs;
       Alcotest.test_case "fit_gaussian bit-identical" `Quick test_fit_gaussian_bit_identical;
+      Alcotest.test_case "resize_down truncates in place" `Quick test_resize_down;
+      Alcotest.test_case "resize_up within capacity" `Quick
+        test_resize_up_within_capacity;
+      Alcotest.test_case "resize_up across capacity" `Quick
+        test_resize_up_capacity_crossing;
+      Alcotest.test_case "resize_up invalid args" `Quick test_resize_up_invalid;
+      qcheck_resize_up_replication;
+      qcheck_resize_up_fit_invariant;
       Alcotest.test_case "copy independent" `Quick test_copy_independent;
     ] )
