@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test doc bench bench-json bench-smoke perf-gate perf-gate-strict perf-baseline fuzz crash-test fmt clean
+.PHONY: all build test doc bench bench-json bench-smoke perf-gate perf-gate-strict perf-baseline fuzz crash-test serve-smoke fmt clean
 
 all: build
 
@@ -17,13 +17,16 @@ test:
 	$(DUNE) build && $(DUNE) runtest && $(DUNE) exec fuzz/fuzz_main.exe -- 10
 	cd test && OBS_TRACE=/tmp/rfid_golden_trace.json $(DUNE) exec ./test_main.exe -- test golden
 	$(MAKE) crash-test
+	$(MAKE) serve-smoke
+	$(MAKE) doc
 	$(MAKE) bench-smoke
 	-$(MAKE) perf-gate
 
 # API docs. The container may not ship odoc; fall back to a full
 # signature check (which still catches malformed doc comments attached
 # to the wrong item) so `make doc` is meaningful everywhere. With odoc
-# present, any warning is a failure.
+# present, any warning is a failure. Runs fatally inside `make test`
+# (no leading -): a doc failure fails the build either way.
 doc:
 	@if command -v odoc >/dev/null 2>&1; then \
 	  out=$$($(DUNE) build @doc 2>&1); status=$$?; \
@@ -49,6 +52,15 @@ fuzz:
 # `dune exec crash/crash_main.exe -- 1 SEED`.
 crash-test:
 	$(DUNE) exec crash/crash_main.exe -- 50
+
+# End-to-end gate on the stream server: boots the real `rfid_clean
+# serve` binary on an ephemeral port, feeds ~100 epochs over loopback,
+# and requires (1) every query reply bit-identical to an in-process
+# replay of the same trace, (2) BUSY under forced admission overflow,
+# and (3) SIGKILL-then-`--recover` re-serving with an events log
+# byte-identical to an uninterrupted run's. Fatal in `make test`.
+serve-smoke:
+	$(DUNE) exec smoke/serve_smoke.exe
 
 # Full table/figure reproduction harness (slow).
 bench:

@@ -312,7 +312,7 @@ let emit ?(extra = []) oc points robust durability =
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"bench_filter/v6\",\n\
+    \  \"schema\": \"bench_filter/v7\",\n\
     \  \"workload\": \"warehouse straight pass, J=100, K=200, resample_ess=1.0, \
      min_particles=200, seed 7; f+index+adaptive points: resample_ess=0.25, \
      min_particles=32\",\n\
@@ -402,6 +402,124 @@ let adaptive_check_json ~scaling_n ~points ~params ~bit_identity_trace =
       ]
   | _ -> []
 
+(* Server-mode point: the RFID-SERVE/1 state machine measured
+   in-process ([Rfid_serve.Core.handle_line] + [tick]), socket I/O
+   excluded on purpose — the wire adds client-dependent latency, while
+   this pins what the server itself costs per epoch and per query. Each
+   ingested epoch is chased by one sliding-window RANGE and one AT, as
+   a monitoring client polling the live posteriors would; ingest time
+   and query latency are accumulated separately. The recipe is written
+   up in EXPERIMENTS.md ("Server-mode throughput"). *)
+
+type serving_point = {
+  sp_objects : int;
+  sp_epochs : int;
+  sp_ingest_s : float;
+  sp_range_lat : float array;  (** sorted, seconds *)
+  sp_at_lat : float array;  (** sorted, seconds *)
+}
+
+let lat_quantile_us sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    1e6 *. sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+let run_serving_point ~objects ~rounds () =
+  Printf.printf "  ... %-16s n=%-5d%!" "serving" objects;
+  let seed = 7 in
+  let boot = Rfid_serve.Bootstrap.make ~objects ~seed ~particles:100 () in
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:objects () in
+  let sensor = Rfid_sim.Truth_sensor.cone () in
+  let trace =
+    Rfid_sim.Trace_gen.run ~world:wh.Rfid_sim.Warehouse.world
+      ~object_locs:wh.Rfid_sim.Warehouse.object_locs
+      ~start:(Rfid_sim.Warehouse.reader_start wh)
+      ~path:(Rfid_sim.Trace_gen.straight_pass wh ~rounds)
+      ~config:(Rfid_sim.Trace_gen.default_config ~sensor ())
+      (Rfid_prob.Rng.create ~seed)
+  in
+  let put_lines =
+    Rfid_model.Trace.observations trace
+    |> List.map (fun o -> "PUT " ^ Rfid_model.Trace_io.observation_to_line o)
+  in
+  let core =
+    Rfid_serve.Core.create
+      ~guard:(Rfid_serve.Bootstrap.fresh_guard boot)
+      ~engine:(Rfid_serve.Bootstrap.fresh_engine boot)
+      ~num_objects:objects ()
+  in
+  (* Eight RANGE windows tiling the world's x extent, cycled per epoch,
+     so probes hit dense and empty regions alike. *)
+  let world_box =
+    Rfid_model.World.bounding_box boot.Rfid_serve.Bootstrap.world
+  in
+  let windows = 8 in
+  let span =
+    (world_box.Rfid_geom.Box2.max_x -. world_box.Rfid_geom.Box2.min_x)
+    /. float_of_int windows
+  in
+  let range_query i =
+    let lo = world_box.Rfid_geom.Box2.min_x +. (span *. float_of_int (i mod windows)) in
+    Printf.sprintf "RANGE %.3f %.3f %.3f %.3f 0.05" lo
+      world_box.Rfid_geom.Box2.min_y (lo +. span)
+      world_box.Rfid_geom.Box2.max_y
+  in
+  let range_lat = ref [] and at_lat = ref [] in
+  let ingest_s = ref 0. in
+  let epoch_i = ref 0 in
+  List.iter
+    (fun line ->
+      let t0 = Unix.gettimeofday () in
+      ignore (Rfid_serve.Core.handle_line core line);
+      ignore (Rfid_serve.Core.tick core ~max_steps:256);
+      let t1 = Unix.gettimeofday () in
+      ingest_s := !ingest_s +. (t1 -. t0);
+      ignore (Rfid_serve.Core.handle_line core (range_query !epoch_i));
+      let t2 = Unix.gettimeofday () in
+      range_lat := (t2 -. t1) :: !range_lat;
+      ignore
+        (Rfid_serve.Core.handle_line core
+           (Printf.sprintf "AT %d" (!epoch_i mod objects)));
+      at_lat := (Unix.gettimeofday () -. t2) :: !at_lat;
+      incr epoch_i)
+    put_lines;
+  ignore (Rfid_serve.Core.handle_line core "SYNC");
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  let sp =
+    {
+      sp_objects = objects;
+      sp_epochs = !epoch_i;
+      sp_ingest_s = !ingest_s;
+      sp_range_lat = sorted !range_lat;
+      sp_at_lat = sorted !at_lat;
+    }
+  in
+  Printf.printf "  %7.0f epochs/s ingest, range p95 %.0f us\n%!"
+    (float_of_int sp.sp_epochs /. Float.max 1e-9 sp.sp_ingest_s)
+    (lat_quantile_us sp.sp_range_lat 0.95);
+  sp
+
+let serving_json sp =
+  Printf.sprintf
+    "  \"serving\": {\"workload\": \"in-process RFID-SERVE/1 core: PUT+tick per \
+     epoch chased by one sliding-window RANGE (8 windows, min-mass 0.05) and one \
+     AT, K=100, seed 7; socket I/O excluded\", \"objects\": %d, \"epochs\": %d, \
+     \"ingest_elapsed_s\": %.6f, \"ingest_epochs_per_sec\": %.2f, \
+     \"range_p50_us\": %.1f, \"range_p95_us\": %.1f, \"range_p99_us\": %.1f, \
+     \"at_p50_us\": %.1f, \"at_p95_us\": %.1f}"
+    sp.sp_objects sp.sp_epochs sp.sp_ingest_s
+    (float_of_int sp.sp_epochs /. Float.max 1e-9 sp.sp_ingest_s)
+    (lat_quantile_us sp.sp_range_lat 0.5)
+    (lat_quantile_us sp.sp_range_lat 0.95)
+    (lat_quantile_us sp.sp_range_lat 0.99)
+    (lat_quantile_us sp.sp_at_lat 0.5)
+    (lat_quantile_us sp.sp_at_lat 0.95)
+
 let run ~path ~large =
   Printf.printf "bench --json: filter throughput -> %s\n%!" path;
   (* Scope the "stages" block to this run, not whatever ran earlier in
@@ -450,6 +568,7 @@ let run ~path ~large =
   let extra =
     adaptive_check_json ~scaling_n ~points ~params
       ~bit_identity_trace:small_built.Scenarios.trace
+    @ [ serving_json (run_serving_point ~objects:500 ~rounds:1 ()) ]
   in
   let oc = open_out path in
   Fun.protect
@@ -809,11 +928,12 @@ let smoke () =
   in
   let robust = run_robust_point ~objects ~params ~trace in
   let durability = run_durability_point ~objects ~params ~trace in
+  let serving = run_serving_point ~objects ~rounds:1 () in
   let path = Filename.temp_file "bench_smoke" ".json" in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> emit oc points robust durability);
+    (fun () -> emit ~extra:[ serving_json serving ] oc points robust durability);
   (* The emitted file must round-trip through the same extractor the
      gate uses on the committed baseline. *)
   let emitted = read_file path in
@@ -828,6 +948,8 @@ let smoke () =
   require_number "codec_encode_us";
   require_number "mean_budget";
   require_number "resample_skip_rate";
+  require_number "ingest_epochs_per_sec";
+  require_number "range_p95_us";
   (* scaling_valid is a boolean, so the numeric extractor can't read
      it; presence of the key is what the v6 schema promises. *)
   let contains hay needle =

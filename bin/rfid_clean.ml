@@ -907,8 +907,405 @@ let lab_cmd =
   Cmd.v (Cmd.info "lab" ~doc) Term.(const lab $ timeout $ large $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+(* Parse one durable events-log line back into an event, to reseed the
+   server's EVENTS ring on --recover. The log prints through Event.pp
+   at fixed (3-decimal) precision, so the reconstruction is lossy in
+   the covariance — only sd_xy survives, as a diagonal — but re-printing
+   the parsed event yields the original line byte-for-byte, which is
+   the property EVENTS replies need across a crash. *)
+let event_of_log_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    let degraded =
+      let suffix = " [degraded]" in
+      let n = String.length line and k = String.length suffix in
+      n >= k && String.sub line (n - k) k = suffix
+    in
+    let mk e o x y z sd =
+      let cov =
+        Option.map
+          (fun s ->
+            let v = s *. s in
+            [| [| v; 0.; 0. |]; [| 0.; v; 0. |]; [| 0.; 0.; 0. |] |])
+          sd
+      in
+      Rfid_core.Event.make ~epoch:e ~obj:o ~loc:(Rfid_geom.Vec3.make x y z) ?cov
+        ~degraded ()
+    in
+    match
+      Scanf.sscanf line "t=%d obj=%d loc=(%f, %f, %f) (sd_xy=%f" (fun e o x y z s ->
+          mk e o x y z (Some s))
+    with
+    | ev -> Some ev
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> (
+        match
+          Scanf.sscanf line "t=%d obj=%d loc=(%f, %f, %f" (fun e o x y z ->
+              mk e o x y z None)
+        with
+        | ev -> Some ev
+        | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None)
+
+let serve host port objects seed variant particles min_particles resample_ess
+    domains admit_cap max_steps_per_tick events_keep checkpoint checkpoint_keep
+    checkpoint_every wal wal_fsync_every events_out recover metrics_push
+    metrics_push_every =
+  Rfid_obs.Metrics.reset Rfid_obs.Metrics.global;
+  let boot =
+    Rfid_serve.Bootstrap.make ~objects ~seed ~variant ~particles ~min_particles
+      ~resample_ess ~domains ()
+  in
+  (if recover && checkpoint = None then
+     failwith "--recover needs --checkpoint to know where the checkpoints live");
+  let engine =
+    if recover then
+      match Rfid_robust.Checkpoint.load_auto ~path:(Option.get checkpoint) with
+      | Ok snapshot ->
+          Format.eprintf "# resuming from %s at epoch %d@." (Option.get checkpoint)
+            (Rfid_core.Engine.snapshot_epoch snapshot);
+          Rfid_serve.Bootstrap.restore_engine boot snapshot
+      | Error msg ->
+          Format.eprintf "# no loadable checkpoint (%s); recovering from the start@."
+            msg;
+          Rfid_serve.Bootstrap.fresh_engine boot
+    else Rfid_serve.Bootstrap.fresh_engine boot
+  in
+  let guard = Rfid_serve.Bootstrap.fresh_guard boot in
+  Rfid_robust.Ingest.advance_timeline guard (Rfid_core.Engine.epoch engine);
+  (* Fresh-run hygiene, as in infer: stale checkpoints from a previous
+     run must not shadow this one's. *)
+  (match checkpoint with
+  | Some path when not recover ->
+      if checkpoint_keep > 1 then Rfid_robust.Checkpoint.clear_rotation ~dir:path
+      else
+        List.iter
+          (fun p -> if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ())
+          [ path; path ^ ".tmp" ]
+  | _ -> ());
+  (* Recovery, step 1: trim the durable logs to a consistent prefix
+     before reopening them for append (same discipline as infer). *)
+  (if recover then begin
+     let e0 = Rfid_core.Engine.epoch engine in
+     (match events_out with
+     | Some path -> truncate_events_file ~path ~epoch:e0
+     | None -> ());
+     match wal with
+     | None -> ()
+     | Some path ->
+         let tail = Rfid_robust.Wal.read ~path in
+         (match tail.Rfid_robust.Wal.note with
+         | Some why ->
+             Format.eprintf "# wal: %s; discarding %d byte(s) of torn tail@." why
+               tail.Rfid_robust.Wal.discarded_bytes
+         | None -> ());
+         Rfid_robust.Wal.truncate ~path ~valid_bytes:tail.Rfid_robust.Wal.valid_bytes
+   end);
+  let events_fd =
+    match events_out with
+    | None -> None
+    | Some path -> (
+        let flags =
+          Unix.O_WRONLY :: Unix.O_CREAT
+          :: (if recover then [ Unix.O_APPEND ] else [ Unix.O_TRUNC ])
+        in
+        match Unix.openfile path flags 0o644 with
+        | exception Unix.Unix_error (e, _, _) ->
+            raise (Sys_error (path ^ ": " ^ Unix.error_message e))
+        | fd -> Some fd)
+  in
+  let on_events evs =
+    match events_fd with
+    | None -> ()
+    | Some fd ->
+        List.iter
+          (fun ev ->
+            Rfid_robust.Durable.write fd (Format.asprintf "%a\n" Rfid_core.Event.pp ev))
+          evs
+  in
+  let on_flush_mark () =
+    match events_fd with
+    | None -> ()
+    | Some fd -> Rfid_robust.Durable.write fd "# flush\n"
+  in
+  (* Recovery, step 2: replay the WAL past the checkpoint; the journal
+     is attached only afterwards, so replayed entries are not logged
+     twice. *)
+  (if recover then
+     match wal with
+     | None -> ()
+     | Some path -> (
+         let tail = Rfid_robust.Wal.read ~path in
+         match Rfid_robust.Wal.replay ~guard ~engine tail.Rfid_robust.Wal.entries with
+         | Ok evs ->
+             if evs <> [] || tail.Rfid_robust.Wal.entries <> [] then
+               Format.eprintf "# wal: replayed %d entr(ies) to epoch %d@."
+                 (List.length tail.Rfid_robust.Wal.entries)
+                 (Rfid_core.Engine.epoch engine);
+             on_events evs
+         | Error msg -> failwith msg));
+  let wal_writer =
+    match wal with
+    | None -> None
+    | Some path ->
+        Some
+          (Rfid_robust.Wal.create_writer ~append:recover ~fsync_every:wal_fsync_every
+             ~path ())
+  in
+  (match wal_writer with
+  | None -> ()
+  | Some w ->
+      Rfid_core.Engine.set_journal engine
+        (Some
+           (fun entry ->
+             Rfid_robust.Wal.append w
+               (match entry with
+               | Rfid_core.Engine.Journal_step o -> Rfid_robust.Wal.Step o
+               | Rfid_core.Engine.Journal_degraded (e, tags) ->
+                   Rfid_robust.Wal.Degraded (e, tags)))));
+  let save_checkpoint eng =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        (* Durability barrier (as in infer): WAL records and event
+           lines covered by the checkpoint reach disk first. *)
+        (match wal_writer with Some w -> Rfid_robust.Wal.sync w | None -> ());
+        (match events_fd with Some fd -> Rfid_robust.Durable.fsync fd | None -> ());
+        let snapshot = Rfid_core.Engine.snapshot eng in
+        if checkpoint_keep > 1 then
+          Rfid_robust.Checkpoint.save_rotating ~dir:path ~keep:checkpoint_keep snapshot
+        else Rfid_robust.Checkpoint.save ~path snapshot
+  in
+  let hooks =
+    {
+      Rfid_serve.Core.on_events;
+      on_flush_mark;
+      on_admitted = (fun _ -> ());
+      on_checkpoint = save_checkpoint;
+    }
+  in
+  let core =
+    Rfid_serve.Core.create ~guard ~engine ~num_objects:objects ~admit_cap
+      ~events_keep ~checkpoint_every ~hooks ()
+  in
+  (* Reseed the EVENTS ring from the durable log (which now also holds
+     any WAL-regenerated lines), oldest first, so a recovered server
+     answers EVENTS with the same history the uninterrupted one
+     would — without duplicating any event. *)
+  (if recover then
+     match events_out with
+     | None -> ()
+     | Some path -> (
+         match open_in_bin path with
+         | exception Sys_error _ -> ()
+         | ic ->
+             Fun.protect
+               ~finally:(fun () -> close_in_noerr ic)
+               (fun () ->
+                 try
+                   while true do
+                     match event_of_log_line (input_line ic) with
+                     | Some ev -> Rfid_serve.Core.preload_event core ev
+                     | None -> ()
+                   done
+                 with End_of_file -> ())));
+  let pusher =
+    match metrics_push with
+    | None -> None
+    | Some (mhost, mport) -> (
+        match Rfid_serve.Push.create ~host:mhost ~port:mport with
+        | Ok p -> Some p
+        | Error msg -> failwith (Printf.sprintf "--metrics-push: %s" msg))
+  in
+  let g_epoch = Rfid_obs.Metrics.gauge Rfid_obs.Metrics.global "serve.epoch" in
+  let g_queue = Rfid_obs.Metrics.gauge Rfid_obs.Metrics.global "serve.queue_depth" in
+  let g_admitted = Rfid_obs.Metrics.gauge Rfid_obs.Metrics.global "serve.admitted" in
+  let last_push = ref (Unix.gettimeofday ()) in
+  let on_pass () =
+    match pusher with
+    | None -> ()
+    | Some p ->
+        let now = Unix.gettimeofday () in
+        if now -. !last_push >= metrics_push_every then begin
+          last_push := now;
+          Rfid_obs.Metrics.set g_epoch (float_of_int (Rfid_serve.Core.epoch core));
+          Rfid_obs.Metrics.set g_queue
+            (float_of_int (Rfid_serve.Core.queue_depth core));
+          Rfid_obs.Metrics.set g_admitted
+            (float_of_int (Rfid_serve.Core.admitted core));
+          Rfid_serve.Push.send p
+            (Rfid_obs.Openmetrics.render Rfid_obs.Metrics.global)
+        end
+  in
+  let config =
+    {
+      Rfid_serve.Server.default_config with
+      Rfid_serve.Server.host;
+      port;
+      max_steps_per_tick;
+    }
+  in
+  let on_listening ~host ~port =
+    Printf.printf "# rfid-serve listening on %s:%d\n%!" host port
+  in
+  Rfid_serve.Server.run ~on_listening ~on_pass core config;
+  (* The loop has returned: stop was requested and Core.drain ran
+     (flush + checkpoint through the hooks). Close the durable tail. *)
+  (match wal_writer with Some w -> Rfid_robust.Wal.close w | None -> ());
+  (match events_fd with
+  | Some fd ->
+      (try Rfid_robust.Durable.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  (match pusher with Some p -> Rfid_serve.Push.close p | None -> ());
+  if wal <> None then
+    Printf.eprintf "# durable-bytes=%d\n%!" (Rfid_robust.Durable.total_written ());
+  Format.printf "drained at epoch %d (admitted %d)@."
+    (Rfid_serve.Core.epoch core)
+    (Rfid_serve.Core.admitted core);
+  Format.printf "ingest: %a@." Rfid_robust.Ingest.pp_counters guard;
+  Format.printf "engine: %a@." Rfid_core.Engine.pp_stats
+    (Rfid_core.Engine.stats engine)
+
+let serve_cmd =
+  let doc =
+    "Serve the inference engine over TCP: line-framed PUT ingest with \
+     backpressure, probabilistic RANGE/AT/EVENTS/STATS queries over live \
+     posteriors, graceful SIGTERM drain. The wire protocol is documented in \
+     PROTOCOL.md, operations in RUNBOOK.md."
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 4040
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port (0 = pick an ephemeral port; the chosen port is \
+             announced on stdout).")
+  in
+  let admit_cap =
+    Arg.(
+      value & opt int 1024
+      & info [ "admit-cap" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound: PUTs beyond N queued observations are \
+             refused with BUSY (never dropped silently).")
+  in
+  let max_steps_per_tick =
+    Arg.(
+      value & opt int 256
+      & info [ "max-steps-per-tick" ] ~docv:"N"
+          ~doc:
+            "Queued observations stepped through the engine per server loop \
+             pass — bounds how long ingest can starve query latency.")
+  in
+  let events_keep =
+    Arg.(
+      value & opt int 4096
+      & info [ "events-keep" ] ~docv:"N"
+          ~doc:
+            "Bound on the in-memory EVENTS ring; older events are evicted \
+             (and counted in STATS events_dropped).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Write engine checkpoints to PATH (file, or rotation directory \
+             with $(b,--checkpoint-keep) > 1) on DRAIN, shutdown, and the \
+             $(b,--checkpoint-every) cadence.")
+  in
+  let checkpoint_keep =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-keep" ] ~docv:"N"
+          ~doc:"Keep the N newest checkpoints (rotating in a directory).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"Checkpoint every K admitted epochs (0 = only on DRAIN/shutdown).")
+  in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:"Append each admitted epoch to a write-ahead log at FILE.")
+  in
+  let wal_fsync_every =
+    Arg.(
+      value & opt int 8
+      & info [ "wal-fsync-every" ] ~docv:"K"
+          ~doc:"Force the write-ahead log to disk every K records (min 1).")
+  in
+  let events_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Append cleaned events to FILE durably, in emission order.")
+  in
+  let recover =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Recover a crashed server: load the newest valid checkpoint from \
+             $(b,--checkpoint), trim and replay the $(b,--wal), reseed the \
+             EVENTS ring from $(b,--events), then serve — clients resume \
+             PUTting where they left off, without event duplication.")
+  in
+  let metrics_push =
+    let hostport =
+      let parse s =
+        match String.rindex_opt s ':' with
+        | None -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" s))
+        | Some i -> (
+            let h = String.sub s 0 i in
+            match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+            | Some p when h <> "" && p > 0 && p < 65536 -> Ok (h, p)
+            | _ -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" s)))
+      in
+      Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+    in
+    Arg.(
+      value
+      & opt (some hostport) None
+      & info [ "metrics-push" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Push OpenMetrics-text snapshots of the live registry to this UDP \
+             (statsd-style) sink; see RUNBOOK.md.")
+  in
+  let metrics_push_every =
+    Arg.(
+      value & opt float 10.
+      & info [ "metrics-push-every" ] ~docv:"SECONDS"
+          ~doc:"Seconds between metrics pushes.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ host $ port $ objects_arg $ seed_arg $ variant_arg
+      $ particles_arg $ min_particles_arg $ resample_ess_arg $ domains_arg
+      $ admit_cap $ max_steps_per_tick $ events_keep $ checkpoint $ checkpoint_keep
+      $ checkpoint_every $ wal $ wal_fsync_every $ events_out $ recover
+      $ metrics_push $ metrics_push_every)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "probabilistic cleaning of mobile RFID streams (Tran et al., ICDE 2009)" in
   let info = Cmd.info "rfid_clean" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; infer_cmd; replay_cmd; calibrate_cmd; lab_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ simulate_cmd; infer_cmd; replay_cmd; calibrate_cmd; lab_cmd; serve_cmd ]))

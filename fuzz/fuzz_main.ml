@@ -15,7 +15,11 @@
         log on disk.  [Checkpoint.load] must answer [Error] or the
         bit-identical original snapshot (checksums make a silently
         different decode effectively impossible), and [Wal.read] must
-        return a prefix of the records written.  Neither may raise. *)
+        return a prefix of the records written.  Neither may raise;
+     4. protocol fuzz — random, mutated, and hostile request frames
+        through the stream server's state machine
+        ([Rfid_serve.Core.handle_line]).  No frame may raise, and
+        every non-empty frame must get a newline-terminated reply. *)
 
 open Rfid_model
 
@@ -145,6 +149,84 @@ let fuzz_durability rng engine clean =
       if not (is_prefix tail.Rfid_robust.Wal.entries wal_entries) then
         failwith "corrupt WAL read records that were never written")
 
+(* Layer 4: the wire-facing protocol surface. Frames are drawn from
+   valid commands, valid commands with mutated arguments, raw garbage,
+   and stateful poison (PAUSE/DRAIN mid-stream) — the state machine
+   must answer every one of them without an exception escaping, and
+   its replies must stay framed. *)
+let protocol_frames =
+  [|
+    "PING";
+    "SYNC";
+    "STATS";
+    "PAUSE";
+    "RESUME";
+    "DRAIN";
+    "AT 0";
+    "AT -3";
+    "AT 999999999999999999999999";
+    "AT";
+    "RANGE -5 -5 5 5";
+    "RANGE 5 5 -5 -5";
+    "RANGE nan nan nan nan";
+    "RANGE 0 0 1 1 -7";
+    "RANGE 0 0 1 1 0.5 extra";
+    "EVENTS 0";
+    "EVENTS -5";
+    "EVENTS never";
+    "PUT 1,0.0,-1.0,0.0,obj:3";
+    "PUT 1,0.0,-1.0,0.0,obj:999";
+    "PUT -9,0.0,0.0,0.0,";
+    "PUT 2,nan,inf,0.0,obj:1;shelf:x";
+    "PUT";
+    "PUT ,,,,";
+    "put 1,0.0,0.0,0.0,";
+    "";
+    " ";
+    "\t";
+    "QUIT extra words";
+    "\xff\xfe\x00garbage";
+  |]
+
+let fuzz_protocol rng boot =
+  let core =
+    Rfid_serve.Core.create
+      ~guard:(Rfid_serve.Bootstrap.fresh_guard boot)
+      ~engine:(Rfid_serve.Bootstrap.fresh_engine boot)
+      ~num_objects:boot.Rfid_serve.Bootstrap.num_objects
+      ~admit_cap:(1 + Rfid_prob.Rng.int rng 8)
+      ~events_keep:(1 + Rfid_prob.Rng.int rng 8)
+      ()
+  in
+  for _ = 1 to 200 do
+    let frame =
+      let base =
+        protocol_frames.(Rfid_prob.Rng.int rng (Array.length protocol_frames))
+      in
+      if Rfid_prob.Rng.bernoulli rng ~p:0.3 && String.length base > 0 then begin
+        (* Mutate one byte, as the text fuzzer does to file input. *)
+        let b = Bytes.of_string base in
+        Bytes.set b
+          (Rfid_prob.Rng.int rng (Bytes.length b))
+          (Char.chr (Rfid_prob.Rng.int rng 256));
+        Bytes.to_string b
+      end
+      else if Rfid_prob.Rng.bernoulli rng ~p:0.02 then
+        (* An over-long frame must get ERR 413, not OOM or a raise. *)
+        base ^ String.make (Rfid_serve.Framing.max_line_bytes + 1) 'y'
+      else base
+    in
+    let reply, _close = Rfid_serve.Core.handle_line core frame in
+    if String.trim frame = "" then begin
+      if reply <> "" then
+        failwith (Printf.sprintf "empty frame got a reply: %S" reply)
+    end
+    else if reply = "" || reply.[String.length reply - 1] <> '\n' then
+      failwith
+        (Printf.sprintf "frame %S: reply not newline-terminated: %S" frame reply);
+    ignore (Rfid_serve.Core.tick core ~max_steps:4)
+  done
+
 let policy_sets =
   [|
     Rfid_robust.Ingest.default_policies;
@@ -180,6 +262,11 @@ let () =
   in
   let clean = Trace.observations trace in
   let clean_text = Trace_io.observations_to_string clean in
+  (* The serve fixture fits a sensor model — expensive, so built once;
+     each iteration gets a fresh engine/guard/core from it. *)
+  let boot =
+    Rfid_serve.Bootstrap.make ~objects:6 ~seed:base_seed ~particles:30 ()
+  in
   let failures = ref 0 in
   for iter = 0 to iters - 1 do
     let seed = base_seed + iter in
@@ -225,7 +312,9 @@ let () =
        | Ok events -> ignore (List.length events)
        | Error (_fault, _msg) -> () (* a Halt policy stopping is fine *));
        (* Layer 3: on-disk durability corruption. *)
-       fuzz_durability rng engine clean
+       fuzz_durability rng engine clean;
+       (* Layer 4: hostile request frames through the protocol core. *)
+       fuzz_protocol rng boot
      with exn ->
        incr failures;
        Printf.printf "  FAILURE at seed %d: %s\n%!" seed (Printexc.to_string exn))

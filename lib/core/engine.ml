@@ -94,6 +94,14 @@ let known_objects t =
   | Basic (f, _) -> Basic_filter.known_objects f
   | Factored f -> Factored_filter.known_objects f
 
+let iter_estimates t f =
+  (* Sorted defensively: the filters return known objects in an
+     unspecified (discovery) order, and the query layer's answers must
+     not depend on it. *)
+  List.iter
+    (fun id -> match estimate t id with Some (m, c) -> f id m c | None -> ())
+    (List.sort Int.compare (known_objects t))
+
 let epoch t =
   match t.filter with
   | Basic (f, _) -> Basic_filter.epoch f

@@ -80,20 +80,35 @@ val flush : t -> Event.t list
 val estimate : t -> int -> (Rfid_geom.Vec3.t * Rfid_prob.Linalg.mat) option
 (** Current posterior mean/covariance of an object's location. *)
 
+val iter_estimates :
+  t -> (int -> Rfid_geom.Vec3.t -> Rfid_prob.Linalg.mat -> unit) -> unit
+(** Visit every known object that has a posterior estimate, in
+    ascending object-id order, with its current mean and covariance —
+    the query layer ([Rfid_serve.Query]) rebuilds its spatial index of
+    posterior bounding boxes through this without materializing an
+    intermediate list per object. *)
+
 val reader_estimate : t -> Rfid_geom.Vec3.t
+(** Weighted posterior mean of the reader's location. *)
+
 val known_objects : t -> int list
+(** Every object read so far, ascending. *)
+
 val epoch : t -> Rfid_model.Types.epoch
+(** Epoch of the last admitted observation (-1 for a fresh engine). *)
 
 val objects_processed_last_step : t -> int
 (** Factored variants: objects touched by the last step; for
     [Unfactorized] this is the declared object count. *)
 
 val config : t -> Config.t
+(** The configuration the engine was created with. *)
 
 val stats : t -> stats
 (** Robustness counters accumulated since creation (or restore). *)
 
 val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering of {!stats}, as the CLI summaries print it. *)
 
 (** {1 Write-ahead journaling} *)
 

@@ -47,9 +47,16 @@ val estimate : t -> int -> (Rfid_geom.Vec3.t * Rfid_prob.Linalg.mat) option
     representations. *)
 
 val reader_estimate : t -> Rfid_geom.Vec3.t
+(** Weighted posterior mean of the reader's location. *)
+
 val newly_seen : t -> int list
+(** Objects first read at the last {!step}, ascending. *)
+
 val known_objects : t -> int list
+(** Every object read so far, ascending. *)
+
 val epoch : t -> Rfid_model.Types.epoch
+(** Epoch of the last processed observation (-1 before the first). *)
 
 val dead_reckon :
   ?shelf_tags:int list -> t -> epoch:Rfid_model.Types.epoch -> unit

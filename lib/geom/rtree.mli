@@ -19,6 +19,7 @@ val create : ?max_entries:int -> unit -> 'a t
     [max_entries < 4]. *)
 
 val insert : 'a t -> Box2.t -> 'a -> unit
+(** Insert a value under its bounding box; duplicates are kept. *)
 
 val query : 'a t -> Box2.t -> 'a list
 (** All values whose box intersects the probe box, in unspecified
@@ -35,11 +36,14 @@ module Hits : sig
       are not pinned for the GC). *)
 
   val length : 'a t -> int
+  (** Hits appended since the last {!clear}. *)
 
   val get : 'a t -> int -> 'a
   (** @raise Invalid_argument outside [0, length). *)
 
   val clear : 'a t -> unit
+  (** Empty the buffer, overwriting cleared slots with [dummy];
+      capacity is retained. *)
 end
 
 val query_into : 'a t -> Box2.t -> 'a Hits.t -> unit
@@ -53,5 +57,11 @@ val iter_overlapping : 'a t -> Box2.t -> (Box2.t -> 'a -> unit) -> unit
     list. *)
 
 val size : 'a t -> int
+(** Number of stored values. *)
+
 val depth : 'a t -> int
+(** Height of the tree (1 for a single leaf). *)
+
 val clear : 'a t -> unit
+(** Drop every entry (start of a new scan round); capacity-free, the
+    tree shrinks back to one empty leaf. *)

@@ -90,6 +90,19 @@ let fold_lines lines ~on_obs ~on_error =
           | Error msg -> on_error (i + 1) msg)
     lines
 
+let observation_of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Error "Trace_io: not a data line"
+  else if String.length line >= 5 && String.sub line 0 5 = "epoch" then
+    Error "Trace_io: not a data line (column header)"
+  else parse_line 1 line
+
+let observation_to_line (o : Types.observation) =
+  let l = o.Types.o_reported_loc in
+  Printf.sprintf "%d,%.6f,%.6f,%.6f,%s" o.Types.o_epoch l.Rfid_geom.Vec3.x
+    l.Rfid_geom.Vec3.y l.Rfid_geom.Vec3.z
+    (String.concat ";" (List.map tag_to_token o.Types.o_read_tags))
+
 let observations_of_lines lines =
   let out = ref [] in
   fold_lines lines

@@ -25,6 +25,19 @@
 
 val write_observations : out_channel -> Types.observation list -> unit
 
+val observation_of_line : string -> (Types.observation, string) result
+(** Parse one data line ([epoch,x,y,z,tags]) under exactly the rules
+    above — trimmed fields, non-negative epoch, finite coordinates,
+    valid tag tokens. This is the grammar of the stream server's [PUT]
+    payload (see PROTOCOL.md), so wire ingest and file replay accept
+    byte-for-byte the same records. Header/comment/blank lines are not
+    data: they parse as [Error]. *)
+
+val observation_to_line : Types.observation -> string
+(** The inverse of {!observation_of_line}, one line without the
+    newline — the same formatting {!write_observations} uses per
+    record. *)
+
 val read_observations : in_channel -> Types.observation list
 (** @raise Failure with a line-numbered message on malformed input. *)
 

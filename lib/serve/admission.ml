@@ -1,0 +1,21 @@
+type 'a t = { q : 'a Queue.t; cap : int; mutable overflows : int }
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Admission.create: cap must be >= 1";
+  { q = Queue.create (); cap; overflows = 0 }
+
+let capacity t = t.cap
+let length t = Queue.length t.q
+
+let offer t x =
+  if Queue.length t.q >= t.cap then begin
+    t.overflows <- t.overflows + 1;
+    false
+  end
+  else begin
+    Queue.push x t.q;
+    true
+  end
+
+let take t = Queue.take_opt t.q
+let overflows t = t.overflows

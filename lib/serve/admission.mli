@@ -1,0 +1,29 @@
+(** Bounded admission queue between the wire and the engine
+    (PROTOCOL.md §4).
+
+    [PUT] frames that parse are not stepped inline by the reader — they
+    are queued here and drained by the server's tick loop, so a burst of
+    writes cannot stall every other connection behind one slow inference
+    step. The queue is the backpressure boundary: when it is full,
+    {!offer} refuses and the server answers [BUSY] with the observed
+    depth, never dropping the observation silently. The client owns the
+    retry. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** @raise Invalid_argument if [cap < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val offer : 'a t -> 'a -> bool
+(** Enqueue, or refuse ([false]) when the queue already holds
+    [capacity] items. A refusal increments {!overflows}. *)
+
+val take : 'a t -> 'a option
+(** Dequeue the oldest item, [None] when empty. *)
+
+val overflows : 'a t -> int
+(** Total refused {!offer}s over the queue's lifetime — exported as the
+    server's [busy_rejections] statistic. *)

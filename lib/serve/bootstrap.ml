@@ -1,0 +1,53 @@
+type t = {
+  world : Rfid_model.World.t;
+  params : Rfid_model.Params.t;
+  config : Rfid_core.Config.t;
+  init_reader : Rfid_model.Reader_state.t;
+  num_objects : int;
+  seed : int;
+}
+
+let make ~objects ~seed ?(variant = Rfid_core.Config.Factorized_indexed)
+    ?(particles = 200) ?(min_particles = 0) ?(resample_ess = 1.0) ?(domains = 1)
+    () =
+  let wh = Rfid_sim.Warehouse.layout ~num_objects:objects () in
+  let sensor = Rfid_sim.Truth_sensor.cone () in
+  let fitted =
+    Rfid_learn.Supervised.fit_sensor
+      ~read_prob:sensor.Rfid_sim.Truth_sensor.read_prob ~seed:99 ()
+  in
+  let params = Rfid_model.Params.create ~sensor:fitted () in
+  let min_object_particles =
+    if min_particles = 0 then particles else min_particles
+  in
+  let config =
+    Rfid_core.Config.create ~variant ~num_object_particles:particles
+      ~min_object_particles ~resample_ess_ratio:resample_ess
+      ~num_domains:domains ~drop_out_of_order:true ()
+  in
+  {
+    world = wh.Rfid_sim.Warehouse.world;
+    params;
+    config;
+    init_reader = Rfid_sim.Warehouse.reader_start wh;
+    num_objects = objects;
+    seed;
+  }
+
+let fresh_engine t =
+  Rfid_core.Engine.create ~world:t.world ~params:t.params ~config:t.config
+    ~init_reader:t.init_reader ~num_objects:t.num_objects ~seed:t.seed ()
+
+let restore_engine t snapshot =
+  Rfid_core.Engine.restore ~world:t.world ~params:t.params ~config:t.config
+    snapshot
+
+let fresh_guard t =
+  Rfid_robust.Ingest.create
+    ~policies:
+      {
+        Rfid_robust.Ingest.default_policies with
+        Rfid_robust.Ingest.on_out_of_order_epoch = Rfid_robust.Ingest.Drop;
+      }
+    ~bounds:(Rfid_model.World.bounding_box t.world)
+    ~max_object_id:t.num_objects ()

@@ -1,0 +1,321 @@
+module Engine = Rfid_core.Engine
+module Event = Rfid_core.Event
+module Ingest = Rfid_robust.Ingest
+module Config = Rfid_core.Config
+
+type hooks = {
+  on_events : Event.t list -> unit;
+  on_flush_mark : unit -> unit;
+  on_admitted : int -> unit;
+  on_checkpoint : Engine.t -> unit;
+}
+
+let no_hooks =
+  {
+    on_events = (fun _ -> ());
+    on_flush_mark = (fun () -> ());
+    on_admitted = (fun _ -> ());
+    on_checkpoint = (fun _ -> ());
+  }
+
+type t = {
+  guard : Ingest.t;
+  engine : Engine.t;
+  num_objects : int;
+  queue : Rfid_model.Types.observation Admission.t;
+  query : Query.t;
+  checkpoint_every : int;
+  hooks : hooks;
+  mutable admitted : int;
+  mutable paused : bool;
+  mutable draining : bool;
+  mutable halted : string option;
+}
+
+let create ~guard ~engine ~num_objects ?(admit_cap = 1024) ?events_keep
+    ?(checkpoint_every = 0) ?(hooks = no_hooks) () =
+  if checkpoint_every < 0 then
+    invalid_arg "Core.create: checkpoint_every must be >= 0";
+  {
+    guard;
+    engine;
+    num_objects;
+    queue = Admission.create ~cap:admit_cap;
+    query = Query.create ?events_keep ();
+    checkpoint_every;
+    hooks;
+    admitted = 0;
+    paused = false;
+    draining = false;
+    halted = None;
+  }
+
+let variant_name t =
+  match (Engine.config t.engine).Config.variant with
+  | Config.Unfactorized -> "unfactorized"
+  | Config.Factorized -> "factorized"
+  | Config.Factorized_indexed -> "indexed"
+  | Config.Factorized_compressed -> "compressed"
+
+let greeting t =
+  Printf.sprintf "RFID-SERVE/1 READY variant=%s objects=%d\n" (variant_name t)
+    t.num_objects
+
+let queue_depth t = Admission.length t.queue
+let epoch t = Engine.epoch t.engine
+let admitted t = t.admitted
+let draining t = t.draining
+let halted t = t.halted
+let engine t = t.engine
+let preload_event t ev = Query.record_event t.query ev
+
+(* One queued observation through the guard into the engine. Epoch
+   bookkeeping keys off the engine's own clock: a Rejected decision (or
+   a duplicate the engine skips) advances nothing and must not count as
+   admitted, fire hooks, or dirty the query index. *)
+let step_one t obs =
+  let before = Engine.epoch t.engine in
+  match Ingest.step_engine t.guard t.engine obs with
+  | Error (fault, msg) ->
+      t.halted <- Some (Printf.sprintf "%s: %s" (Ingest.fault_name fault) msg)
+  | Ok events ->
+      let after = Engine.epoch t.engine in
+      if after > before then begin
+        t.admitted <- t.admitted + 1;
+        Query.invalidate t.query;
+        t.hooks.on_admitted after;
+        if events <> [] then begin
+          List.iter (Query.record_event t.query) events;
+          t.hooks.on_events events
+        end;
+        if t.checkpoint_every > 0 && t.admitted mod t.checkpoint_every = 0 then
+          t.hooks.on_checkpoint t.engine
+      end
+
+let tick t ~max_steps =
+  if t.paused || t.halted <> None then 0
+  else begin
+    let steps = ref 0 in
+    let continue = ref true in
+    while !continue && !steps < max_steps do
+      match Admission.take t.queue with
+      | None -> continue := false
+      | Some obs ->
+          step_one t obs;
+          incr steps;
+          if t.halted <> None then continue := false
+    done;
+    !steps
+  end
+
+(* [SYNC]/[DRAIN] queue processing: ignores the pause latch — both are
+   explicit requests to make queued writes visible now. *)
+let process_queue t =
+  let continue = ref true in
+  while !continue do
+    match Admission.take t.queue with
+    | None -> continue := false
+    | Some obs ->
+        step_one t obs;
+        if t.halted <> None then continue := false
+  done
+
+let drain t =
+  if not t.draining then begin
+    process_queue t;
+    if t.halted = None then begin
+      let events = Engine.flush t.engine in
+      if events <> [] then begin
+        List.iter (Query.record_event t.query) events;
+        t.hooks.on_events events;
+        Query.invalidate t.query
+      end;
+      t.hooks.on_flush_mark ();
+      t.hooks.on_checkpoint t.engine
+    end;
+    t.draining <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reply formatting *)
+
+let fstr = Framing.float_str
+
+let err code msg = (Printf.sprintf "ERR %d %s\n" code msg, false)
+let ok body = (Printf.sprintf "OK %s\n" body, false)
+
+let halted_reply msg = err 500 (Printf.sprintf "halted: %s" msg)
+
+let sd_xy (cov : Rfid_prob.Linalg.mat) =
+  sqrt (Float.max 0. ((cov.(0).(0) +. cov.(1).(1)) /. 2.))
+
+let handle_put t rest =
+  if t.draining then err 410 "draining"
+  else
+    match t.halted with
+    | Some msg -> halted_reply msg
+    | None -> (
+        match Rfid_model.Trace_io.observation_of_line rest with
+        | Error msg -> err 400 msg
+        | Ok obs ->
+            if Admission.offer t.queue obs then
+              ok (string_of_int (Admission.length t.queue))
+            else
+              ( Printf.sprintf "BUSY %d/%d\n" (Admission.length t.queue)
+                  (Admission.capacity t.queue),
+                false ))
+
+let handle_sync t =
+  match t.halted with
+  | Some msg -> halted_reply msg
+  | None -> (
+      process_queue t;
+      match t.halted with
+      | Some msg -> halted_reply msg
+      | None -> ok (string_of_int (Engine.epoch t.engine)))
+
+let handle_at t rest =
+  match int_of_string_opt (String.trim rest) with
+  | None -> err 401 "bad-argument: AT takes one object id"
+  | Some obj -> (
+      match Engine.estimate t.engine obj with
+      | None -> err 404 (Printf.sprintf "unknown-object %d" obj)
+      | Some (loc, cov) ->
+          ok
+            (Printf.sprintf "%d %d %s %s %s %s" obj (Engine.epoch t.engine)
+               (fstr loc.Rfid_geom.Vec3.x) (fstr loc.Rfid_geom.Vec3.y)
+               (fstr loc.Rfid_geom.Vec3.z)
+               (fstr (sd_xy cov))))
+
+let handle_range t rest =
+  let fields =
+    String.split_on_char ' ' (String.trim rest)
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse4 a b c d rest_mass =
+    match
+      (float_of_string_opt a, float_of_string_opt b, float_of_string_opt c,
+       float_of_string_opt d, rest_mass)
+    with
+    | Some min_x, Some min_y, Some max_x, Some max_y, Some min_mass ->
+        Some (min_x, min_y, max_x, max_y, min_mass)
+    | _ -> None
+  in
+  let parsed =
+    match fields with
+    | [ a; b; c; d ] -> parse4 a b c d (Some 0.01)
+    | [ a; b; c; d; m ] -> parse4 a b c d (float_of_string_opt m)
+    | _ -> None
+  in
+  match parsed with
+  | None ->
+      err 401 "bad-argument: RANGE takes min-x min-y max-x max-y [min-mass]"
+  | Some (min_x, min_y, max_x, max_y, min_mass) -> (
+      match
+        Query.range t.query ~engine:t.engine ~min_x ~min_y ~max_x ~max_y
+          ~min_mass
+      with
+      | exception Invalid_argument msg -> err 401 (Printf.sprintf "bad-argument: %s" msg)
+      | answers ->
+          let buf = Buffer.create 128 in
+          Buffer.add_string buf
+            (Printf.sprintf "OK %d\n" (List.length answers));
+          List.iter
+            (fun (a : Query.answer) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%d %s %s %s %s\n" a.Query.a_obj
+                   (fstr a.Query.a_mass)
+                   (fstr a.Query.a_loc.Rfid_geom.Vec3.x)
+                   (fstr a.Query.a_loc.Rfid_geom.Vec3.y)
+                   (fstr a.Query.a_loc.Rfid_geom.Vec3.z)))
+            answers;
+          (Buffer.contents buf, false))
+
+let handle_events t rest =
+  match int_of_string_opt (String.trim rest) with
+  | None -> err 401 "bad-argument: EVENTS takes one since-epoch"
+  | Some since ->
+      let events = Query.events_since t.query ~epoch:since in
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf (Printf.sprintf "OK %d\n" (List.length events));
+      List.iter
+        (fun ev ->
+          Buffer.add_string buf (Format.asprintf "%a\n" Event.pp ev))
+        events;
+      (Buffer.contents buf, false)
+
+let handle_stats t =
+  let s = Engine.stats t.engine in
+  let bool b = if b then "1" else "0" in
+  let kvs =
+    [
+      ("epoch", string_of_int (Engine.epoch t.engine));
+      ("known_objects", string_of_int (List.length (Engine.known_objects t.engine)));
+      ("queue_depth", string_of_int (Admission.length t.queue));
+      ("queue_capacity", string_of_int (Admission.capacity t.queue));
+      ("admitted", string_of_int t.admitted);
+      ("busy_rejections", string_of_int (Admission.overflows t.queue));
+      ("events_seen", string_of_int (Query.events_seen t.query));
+      ("events_dropped", string_of_int (Query.events_dropped t.query));
+      ("paused", bool t.paused);
+      ("draining", bool t.draining);
+      ("halted", bool (t.halted <> None));
+    ]
+    @ List.map
+        (fun (fault, n) ->
+          ("fault." ^ Ingest.fault_name fault, string_of_int n))
+        (Ingest.counters t.guard)
+    @ [
+        ("engine.duplicates_skipped", string_of_int s.Engine.duplicate_epochs_skipped);
+        ("engine.out_of_order_dropped", string_of_int s.Engine.out_of_order_dropped);
+        ("engine.degraded_epochs", string_of_int s.Engine.degraded_epochs);
+        ("engine.degraded_events", string_of_int s.Engine.degraded_events);
+      ]
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "OK %d\n" (List.length kvs));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s %s\n" k v))
+    kvs;
+  (Buffer.contents buf, false)
+
+let handle_drain t =
+  match t.halted with
+  | Some msg -> halted_reply msg
+  | None -> (
+      drain t;
+      match t.halted with
+      | Some msg -> halted_reply msg
+      | None -> ok (string_of_int (Engine.epoch t.engine)))
+
+let handle_line t line =
+  if String.length line > Framing.max_line_bytes then
+    err 413 "line too long"
+  else
+    let line = String.trim line in
+    if line = "" then ("", false)
+    else
+      let cmd, rest =
+        match String.index_opt line ' ' with
+        | Some i ->
+            ( String.sub line 0 i,
+              String.sub line (i + 1) (String.length line - i - 1) )
+        | None -> (line, "")
+      in
+      match cmd with
+      | "PING" -> ok "pong"
+      | "PUT" -> handle_put t rest
+      | "SYNC" -> handle_sync t
+      | "AT" -> handle_at t rest
+      | "RANGE" -> handle_range t rest
+      | "EVENTS" -> handle_events t rest
+      | "STATS" -> handle_stats t
+      | "PAUSE" ->
+          t.paused <- true;
+          ok "paused"
+      | "RESUME" ->
+          t.paused <- false;
+          ok "running"
+      | "DRAIN" -> handle_drain t
+      | "QUIT" -> ("OK bye\n", true)
+      | _ -> err 400 (Printf.sprintf "unknown-command %s" cmd)

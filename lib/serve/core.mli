@@ -1,0 +1,87 @@
+(** The RFID-SERVE/1 protocol state machine, independent of sockets.
+
+    {!handle_line} maps one request frame to one reply (possibly
+    multi-line, always ending in [\n]) plus a close flag; {!tick}
+    drains queued [PUT] observations through the ingest guard into the
+    engine. {!Server} shuttles bytes between this module and
+    connections; the PROTOCOL.md conformance test and the fuzzer drive
+    it directly, in-process, so every documented exchange is exercised
+    without a socket in the loop.
+
+    Request grammar, reply grammar, and the error taxonomy are
+    normative in PROTOCOL.md; this interface only summarizes the state
+    the machine carries:
+
+    - the {e admission queue} between [PUT] and the engine (bounded;
+      full → [BUSY], see {!Admission});
+    - the {e query layer} of posterior index and event ring
+      (see {!Query});
+    - three latches: {e paused} ([PAUSE]/[RESUME] gate {!tick} only),
+      {e draining} ([DRAIN] — terminal for writes, queries stay up),
+      and {e halted} (the guard's [Halt] policy tripped — terminal for
+      writes, with the fault echoed in every subsequent write reply). *)
+
+type hooks = {
+  on_events : Rfid_core.Event.t list -> unit;
+      (** fired with each batch of newly emitted events, after they are
+          in the ring — the durable events log writes here *)
+  on_flush_mark : unit -> unit;
+      (** fired when [DRAIN] flushes the engine — the events log writes
+          its ["# flush"] marker here *)
+  on_admitted : int -> unit;
+      (** fired with the new engine epoch each time a queued
+          observation advances it — WAL sync cadence hangs here *)
+  on_checkpoint : Rfid_core.Engine.t -> unit;
+      (** fired on the checkpoint cadence and on [DRAIN]; the server
+          binary snapshots and saves here, behind its durability
+          barrier *)
+}
+
+val no_hooks : hooks
+
+type t
+
+val create :
+  guard:Rfid_robust.Ingest.t ->
+  engine:Rfid_core.Engine.t ->
+  num_objects:int ->
+  ?admit_cap:int ->
+  ?events_keep:int ->
+  ?checkpoint_every:int ->
+  ?hooks:hooks ->
+  unit ->
+  t
+(** [admit_cap] bounds the admission queue (default 1024);
+    [checkpoint_every] is the admitted-epoch checkpoint cadence
+    (default 0 = only on [DRAIN]). @raise Invalid_argument if
+    [admit_cap < 1] or [checkpoint_every < 0]. *)
+
+val greeting : t -> string
+(** The banner sent on connect, newline-terminated. *)
+
+val handle_line : t -> string -> string * bool
+(** [handle_line t line] is [(reply, close)]. [reply] is [""] for an
+    empty request line and otherwise one or more [\n]-terminated lines;
+    [close] is [true] only for [QUIT]. Never raises on any input. *)
+
+val tick : t -> max_steps:int -> int
+(** Step up to [max_steps] queued observations through the engine;
+    returns how many were processed. No-op (0) while paused, halted, or
+    empty. *)
+
+val drain : t -> unit
+(** The [DRAIN] action without the reply: process the whole queue,
+    flush the engine, fire [on_flush_mark] and [on_checkpoint], latch
+    draining. Idempotent. The server's SIGTERM path calls this. *)
+
+val queue_depth : t -> int
+val epoch : t -> int
+val admitted : t -> int
+(** Queued observations that advanced the engine's epoch so far. *)
+
+val draining : t -> bool
+val halted : t -> string option
+val engine : t -> Rfid_core.Engine.t
+val preload_event : t -> Rfid_core.Event.t -> unit
+(** Seed the event ring (recovery replays the durable events log here
+    before serving). *)

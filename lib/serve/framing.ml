@@ -1,0 +1,54 @@
+let max_line_bytes = 65536
+
+type buffer = { buf : Buffer.t; mutable discarding : bool }
+(* [discarding] is set once a line exceeds [max_line_bytes]: the rest of
+   that line's bytes are dropped until its newline, at which point the
+   single [Overflow] event has already been reported and framing
+   resynchronizes on the next line. *)
+
+let create_buffer () = { buf = Buffer.create 256; discarding = false }
+let pending_bytes b = Buffer.length b.buf
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+type event = Line of string | Overflow
+
+let feed b chunk =
+  let events = ref [] in
+  String.iter
+    (fun c ->
+      if c = '\n' then begin
+        if b.discarding then b.discarding <- false
+        else events := Line (strip_cr (Buffer.contents b.buf)) :: !events;
+        Buffer.clear b.buf
+      end
+      else if b.discarding then ()
+      else if Buffer.length b.buf >= max_line_bytes then begin
+        b.discarding <- true;
+        Buffer.clear b.buf;
+        events := Overflow :: !events
+      end
+      else Buffer.add_char b.buf c)
+    chunk;
+  List.rev !events
+
+let float_str v =
+  if Float.is_nan v then "nan"
+  else if v = Float.infinity then "inf"
+  else if v = Float.neg_infinity then "-inf"
+  else
+    (* Shortest decimal form that parses back to the same double:
+       replies must survive a print/parse round trip bit-for-bit, or
+       the byte-identity gates against offline replay become lossy. *)
+    let try_prec p =
+      let s = Printf.sprintf "%.*g" p v in
+      if float_of_string s = v then Some s else None
+    in
+    match try_prec 15 with
+    | Some s -> s
+    | None -> (
+        match try_prec 16 with
+        | Some s -> s
+        | None -> Printf.sprintf "%.17g" v)

@@ -1,0 +1,41 @@
+(** Wire framing for the stream server (PROTOCOL.md §2).
+
+    The protocol is line-framed: one request or reply line per [\n],
+    with an optional preceding [\r] tolerated (and stripped) on input.
+    A {!buffer} reassembles complete lines from the arbitrary byte
+    chunks a socket delivers; a line longer than {!max_line_bytes} is
+    reported as an {!event} of its own ([`Overflow]) and its bytes are
+    discarded through the terminating newline, so one hostile client
+    line cannot grow server memory without bound or desynchronize the
+    stream.
+
+    The module also owns the float formatting of every reply
+    ({!float_str}): shortest decimal form that round-trips the IEEE-754
+    double exactly. Queries answer from live posteriors, and the
+    serve-smoke gate diffs those answers byte-for-byte against an
+    offline replay — a lossy printf would hide real divergence. *)
+
+val max_line_bytes : int
+(** Hard cap on one frame, terminator excluded (64 KiB). *)
+
+type buffer
+(** Reassembly state for one connection. *)
+
+val create_buffer : unit -> buffer
+
+type event =
+  | Line of string  (** one complete frame, [\r\n]/[\n] stripped *)
+  | Overflow  (** a frame exceeded {!max_line_bytes} and was discarded *)
+
+val feed : buffer -> string -> event list
+(** Append a received chunk and return the events it completes, in wire
+    order. Bytes of a not-yet-terminated line stay buffered for the
+    next call. *)
+
+val pending_bytes : buffer -> int
+(** Bytes currently buffered awaiting a terminator. *)
+
+val float_str : float -> string
+(** Shortest [%.15g]/[%.16g]/[%.17g] form whose [float_of_string]
+    round-trips the value bit-for-bit. Non-finite values print as
+    [nan]/[inf]/[-inf]. *)

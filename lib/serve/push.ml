@@ -1,0 +1,54 @@
+(* Conservative datagram payload bound: under the common 1500-byte MTU
+   minus headers fragmentation still works, but some collectors drop
+   fragmented datagrams; 1400 keeps each chunk whole on any sane path.
+   Exceeded only by a single metric line longer than the bound, which
+   is sent as its own (possibly fragmented) datagram rather than
+   truncated. *)
+let max_datagram = 1400
+
+type t = {
+  socket : Unix.file_descr;
+  addr : Unix.sockaddr;
+  mutable sends : int;
+  mutable send_errors : int;
+}
+
+let create ~host ~port =
+  if port < 1 || port > 65535 then
+    Error (Printf.sprintf "invalid metrics port %d" port)
+  else
+    match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_DGRAM ] with
+    | [] -> Error (Printf.sprintf "cannot resolve metrics host %S" host)
+    | ai :: _ -> (
+        try
+          let socket =
+            Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol
+          in
+          Unix.set_nonblock socket;
+          Ok { socket; addr = ai.Unix.ai_addr; sends = 0; send_errors = 0 }
+        with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let send_chunk t chunk =
+  let bytes = Bytes.of_string chunk in
+  try
+    ignore (Unix.sendto t.socket bytes 0 (Bytes.length bytes) [] t.addr);
+    t.sends <- t.sends + 1
+  with Unix.Unix_error _ -> t.send_errors <- t.send_errors + 1
+
+let send t text =
+  let n = String.length text in
+  let start = ref 0 and cursor = ref 0 and last_nl = ref (-1) in
+  while !cursor < n do
+    if text.[!cursor] = '\n' then last_nl := !cursor;
+    if !cursor - !start + 1 > max_datagram && !last_nl >= !start then begin
+      send_chunk t (String.sub text !start (!last_nl - !start + 1));
+      start := !last_nl + 1
+    end;
+    incr cursor
+  done;
+  if !start < n then send_chunk t (String.sub text !start (n - !start))
+
+let sends t = t.sends
+let send_errors t = t.send_errors
+
+let close t = try Unix.close t.socket with Unix.Unix_error _ -> ()

@@ -1,0 +1,29 @@
+(** Push-based metrics export over UDP (RUNBOOK.md §4).
+
+    The server periodically renders {!Rfid_obs.Openmetrics} text and
+    fires it at a collector as UDP datagrams. UDP because the export
+    must never block or fail the serving loop: a dead or slow collector
+    costs dropped telemetry packets (counted here), never ingest
+    latency. Payloads are chunked at line boundaries to stay under a
+    conservative datagram size; a datagram never splits a metric
+    line. *)
+
+type t
+
+val create : host:string -> port:int -> (t, string) result
+(** Resolve [host] and open an unconnected UDP socket. [Error] on
+    unresolvable hosts or invalid ports — diagnosed once at startup, so
+    a typo in [--metrics-push] fails fast instead of silently dropping
+    every datagram. *)
+
+val send : t -> string -> unit
+(** Chunk the text at line boundaries and send each chunk as one
+    datagram. Never raises and never blocks: send failures (e.g.
+    ICMP-refused on a closed port) only bump {!send_errors}. *)
+
+val sends : t -> int
+(** Datagrams successfully handed to the kernel. *)
+
+val send_errors : t -> int
+
+val close : t -> unit

@@ -1,0 +1,116 @@
+module Vec3 = Rfid_geom.Vec3
+module Box2 = Rfid_geom.Box2
+module Rtree = Rfid_geom.Rtree
+module Engine = Rfid_core.Engine
+module Event = Rfid_core.Event
+module G = Rfid_prob.Gaussian.Univariate
+
+let sigma_reach = 3.5
+let min_mass_floor = 0.001
+
+type entry = { e_obj : int; e_mu_x : float; e_sd_x : float; e_mu_y : float; e_sd_y : float; e_loc : Vec3.t }
+
+let dummy_entry =
+  { e_obj = -1; e_mu_x = 0.; e_sd_x = 0.; e_mu_y = 0.; e_sd_y = 0.; e_loc = Vec3.make 0. 0. 0. }
+
+type answer = { a_obj : int; a_mass : float; a_loc : Vec3.t }
+
+type t = {
+  index : entry Rtree.t;
+  hits : entry Rtree.Hits.t;
+  mutable dirty : bool;
+  (* Event ring: [ring] is a circular buffer of the last [keep] events;
+     [head] is the slot the next event lands in. *)
+  ring : Event.t option array;
+  keep : int;
+  mutable head : int;
+  mutable seen : int;
+}
+
+let create ?(events_keep = 4096) () =
+  if events_keep < 1 then invalid_arg "Query.create: events_keep must be >= 1";
+  {
+    index = Rtree.create ();
+    hits = Rtree.Hits.create ~dummy:dummy_entry;
+    dirty = true;
+    ring = Array.make events_keep None;
+    keep = events_keep;
+    head = 0;
+    seen = 0;
+  }
+
+let invalidate t = t.dirty <- true
+
+(* A posterior with a degenerate axis (all particles agreed exactly)
+   still occupies a point; give its box a hair of width so the closed
+   intersection test finds it, and treat its axis mass as a step
+   function in [axis_mass]. *)
+let rebuild t ~engine =
+  Rtree.clear t.index;
+  Engine.iter_estimates engine (fun obj mean cov ->
+      let sd_x = sqrt (Float.max 0. cov.(0).(0)) in
+      let sd_y = sqrt (Float.max 0. cov.(1).(1)) in
+      let rx = Float.max (sigma_reach *. sd_x) 1e-9 in
+      let ry = Float.max (sigma_reach *. sd_y) 1e-9 in
+      let box =
+        Box2.make ~min_x:(mean.Vec3.x -. rx) ~min_y:(mean.Vec3.y -. ry)
+          ~max_x:(mean.Vec3.x +. rx) ~max_y:(mean.Vec3.y +. ry)
+      in
+      Rtree.insert t.index box
+        {
+          e_obj = obj;
+          e_mu_x = mean.Vec3.x;
+          e_sd_x = sd_x;
+          e_mu_y = mean.Vec3.y;
+          e_sd_y = sd_y;
+          e_loc = mean;
+        });
+  t.dirty <- false
+
+let axis_mass ~mu ~sd ~lo ~hi =
+  if sd > 0. then
+    let g = G.create ~mu ~sigma:sd in
+    G.cdf g hi -. G.cdf g lo
+  else if mu >= lo && mu <= hi then 1.
+  else 0.
+
+let range t ~engine ~min_x ~min_y ~max_x ~max_y ~min_mass =
+  let finite = Float.is_finite in
+  if not (finite min_x && finite min_y && finite max_x && finite max_y) then
+    invalid_arg "Query.range: bounds must be finite";
+  if min_x > max_x || min_y > max_y then
+    invalid_arg "Query.range: min bound exceeds max bound";
+  let min_mass = Float.max min_mass min_mass_floor in
+  if t.dirty then rebuild t ~engine;
+  let probe = Box2.make ~min_x ~min_y ~max_x ~max_y in
+  Rtree.query_into t.index probe t.hits;
+  let out = ref [] in
+  for i = 0 to Rtree.Hits.length t.hits - 1 do
+    let e = Rtree.Hits.get t.hits i in
+    let mx = axis_mass ~mu:e.e_mu_x ~sd:e.e_sd_x ~lo:min_x ~hi:max_x in
+    let my = axis_mass ~mu:e.e_mu_y ~sd:e.e_sd_y ~lo:min_y ~hi:max_y in
+    let mass = mx *. my in
+    if mass >= min_mass then
+      out := { a_obj = e.e_obj; a_mass = mass; a_loc = e.e_loc } :: !out
+  done;
+  List.sort (fun a b -> Int.compare a.a_obj b.a_obj) !out
+
+let record_event t ev =
+  t.ring.(t.head) <- Some ev;
+  t.head <- (t.head + 1) mod t.keep;
+  t.seen <- t.seen + 1
+
+let events_since t ~epoch =
+  let held = Int.min t.seen t.keep in
+  let out = ref [] in
+  (* Walk newest to oldest, prepending, so the result is oldest first. *)
+  for i = 0 to held - 1 do
+    let slot = (t.head - 1 - i + (2 * t.keep)) mod t.keep in
+    match t.ring.(slot) with
+    | Some ev when ev.Event.ev_epoch >= epoch -> out := ev :: !out
+    | Some _ | None -> ()
+  done;
+  !out
+
+let events_seen t = t.seen
+let events_dropped t = Int.max 0 (t.seen - t.keep)

@@ -1,0 +1,75 @@
+(** Probabilistic queries over live posteriors (PROTOCOL.md §5).
+
+    The query layer maintains a spatial index of the engine's current
+    per-object posteriors so [RANGE] does not scan every object per
+    request: each known object contributes the axis-aligned box of its
+    Gaussian fit at ±{!sigma_reach} standard deviations, and a probe box
+    only evaluates the objects whose boxes intersect it. At 3.5σ the
+    per-axis mass outside the box is ≈ 2.3e-4, below the [min-mass]
+    floor of 1e-3, so the pruning cannot drop a reportable answer.
+
+    The index is rebuilt lazily: {!invalidate} marks it dirty when the
+    engine steps, and the next [RANGE] rebuilds it through
+    {!Rfid_core.Engine.iter_estimates} ({!Rfid_geom.Rtree} has no
+    delete, and most epochs move most objects anyway). Probes
+    themselves are allocation-light, through [Rtree.query_into] into a
+    reusable hit buffer.
+
+    The module also keeps the bounded ring of emitted events that backs
+    [EVENTS since-epoch] — bounded so a long-lived server does not
+    accumulate the full event history in memory; evictions are counted,
+    never silent. *)
+
+type answer = {
+  a_obj : int;
+  a_mass : float;
+      (** posterior probability that the object lies in the probe box:
+          the product of the marginal Gaussian masses along x and y *)
+  a_loc : Rfid_geom.Vec3.t;  (** posterior mean *)
+}
+
+type t
+
+val sigma_reach : float
+(** Half-width of an object's index box, in posterior standard
+    deviations per axis (3.5). *)
+
+val min_mass_floor : float
+(** Lowest admissible [min-mass] threshold for [RANGE] (0.001);
+    requests below it are clamped here, keeping the σ-box pruning
+    sound. *)
+
+val create : ?events_keep:int -> unit -> t
+(** [events_keep] bounds the event ring (default 4096).
+    @raise Invalid_argument if [events_keep < 1]. *)
+
+val invalidate : t -> unit
+(** Mark the spatial index stale; the next {!range} rebuilds it. *)
+
+val range :
+  t ->
+  engine:Rfid_core.Engine.t ->
+  min_x:float ->
+  min_y:float ->
+  max_x:float ->
+  max_y:float ->
+  min_mass:float ->
+  answer list
+(** Objects whose posterior mass inside the XY box reaches [min_mass]
+    (clamped to at least {!min_mass_floor}), in ascending object id.
+    @raise Invalid_argument if a min bound exceeds its max or any bound
+    is not finite. *)
+
+val record_event : t -> Rfid_core.Event.t -> unit
+(** Append to the ring, evicting the oldest entry when full. *)
+
+val events_since : t -> epoch:int -> Rfid_core.Event.t list
+(** Retained events with [ev_epoch >= epoch], oldest first. *)
+
+val events_seen : t -> int
+(** Total events ever recorded (evicted ones included). *)
+
+val events_dropped : t -> int
+(** Events evicted from the ring so far — when nonzero, [EVENTS] with a
+    small enough [since-epoch] is truncated history, and STATS says
+    so. *)

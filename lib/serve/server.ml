@@ -1,0 +1,174 @@
+type config = {
+  host : string;
+  port : int;
+  max_conns : int;
+  max_steps_per_tick : int;
+  tick_timeout : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_conns = 64;
+    max_steps_per_tick = 256;
+    tick_timeout = 0.05;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  framing : Framing.buffer;
+  out : Buffer.t;
+  mutable out_off : int;  (* bytes of [out] already written *)
+  mutable closing : bool;  (* close once [out] drains (QUIT) *)
+}
+
+let enqueue conn reply = if reply <> "" then Buffer.add_string conn.out reply
+
+let pending_out conn = Buffer.length conn.out - conn.out_off
+
+(* One non-blocking write of whatever the kernel will take. Returns
+   [false] when the connection is dead (EPIPE/reset). *)
+let flush_conn conn =
+  if pending_out conn = 0 then true
+  else
+    match
+      Unix.write_substring conn.fd (Buffer.contents conn.out) conn.out_off
+        (pending_out conn)
+    with
+    | n ->
+        conn.out_off <- conn.out_off + n;
+        if conn.out_off >= Buffer.length conn.out then begin
+          Buffer.clear conn.out;
+          conn.out_off <- 0
+        end;
+        true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        true
+    | exception Unix.Unix_error (_, _, _) -> false
+
+let read_chunk_size = 8192
+
+let stop_requested = ref false
+
+let install_signal_handlers () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let latch = Sys.Signal_handle (fun _ -> stop_requested := true) in
+  List.iter
+    (fun s -> try Sys.set_signal s latch with Invalid_argument _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+let run ?(on_listening = fun ~host:_ ~port:_ -> ()) ?(on_pass = fun () -> ())
+    ?(should_stop = fun () -> false) core config =
+  stop_requested := false;
+  install_signal_handlers ();
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let () =
+    try
+      Unix.bind listen_fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      Unix.listen listen_fd 16;
+      Unix.set_nonblock listen_fd
+    with e ->
+      Unix.close listen_fd;
+      raise e
+  in
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  on_listening ~host:config.host ~port:bound_port;
+  let conns : conn list ref = ref [] in
+  let close_conn conn =
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c -> c != conn) !conns
+  in
+  let accept_new () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          if List.length !conns >= config.max_conns then
+            (* Refusing at the accept keeps the fd set bounded; the
+               client sees a clean close, not a hung connect. *)
+            Unix.close fd
+          else begin
+            Unix.set_nonblock fd;
+            let conn =
+              {
+                fd;
+                framing = Framing.create_buffer ();
+                out = Buffer.create 256;
+                out_off = 0;
+                closing = false;
+              }
+            in
+            enqueue conn (Core.greeting core);
+            conns := conn :: !conns
+          end
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          continue := false
+      | exception Unix.Unix_error (_, _, _) -> continue := false
+    done
+  in
+  let buf = Bytes.create read_chunk_size in
+  let handle_read conn =
+    match Unix.read conn.fd buf 0 read_chunk_size with
+    | 0 -> close_conn conn
+    | n ->
+        List.iter
+          (fun ev ->
+            match ev with
+            | Framing.Overflow -> enqueue conn "ERR 413 line too long\n"
+            | Framing.Line line ->
+                let reply, close = Core.handle_line core line in
+                enqueue conn reply;
+                if close then conn.closing <- true)
+          (Framing.feed conn.framing (Bytes.sub_string buf 0 n))
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | exception Unix.Unix_error (_, _, _) -> close_conn conn
+  in
+  let loop_pass () =
+    let readers = listen_fd :: List.map (fun c -> c.fd) !conns in
+    let writers =
+      List.filter_map
+        (fun c -> if pending_out c > 0 then Some c.fd else None)
+        !conns
+    in
+    let readable, writable, _ =
+      try Unix.select readers writers [] config.tick_timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem listen_fd readable then accept_new ();
+    List.iter
+      (fun conn -> if List.mem conn.fd readable then handle_read conn)
+      !conns;
+    List.iter
+      (fun conn ->
+        if List.mem conn.fd writable then
+          if not (flush_conn conn) then close_conn conn)
+      !conns;
+    (* Closing connections part after their goodbye is out the door. *)
+    List.iter
+      (fun conn -> if conn.closing && pending_out conn = 0 then close_conn conn)
+      !conns;
+    ignore (Core.tick core ~max_steps:config.max_steps_per_tick);
+    on_pass ()
+  in
+  while not (!stop_requested || should_stop ()) do
+    loop_pass ()
+  done;
+  (* Graceful drain: finish queued work, flush the engine, checkpoint
+     (via Core's hooks), then best-effort flush of pending replies. *)
+  Core.drain core;
+  List.iter (fun conn -> ignore (flush_conn conn)) !conns;
+  List.iter (fun conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) !conns;
+  conns := [];
+  Unix.close listen_fd

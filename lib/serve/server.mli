@@ -1,0 +1,49 @@
+(** Single-threaded TCP front end for {!Core} (RUNBOOK.md §2).
+
+    One [Unix.select] loop multiplexes the listening socket, every
+    client connection, inference progress and periodic work — no
+    threads, no domain crossing, so the engine behind {!Core} keeps its
+    deterministic single-writer discipline by construction. Each pass
+    the loop accepts new connections, reads what the kernel has
+    buffered, frames it ({!Framing}), answers each complete line
+    through {!Core.handle_line}, flushes what each connection will
+    take, then gives the engine a bounded tick
+    ([max_steps_per_tick] queued observations), so one firehose client
+    cannot starve queries on other connections.
+
+    Connections are non-blocking end to end: a client that stops
+    reading only grows its own reply buffer. [SIGPIPE] is ignored;
+    [SIGTERM]/[SIGINT] latch a stop flag, and the loop then drains
+    ({!Core.drain}: queue → flush → checkpoint hook), makes a best
+    effort to flush pending replies, closes every socket and
+    returns — the documented "graceful drain" lifecycle. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port *)
+  max_conns : int;  (** accept cap; excess connections are refused *)
+  max_steps_per_tick : int;
+      (** queued observations stepped per loop pass *)
+  tick_timeout : float;  (** select timeout in seconds *)
+}
+
+val default_config : config
+(** [{host = "127.0.0.1"; port = 0; max_conns = 64;
+    max_steps_per_tick = 256; tick_timeout = 0.05}] *)
+
+val run :
+  ?on_listening:(host:string -> port:int -> unit) ->
+  ?on_pass:(unit -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  Core.t ->
+  config ->
+  unit
+(** Serve until a stop is requested, then drain and return.
+
+    [on_listening] fires once with the bound address — with [port = 0]
+    this is the only way to learn the actual port. [on_pass] fires
+    once per loop pass after the engine tick (metrics push cadence
+    hangs here). [should_stop] is polled each pass in addition to the
+    signal latch, for embedding in tests.
+
+    @raise Unix.Unix_error if the listening socket cannot be bound. *)

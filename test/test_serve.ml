@@ -1,0 +1,485 @@
+(* The serving layer: framing, the bounded admission queue, the
+   posterior query layer, the protocol state machine — and the
+   PROTOCOL.md conformance runner, which executes every `session`
+   block of the spec verbatim against Rfid_serve.Core and compares
+   replies byte for byte. *)
+
+open Rfid_serve
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let test_framing_lines () =
+  let b = Framing.create_buffer () in
+  Alcotest.(check (list string))
+    "two lines, one partial"
+    [ "alpha"; "beta" ]
+    (Framing.feed b "alpha\nbeta\ngam"
+    |> List.map (function Framing.Line l -> l | Framing.Overflow -> "<overflow>"));
+  Alcotest.(check int) "partial buffered" 3 (Framing.pending_bytes b);
+  Alcotest.(check (list string))
+    "completion joins the partial" [ "gamma" ]
+    (Framing.feed b "ma\n"
+    |> List.map (function Framing.Line l -> l | Framing.Overflow -> "<overflow>"))
+
+let test_framing_crlf () =
+  let b = Framing.create_buffer () in
+  Alcotest.(check (list string))
+    "CRLF stripped, empty line kept" [ "one"; ""; "two" ]
+    (Framing.feed b "one\r\n\r\ntwo\n"
+    |> List.map (function Framing.Line l -> l | Framing.Overflow -> "<overflow>"))
+
+let test_framing_overflow () =
+  let b = Framing.create_buffer () in
+  let big = String.make (Framing.max_line_bytes + 10) 'x' in
+  let events = Framing.feed b (big ^ "\nafter\n") in
+  (match events with
+  | [ Framing.Overflow; Framing.Line "after" ] -> ()
+  | _ -> Alcotest.fail "expected [Overflow; Line after]");
+  Alcotest.(check int) "buffer drained" 0 (Framing.pending_bytes b)
+
+let test_float_str () =
+  List.iter
+    (fun v ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "round-trips %h" v)
+        v
+        (float_of_string (Framing.float_str v)))
+    [ 0.; 1.; -1.; 0.1; 1. /. 3.; 1e-300; 1.7976931348623157e308;
+      4.9406564584124654e-324; 2.496219962922915; -0.00035816813938 ];
+  Alcotest.(check string) "nan" "nan" (Framing.float_str Float.nan);
+  Alcotest.(check string) "inf" "inf" (Framing.float_str Float.infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let test_admission () =
+  let q = Admission.create ~cap:2 in
+  Alcotest.(check bool) "offer 1" true (Admission.offer q 1);
+  Alcotest.(check bool) "offer 2" true (Admission.offer q 2);
+  Alcotest.(check bool) "offer 3 refused" false (Admission.offer q 3);
+  Alcotest.(check int) "overflow counted" 1 (Admission.overflows q);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Admission.take q);
+  Alcotest.(check bool) "room again" true (Admission.offer q 3);
+  Alcotest.(check (option int)) "order kept" (Some 2) (Admission.take q);
+  Alcotest.(check (option int)) "tail" (Some 3) (Admission.take q);
+  Alcotest.(check (option int)) "empty" None (Admission.take q)
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixture *)
+
+let boot = lazy (Bootstrap.make ~objects:8 ~seed:42 ~particles:60 ())
+
+let observation epoch x y tags =
+  {
+    Rfid_model.Types.o_epoch = epoch;
+    o_reported_loc = Rfid_geom.Vec3.make x y 0.;
+    o_read_tags = tags;
+  }
+
+let feed_engine boot obs_list =
+  let engine = Bootstrap.fresh_engine boot in
+  let guard = Bootstrap.fresh_guard boot in
+  List.iter
+    (fun obs ->
+      match Rfid_robust.Ingest.step_engine guard engine obs with
+      | Ok _ -> ()
+      | Error (_, msg) -> Alcotest.failf "guard halted: %s" msg)
+    obs_list;
+  engine
+
+let sample_obs =
+  [
+    observation 1 0.0 (-1.0) [ Rfid_model.Types.Object_tag 3; Rfid_model.Types.Shelf_tag 0 ];
+    observation 2 0.1 (-0.9) [ Rfid_model.Types.Object_tag 3 ];
+    observation 3 0.2 (-0.8) [ Rfid_model.Types.Object_tag 5 ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Query *)
+
+let test_range_mass () =
+  let boot = Lazy.force boot in
+  let engine = feed_engine boot sample_obs in
+  let q = Query.create () in
+  let whole =
+    Query.range q ~engine ~min_x:(-1000.) ~min_y:(-1000.) ~max_x:1000.
+      ~max_y:1000. ~min_mass:0.5
+  in
+  Alcotest.(check (list int))
+    "both observed objects, ascending id" [ 3; 5 ]
+    (List.map (fun a -> a.Query.a_obj) whole);
+  List.iter
+    (fun a ->
+      if a.Query.a_mass < 0.999 || a.Query.a_mass > 1.0 then
+        Alcotest.failf "whole-plane mass should be ~1, got %g for obj %d"
+          a.Query.a_mass a.Query.a_obj)
+    whole;
+  (* A sub-box can only lose mass, and a far-away box loses all of it. *)
+  let sub =
+    Query.range q ~engine ~min_x:(-2.) ~min_y:(-2.) ~max_x:6. ~max_y:2.
+      ~min_mass:0.001
+  in
+  List.iter
+    (fun (a : Query.answer) ->
+      let full = List.find (fun w -> w.Query.a_obj = a.Query.a_obj) whole in
+      if a.Query.a_mass > full.Query.a_mass +. 1e-12 then
+        Alcotest.failf "sub-box mass exceeds whole-plane mass for obj %d"
+          a.Query.a_obj)
+    sub;
+  Alcotest.(check (list int))
+    "disjoint box is empty" []
+    (List.map
+       (fun a -> a.Query.a_obj)
+       (Query.range q ~engine ~min_x:500. ~min_y:500. ~max_x:600. ~max_y:600.
+          ~min_mass:0.001));
+  Alcotest.check_raises "inverted box rejected"
+    (Invalid_argument "Query.range: min bound exceeds max bound") (fun () ->
+      ignore
+        (Query.range q ~engine ~min_x:5. ~min_y:0. ~max_x:(-5.) ~max_y:1.
+           ~min_mass:0.01))
+
+let test_event_ring () =
+  let q = Query.create ~events_keep:3 () in
+  for e = 1 to 5 do
+    Query.record_event q
+      (Rfid_core.Event.make ~epoch:e ~obj:e ~loc:(Rfid_geom.Vec3.make 0. 0. 0.) ())
+  done;
+  Alcotest.(check int) "seen counts everything" 5 (Query.events_seen q);
+  Alcotest.(check int) "dropped = seen - keep" 2 (Query.events_dropped q);
+  Alcotest.(check (list int))
+    "ring keeps the newest, oldest first" [ 3; 4; 5 ]
+    (List.map
+       (fun (ev : Rfid_core.Event.t) -> ev.Rfid_core.Event.ev_epoch)
+       (Query.events_since q ~epoch:0));
+  Alcotest.(check (list int))
+    "since filters" [ 5 ]
+    (List.map
+       (fun (ev : Rfid_core.Event.t) -> ev.Rfid_core.Event.ev_epoch)
+       (Query.events_since q ~epoch:5))
+
+(* ------------------------------------------------------------------ *)
+(* Core: wire answers vs a direct engine replay *)
+
+let make_core ?admit_cap ?events_keep boot =
+  Core.create ~guard:(Bootstrap.fresh_guard boot)
+    ~engine:(Bootstrap.fresh_engine boot) ~num_objects:boot.Bootstrap.num_objects
+    ?admit_cap ?events_keep ()
+
+let req core line =
+  let reply, _close = Core.handle_line core line in
+  reply
+
+let test_core_consistency () =
+  let boot = Lazy.force boot in
+  let core = make_core boot in
+  List.iter
+    (fun obs ->
+      let reply =
+        req core ("PUT " ^ Rfid_model.Trace_io.observation_to_line obs)
+      in
+      if String.length reply < 3 || String.sub reply 0 3 <> "OK " then
+        Alcotest.failf "PUT not acked: %s" (String.trim reply))
+    sample_obs;
+  Alcotest.(check string) "SYNC reaches the last epoch" "OK 3\n" (req core "SYNC");
+  (* The same observations through a bare guard + engine must yield
+     byte-identical AT answers: the wire adds buffering, not noise. *)
+  let reference = feed_engine boot sample_obs in
+  List.iter
+    (fun obj ->
+      match Rfid_core.Engine.estimate reference obj with
+      | None ->
+          Alcotest.(check string)
+            (Printf.sprintf "AT %d unknown both ways" obj)
+            (Printf.sprintf "ERR 404 unknown-object %d\n" obj)
+            (req core (Printf.sprintf "AT %d" obj))
+      | Some (loc, cov) ->
+          let sd =
+            sqrt (Float.max 0. ((cov.(0).(0) +. cov.(1).(1)) /. 2.))
+          in
+          let expected =
+            Printf.sprintf "OK %d %d %s %s %s %s\n" obj
+              (Rfid_core.Engine.epoch reference)
+              (Framing.float_str loc.Rfid_geom.Vec3.x)
+              (Framing.float_str loc.Rfid_geom.Vec3.y)
+              (Framing.float_str loc.Rfid_geom.Vec3.z)
+              (Framing.float_str sd)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "AT %d matches direct replay" obj)
+            expected
+            (req core (Printf.sprintf "AT %d" obj)))
+    (List.init 8 Fun.id)
+
+let test_core_backpressure () =
+  let boot = Lazy.force boot in
+  let core = make_core ~admit_cap:2 boot in
+  Alcotest.(check string) "pause" "OK paused\n" (req core "PAUSE");
+  Alcotest.(check string) "put 1" "OK 1\n" (req core "PUT 1,0.0,-1.0,0.0,obj:3");
+  Alcotest.(check int) "paused tick is a no-op" 0 (Core.tick core ~max_steps:100);
+  Alcotest.(check string) "put 2" "OK 2\n" (req core "PUT 2,0.1,-0.9,0.0,obj:3");
+  Alcotest.(check string)
+    "put 3 refused, not dropped" "BUSY 2/2\n"
+    (req core "PUT 3,0.2,-0.8,0.0,obj:3");
+  Alcotest.(check string) "resume" "OK running\n" (req core "RESUME");
+  Alcotest.(check int) "tick drains" 2 (Core.tick core ~max_steps:100);
+  Alcotest.(check string)
+    "room again" "OK 1\n"
+    (req core "PUT 3,0.2,-0.8,0.0,obj:3");
+  let stats = req core "STATS" in
+  if not (contains_sub stats "busy_rejections 1") then
+    Alcotest.failf "STATS should count 1 busy rejection:\n%s" stats
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics + UDP push *)
+
+let test_openmetrics () =
+  let module M = Rfid_obs.Metrics in
+  let reg = M.create () in
+  M.incr (M.counter reg "serve.epochs") 3;
+  M.set (M.gauge reg "queue depth") 7.5;
+  let h = M.histogram reg "latency" in
+  M.observe h 0.002;
+  M.observe h 0.004;
+  ignore (M.histogram reg "empty");
+  let text = Rfid_obs.Openmetrics.render reg in
+  List.iter
+    (fun needle ->
+      if not (contains_sub text needle) then
+        Alcotest.failf "missing %S in rendered metrics:\n%s" needle text)
+    [
+      "# TYPE serve_epochs counter";
+      "serve_epochs_total 3";
+      "# TYPE queue_depth gauge";
+      "queue_depth 7.5";
+      "# TYPE latency summary";
+      "latency{quantile=\"0.5\"}";
+      "latency_sum 0.006";
+      "latency_count 2";
+      "empty_count 0";
+      "# EOF";
+    ];
+  if contains_sub text "empty{quantile" then
+    Alcotest.fail "empty histogram must not emit quantiles";
+  Alcotest.(check string)
+    "sanitize" "_9a_b:c_d"
+    (Rfid_obs.Openmetrics.sanitize_name "9a-b:c d")
+
+let test_push_udp () =
+  let recv = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close recv with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind recv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      let port =
+        match Unix.getsockname recv with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> Alcotest.fail "no port"
+      in
+      let p =
+        match Push.create ~host:"127.0.0.1" ~port with
+        | Ok p -> p
+        | Error msg -> Alcotest.failf "push create: %s" msg
+      in
+      (* A payload bigger than one datagram, to force line-boundary
+         chunking. *)
+      let lines = List.init 200 (fun i -> Printf.sprintf "metric_%03d %d" i i) in
+      let text = String.concat "\n" lines ^ "\n" in
+      Push.send p text;
+      Alcotest.(check int) "no send errors" 0 (Push.send_errors p);
+      if Push.sends p < 2 then
+        Alcotest.failf "expected chunking into >1 datagram, got %d" (Push.sends p);
+      let buf = Bytes.create 65536 in
+      let received = Buffer.create (String.length text) in
+      Unix.setsockopt_float recv Unix.SO_RCVTIMEO 2.0;
+      (try
+         while Buffer.length received < String.length text do
+           let n, _ = Unix.recvfrom recv buf 0 (Bytes.length buf) [] in
+           let chunk = Bytes.sub_string buf 0 n in
+           (* Every datagram must end at a line boundary. *)
+           if n > 0 && chunk.[n - 1] <> '\n' then
+             Alcotest.fail "datagram split mid-line";
+           Buffer.add_string received chunk
+         done
+       with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+         Alcotest.fail "timed out waiting for pushed datagrams");
+      Alcotest.(check string)
+        "reassembled payload" text (Buffer.contents received);
+      Push.close p)
+
+(* ------------------------------------------------------------------ *)
+(* PROTOCOL.md conformance *)
+
+type exchange = { request : string option; expected : string list }
+(* [request = None] is the connection greeting. *)
+
+type session = { flags : (string * string) list; exchanges : exchange list }
+
+let parse_sessions path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let sessions = ref [] in
+  let current : string list ref = ref [] in
+  let in_session = ref false in
+  List.iter
+    (fun line ->
+      if !in_session then
+        if line = "```" then begin
+          in_session := false;
+          sessions := List.rev !current :: !sessions;
+          current := []
+        end
+        else current := line :: !current
+      else if line = "```session" then in_session := true)
+    lines;
+  List.rev_map
+    (fun body ->
+      let flags = ref [] in
+      let exchanges = ref [] in
+      let pending_req = ref None in
+      let pending_exp = ref [] in
+      let close_exchange () =
+        if !pending_req <> None || !pending_exp <> [] then begin
+          exchanges :=
+            { request = !pending_req; expected = List.rev !pending_exp }
+            :: !exchanges;
+          pending_req := None;
+          pending_exp := []
+        end
+      in
+      List.iter
+        (fun line ->
+          if String.length line >= 9 && String.sub line 0 9 = "# server " then begin
+            let toks =
+              String.split_on_char ' '
+                (String.sub line 9 (String.length line - 9))
+              |> List.filter (fun s -> s <> "")
+            in
+            let rec pair = function
+              | k :: v :: rest when String.length k > 2 && String.sub k 0 2 = "--"
+                ->
+                  flags :=
+                    (String.sub k 2 (String.length k - 2), v) :: !flags;
+                  pair rest
+              | _ -> ()
+            in
+            pair toks
+          end
+          else if String.length line >= 3 && String.sub line 0 3 = "C: " then begin
+            close_exchange ();
+            pending_req := Some (String.sub line 3 (String.length line - 3))
+          end
+          else if line = "C:" then begin
+            close_exchange ();
+            pending_req := Some ""
+          end
+          else if String.length line >= 3 && String.sub line 0 3 = "S: " then
+            pending_exp := String.sub line 3 (String.length line - 3) :: !pending_exp)
+        body;
+      close_exchange ();
+      { flags = !flags; exchanges = List.rev !exchanges })
+    !sessions
+  |> List.rev
+
+let core_of_flags flags =
+  let geti key default =
+    match List.assoc_opt key flags with
+    | Some v -> int_of_string v
+    | None -> default
+  in
+  let objects = geti "objects" 16 in
+  let seed = geti "seed" 42 in
+  let variant =
+    match List.assoc_opt "variant" flags with
+    | Some "unfactorized" -> Rfid_core.Config.Unfactorized
+    | Some "factorized" -> Rfid_core.Config.Factorized
+    | Some "compressed" -> Rfid_core.Config.Factorized_compressed
+    | Some "indexed" | None -> Rfid_core.Config.Factorized_indexed
+    | Some other -> Alcotest.failf "unknown variant %s in # server line" other
+  in
+  let boot =
+    Bootstrap.make ~objects ~seed ~variant ~particles:(geti "particles" 200) ()
+  in
+  Core.create ~guard:(Bootstrap.fresh_guard boot)
+    ~engine:(Bootstrap.fresh_engine boot) ~num_objects:objects
+    ~admit_cap:(geti "admit-cap" 1024) ~events_keep:(geti "events-keep" 4096) ()
+
+let split_reply reply =
+  if reply = "" then []
+  else begin
+    if reply.[String.length reply - 1] <> '\n' then
+      Alcotest.failf "reply not newline-terminated: %S" reply;
+    String.split_on_char '\n' (String.sub reply 0 (String.length reply - 1))
+  end
+
+let check_exchange session_no what expected actual =
+  if expected <> actual then
+    Alcotest.failf
+      "session %d, %s:\nexpected:\n%s\nactual:\n%s\n\n\
+       (update the session block in PROTOCOL.md to match reality, or fix \
+       the server)"
+      session_no what
+      (String.concat "\n" (List.map (fun l -> "S: " ^ l) expected))
+      (String.concat "\n" (List.map (fun l -> "S: " ^ l) actual))
+
+let protocol_md_path () =
+  (* Under `dune runtest` the cwd is _build/default/test and the spec
+     is a declared dep one level up; under `dune exec` from the source
+     tree it is in the cwd. *)
+  match List.find_opt Sys.file_exists [ "../PROTOCOL.md"; "PROTOCOL.md" ] with
+  | Some p -> p
+  | None -> Alcotest.fail "PROTOCOL.md not found next to the test"
+
+let test_protocol_conformance () =
+  let sessions = parse_sessions (protocol_md_path ()) in
+  if List.length sessions < 4 then
+    Alcotest.failf "expected several session blocks in PROTOCOL.md, found %d"
+      (List.length sessions);
+  List.iteri
+    (fun i session ->
+      let core = core_of_flags session.flags in
+      List.iter
+        (fun ex ->
+          match ex.request with
+          | None ->
+              check_exchange (i + 1) "greeting" ex.expected
+                (split_reply (Core.greeting core))
+          | Some request ->
+              let reply, _close = Core.handle_line core request in
+              check_exchange (i + 1)
+                (Printf.sprintf "request %S" request)
+                ex.expected (split_reply reply))
+        session.exchanges)
+    sessions
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "framing: line reassembly" `Quick test_framing_lines;
+      Alcotest.test_case "framing: CRLF tolerated" `Quick test_framing_crlf;
+      Alcotest.test_case "framing: overflow resyncs" `Quick test_framing_overflow;
+      Alcotest.test_case "framing: float round-trip" `Quick test_float_str;
+      Alcotest.test_case "admission: bounded fifo" `Quick test_admission;
+      Alcotest.test_case "query: range mass" `Quick test_range_mass;
+      Alcotest.test_case "query: event ring" `Quick test_event_ring;
+      Alcotest.test_case "core: wire = direct replay" `Quick test_core_consistency;
+      Alcotest.test_case "core: backpressure" `Quick test_core_backpressure;
+      Alcotest.test_case "openmetrics: render" `Quick test_openmetrics;
+      Alcotest.test_case "push: UDP loopback" `Quick test_push_udp;
+      Alcotest.test_case "PROTOCOL.md conformance" `Quick test_protocol_conformance;
+    ] )
