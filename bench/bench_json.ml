@@ -312,7 +312,7 @@ let emit ?(extra = []) oc points robust durability =
   in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"bench_filter/v7\",\n\
+    \  \"schema\": \"bench_filter/v8\",\n\
     \  \"workload\": \"warehouse straight pass, J=100, K=200, resample_ess=1.0, \
      min_particles=200, seed 7; f+index+adaptive points: resample_ess=0.25, \
      min_particles=32\",\n\
@@ -417,13 +417,35 @@ type serving_point = {
   sp_ingest_s : float;
   sp_range_lat : float array;  (** sorted, seconds *)
   sp_at_lat : float array;  (** sorted, seconds *)
+  sp_fit_hits : int;  (** AT answers served from the fit cache *)
+  sp_index_updates : int;  (** per-object refits during the run *)
+  sp_full_rebuilds : int;  (** wholesale cache rebuilds (expect 1) *)
 }
+
+(* Query-maintenance accounting: the serve layer counts per-object
+   refits, AT cache hits and wholesale rebuilds; deltas around the run
+   keep points independent. *)
+let c_fit_hits =
+  Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "query.fit_cache_hits"
+let c_idx_updates =
+  Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "query.index_updates"
+let c_rebuilds =
+  Rfid_obs.Metrics.counter Rfid_obs.Metrics.global "query.full_rebuilds"
 
 let lat_quantile_us sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.
   else
     1e6 *. sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+(* Reference probe height shared by every serving point: 1/8 of the
+   500-object warehouse's y extent (the warehouse is one aisle that
+   grows along y, so y is the axis that scales with object count). *)
+let serving_window_h =
+  lazy
+    (let wh = Rfid_sim.Warehouse.layout ~num_objects:500 () in
+     let bb = Rfid_model.World.bounding_box wh.Rfid_sim.Warehouse.world in
+     (bb.Rfid_geom.Box2.max_y -. bb.Rfid_geom.Box2.min_y) /. 8.)
 
 let run_serving_point ~objects ~rounds () =
   Printf.printf "  ... %-16s n=%-5d%!" "serving" objects;
@@ -449,25 +471,36 @@ let run_serving_point ~objects ~rounds () =
       ~engine:(Rfid_serve.Bootstrap.fresh_engine boot)
       ~num_objects:objects ()
   in
-  (* Eight RANGE windows tiling the world's x extent, cycled per epoch,
-     so probes hit dense and empty regions alike. *)
+  (* Fixed-size RANGE windows tiling the world's y extent (full aisle
+     width in x), cycled per epoch, so probes hit dense and empty
+     regions alike. The height is absolute — 1/8 of the reference
+     500-object warehouse — so each probe's answer volume tracks local
+     density, not universe size: the latency this measures is query
+     maintenance plus a bounded hit set, which is exactly the cost the
+     incremental query layer is supposed to pin. (The v7 workload
+     sliced the 1 ft x extent into 8 strips spanning the whole aisle,
+     so every probe returned O(objects) answers and p95 measured reply
+     volume, not maintenance.) *)
   let world_box =
     Rfid_model.World.bounding_box boot.Rfid_serve.Bootstrap.world
   in
-  let windows = 8 in
-  let span =
-    (world_box.Rfid_geom.Box2.max_x -. world_box.Rfid_geom.Box2.min_x)
-    /. float_of_int windows
+  let extent =
+    world_box.Rfid_geom.Box2.max_y -. world_box.Rfid_geom.Box2.min_y
   in
+  let span = Lazy.force serving_window_h in
+  let windows = Int.max 1 (int_of_float (Float.round (extent /. span))) in
   let range_query i =
-    let lo = world_box.Rfid_geom.Box2.min_x +. (span *. float_of_int (i mod windows)) in
-    Printf.sprintf "RANGE %.3f %.3f %.3f %.3f 0.05" lo
-      world_box.Rfid_geom.Box2.min_y (lo +. span)
-      world_box.Rfid_geom.Box2.max_y
+    let lo = world_box.Rfid_geom.Box2.min_y +. (span *. float_of_int (i mod windows)) in
+    Printf.sprintf "RANGE %.3f %.3f %.3f %.3f 0.05"
+      world_box.Rfid_geom.Box2.min_x lo world_box.Rfid_geom.Box2.max_x
+      (lo +. span)
   in
   let range_lat = ref [] and at_lat = ref [] in
   let ingest_s = ref 0. in
   let epoch_i = ref 0 in
+  let hits0 = Rfid_obs.Metrics.counter_value c_fit_hits in
+  let upd0 = Rfid_obs.Metrics.counter_value c_idx_updates in
+  let reb0 = Rfid_obs.Metrics.counter_value c_rebuilds in
   List.iter
     (fun line ->
       let t0 = Unix.gettimeofday () in
@@ -497,6 +530,9 @@ let run_serving_point ~objects ~rounds () =
       sp_ingest_s = !ingest_s;
       sp_range_lat = sorted !range_lat;
       sp_at_lat = sorted !at_lat;
+      sp_fit_hits = Rfid_obs.Metrics.counter_value c_fit_hits - hits0;
+      sp_index_updates = Rfid_obs.Metrics.counter_value c_idx_updates - upd0;
+      sp_full_rebuilds = Rfid_obs.Metrics.counter_value c_rebuilds - reb0;
     }
   in
   Printf.printf "  %7.0f epochs/s ingest, range p95 %.0f us\n%!"
@@ -504,14 +540,16 @@ let run_serving_point ~objects ~rounds () =
     (lat_quantile_us sp.sp_range_lat 0.95);
   sp
 
-let serving_json sp =
+let serving_point_json sp =
+  (* One AT per epoch, so the hit rate is hits per AT query. *)
+  let at_queries = Float.max 1. (float_of_int sp.sp_epochs) in
   Printf.sprintf
-    "  \"serving\": {\"workload\": \"in-process RFID-SERVE/1 core: PUT+tick per \
-     epoch chased by one sliding-window RANGE (8 windows, min-mass 0.05) and one \
-     AT, K=100, seed 7; socket I/O excluded\", \"objects\": %d, \"epochs\": %d, \
+    "    {\"objects\": %d, \"epochs\": %d, \
      \"ingest_elapsed_s\": %.6f, \"ingest_epochs_per_sec\": %.2f, \
      \"range_p50_us\": %.1f, \"range_p95_us\": %.1f, \"range_p99_us\": %.1f, \
-     \"at_p50_us\": %.1f, \"at_p95_us\": %.1f}"
+     \"at_p50_us\": %.1f, \"at_p95_us\": %.1f, \
+     \"fit_cache_hits\": %d, \"fit_cache_hit_rate\": %.4f, \
+     \"index_updates\": %d, \"full_rebuilds\": %d}"
     sp.sp_objects sp.sp_epochs sp.sp_ingest_s
     (float_of_int sp.sp_epochs /. Float.max 1e-9 sp.sp_ingest_s)
     (lat_quantile_us sp.sp_range_lat 0.5)
@@ -519,6 +557,33 @@ let serving_json sp =
     (lat_quantile_us sp.sp_range_lat 0.99)
     (lat_quantile_us sp.sp_at_lat 0.5)
     (lat_quantile_us sp.sp_at_lat 0.95)
+    sp.sp_fit_hits
+    (float_of_int sp.sp_fit_hits /. at_queries)
+    sp.sp_index_updates sp.sp_full_rebuilds
+
+let serving_json sps =
+  (* p95 scaling ratio between the smallest and largest point: the
+     incremental query path's headline claim is that RANGE cost follows
+     dirty+hits, not universe size, so this should stay near 1. *)
+  let ratio_field =
+    match List.sort (fun a b -> Int.compare a.sp_objects b.sp_objects) sps with
+    | small :: (_ :: _ as rest) ->
+        let big = List.nth rest (List.length rest - 1) in
+        let ps = lat_quantile_us small.sp_range_lat 0.95 in
+        let pb = lat_quantile_us big.sp_range_lat 0.95 in
+        Printf.sprintf ",\n    \"range_p95_scaling_ratio\": %.3f"
+          (if ps > 0. then pb /. ps else 0.)
+    | _ -> ""
+  in
+  Printf.sprintf
+    "  \"serving\": {\"workload\": \"in-process RFID-SERVE/1 core: PUT+tick per \
+     epoch chased by one sliding-window RANGE (fixed-size windows tiling y, \
+     1/8 of the 500-object world's aisle, min-mass 0.05) and one AT, K=100, \
+     seed 7; socket I/O excluded; incremental maintenance (dirty-set fit cache \
+     + dynamic index)\",\n\
+     \    \"points\": [\n%s\n    ]%s}"
+    (String.concat ",\n" (List.map serving_point_json sps))
+    ratio_field
 
 let run ~path ~large =
   Printf.printf "bench --json: filter throughput -> %s\n%!" path;
@@ -568,7 +633,13 @@ let run ~path ~large =
   let extra =
     adaptive_check_json ~scaling_n ~points ~params
       ~bit_identity_trace:small_built.Scenarios.trace
-    @ [ serving_json (run_serving_point ~objects:500 ~rounds:1 ()) ]
+    @ [
+        serving_json
+          [
+            run_serving_point ~objects:500 ~rounds:1 ();
+            run_serving_point ~objects:5000 ~rounds:1 ();
+          ];
+      ]
   in
   let oc = open_out path in
   Fun.protect
@@ -653,6 +724,10 @@ let adaptive_gate_workload =
      min_particles=%d, seed 7"
     adaptive_resample_ess adaptive_min_particles
 
+let serving_gate_workload =
+  "in-process serving RANGE p95: 500 objects, straight pass, 8 fixed-size \
+   windows tiling y, min-mass 0.05, K=100, seed 7"
+
 let write_baseline ~path =
   Printf.printf "bench --perf-baseline: measuring %s\n%!" gate_workload;
   let ri = measure_gate Rfid_core.Config.Factorized_indexed in
@@ -661,13 +736,16 @@ let write_baseline ~path =
   let ra = measure_gate_adaptive () in
   Printf.printf "bench --perf-baseline: measuring %s\n%!" scaling_workload;
   let small, big, ratio = measure_scaling () in
+  Printf.printf "bench --perf-baseline: measuring %s\n%!" serving_gate_workload;
+  let sv = run_serving_point ~objects:500 ~rounds:1 () in
+  let serving_p95 = lat_quantile_us sv.sp_range_lat 0.95 in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc
         "{\n\
-        \  \"schema\": \"bench_baseline/v6\",\n\
+        \  \"schema\": \"bench_baseline/v7\",\n\
         \  \"workload\": %S,\n\
         \  \"epochs\": %d,\n\
         \  \"indexed_minor_words_per_epoch\": %.1f,\n\
@@ -692,7 +770,9 @@ let write_baseline ~path =
         \  \"scaling_small_minor_words\": %.1f,\n\
         \  \"scaling_big_minor_words\": %.1f,\n\
         \  \"scaling_ratio_measured\": %.3f,\n\
-        \  \"scaling_max_ratio\": %.2f\n\
+        \  \"scaling_max_ratio\": %.2f,\n\
+        \  \"serving_workload\": %S,\n\
+        \  \"serving_range_p95_us\": %.1f\n\
          }\n"
         gate_workload ri.Rfid_eval.Runner.epochs
         ri.Rfid_eval.Runner.minor_words_per_epoch
@@ -707,7 +787,8 @@ let write_baseline ~path =
         ra.Rfid_eval.Runner.major_words_per_epoch
         ra.Rfid_eval.Runner.allocated_words_per_epoch (run_ns_per_epoch ra)
         ra.Rfid_eval.Runner.error.Rfid_eval.Metrics.mean_xy err_max_ratio
-        time_max_ratio scaling_workload small big ratio scaling_max_ratio);
+        time_max_ratio scaling_workload small big ratio scaling_max_ratio
+        serving_gate_workload serving_p95);
   Printf.printf
     "wrote baseline (indexed %.0f, compressed %.0f, adaptive %.0f allocated \
      words/epoch, indexed %.0f ns/epoch, err %.2f/%.2f/%.2f ft, scaling ratio \
@@ -868,6 +949,35 @@ let check_gate ~baseline_path =
   check_time "factorized+index" "indexed_ns_per_epoch" ri;
   check_time "f+index+compress" "compressed_ns_per_epoch" rc;
   check_time "f+index+adaptive" "adaptive_ns_per_epoch" ra;
+  (* Serving latency: same warn-unless-strict policy as the other
+     wall-clock checks — this is the number PR 10's incremental query
+     maintenance exists to protect. *)
+  Printf.printf "perf-gate: measuring %s\n%!" serving_gate_workload;
+  let sv = run_serving_point ~objects:500 ~rounds:1 () in
+  let s_baseline = number "serving_range_p95_us" in
+  let s_current = lat_quantile_us sv.sp_range_lat 0.95 in
+  let s_limit = s_baseline *. time_bound in
+  Printf.printf
+    "perf-gate: %-16s %.0f us range p95 (baseline %.0f, limit %.0f = %.2fx)\n%!"
+    "serving" s_current s_baseline s_limit time_bound;
+  if s_current > s_limit then
+    if time_fatal then begin
+      Printf.eprintf
+        "perf-gate: FAIL — serving RANGE p95 exceeds %.2fx the committed baseline \
+         (time bound promoted to fatal by PERF_GATE_TIME_FATAL).\n\
+         If the slowdown is intended, refresh the baseline with `make \
+         perf-baseline` and commit BENCH_baseline.json.\n"
+        time_bound;
+      failed := true
+    end
+    else
+      Printf.printf
+        "perf-gate: WARN — serving RANGE p95 exceeds %.2fx the committed baseline. \
+         Wall-clock is noisy, so this does not fail the gate; rerun on a quiet \
+         machine, or set PERF_GATE_TIME_FATAL=1 (`make perf-gate-strict`) to \
+         enforce it.\n\
+         %!"
+        time_bound;
   Printf.printf "perf-gate: measuring %s\n%!" scaling_workload;
   let bound = number "scaling_max_ratio" in
   let small, big, ratio = measure_scaling () in
@@ -933,7 +1043,7 @@ let smoke () =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> emit ~extra:[ serving_json serving ] oc points robust durability);
+    (fun () -> emit ~extra:[ serving_json [ serving ] ] oc points robust durability);
   (* The emitted file must round-trip through the same extractor the
      gate uses on the committed baseline. *)
   let emitted = read_file path in
@@ -950,6 +1060,9 @@ let smoke () =
   require_number "resample_skip_rate";
   require_number "ingest_epochs_per_sec";
   require_number "range_p95_us";
+  require_number "fit_cache_hit_rate";
+  require_number "index_updates";
+  require_number "full_rebuilds";
   (* scaling_valid is a boolean, so the numeric extractor can't read
      it; presence of the key is what the v6 schema promises. *)
   let contains hay needle =

@@ -53,6 +53,11 @@ type t = {
   mutable newly_seen : int list;
   mutable consecutive_degraded : int;
   mutable degraded_total : int;
+  mutable known_count : int;  (* objects with last_read >= 0 *)
+  (* Change feed (see Factored_filter's): the joint weights move every
+     epoch, so every estimate may change every epoch — the feed is
+     simply "everything changed since the last clear". *)
+  mutable changed_all : bool;
 }
 
 let slot t p i = (p * t.num_objects) + i
@@ -102,6 +107,8 @@ let create ~world ~params ~config ~init_reader ~num_objects ~rng =
     newly_seen = [];
     consecutive_degraded = 0;
     degraded_total = 0;
+    known_count = 0;
+    changed_all = false;
   }
 
 let num_particles t = Array.length t.readers
@@ -292,6 +299,7 @@ let step t (obs : Types.observation) =
   (* Bookkeeping for scope tracking. *)
   for i = 0 to t.num_objects - 1 do
     if t.obj_read.(i) then begin
+      if t.last_read.(i) < 0 then t.known_count <- t.known_count + 1;
       if t.last_read.(i) < 0 || e - t.last_read.(i) > t.config.Config.out_of_scope_after
       then t.newly_seen <- i :: t.newly_seen;
       t.last_read.(i) <- e;
@@ -300,6 +308,7 @@ let step t (obs : Types.observation) =
   done;
   t.last_reported <- Some reported;
   t.consecutive_degraded <- 0;
+  t.changed_all <- true;
   t.epoch <- e
 
 (* Degraded epoch: no usable location fix. The reader belief advances
@@ -385,6 +394,7 @@ let dead_reckon ?(shelf_tags = []) t ~epoch:e =
         t.log_ws.(p) <- t.log_ws.(p) -. z
       done
   end;
+  t.changed_all <- true;
   t.epoch <- e
 
 let degraded_epochs t = t.degraded_total
@@ -475,6 +485,9 @@ let restore ~world ~params ~config s =
     newly_seen = s.s_newly_seen;
     consecutive_degraded = s.s_consecutive_degraded;
     degraded_total = s.s_degraded_total;
+    known_count =
+      Array.fold_left (fun acc r -> if r >= 0 then acc + 1 else acc) 0 s.s_last_read;
+    changed_all = true;
   }
 
 let weights t = Rfid_prob.Stats.normalize_log_weights t.log_ws
@@ -511,5 +524,15 @@ let known_objects t =
     if t.last_read.(i) >= 0 then out := i :: !out
   done;
   !out
+
+let iter_known t f =
+  for i = 0 to t.num_objects - 1 do
+    if t.last_read.(i) >= 0 then f i
+  done
+
+let num_known t = t.known_count
+let changes_dirty_all t = t.changed_all
+let iter_dirty _ _ = ()
+let clear_changes t = t.changed_all <- false
 
 let epoch t = t.epoch

@@ -43,7 +43,33 @@ val newly_seen : t -> int list
     {!step}. *)
 
 val known_objects : t -> int list
-(** Objects read at least once so far. *)
+(** Objects read at least once so far, ascending. *)
+
+val iter_known : t -> (int -> unit) -> unit
+(** Visit every known object id in ascending order (a scan of the
+    declared universe — O(num_objects), list-free). *)
+
+val num_known : t -> int
+(** Number of known objects, O(1). *)
+
+(** {1 Change feed}
+
+    Same contract as [Factored_filter]'s: which objects' posteriors may
+    have changed since the last {!clear_changes}. The joint weights
+    move on every epoch, so every estimate may change on every epoch —
+    the feed is the {!changes_dirty_all} flag alone and {!iter_dirty}
+    never yields ids. *)
+
+val changes_dirty_all : t -> bool
+(** True after any {!step}/{!dead_reckon}/{!restore} since the last
+    {!clear_changes}. *)
+
+val iter_dirty : t -> (int -> unit) -> unit
+(** Always empty for the joint filter — all changes surface through
+    {!changes_dirty_all}. *)
+
+val clear_changes : t -> unit
+(** Consume the feed. *)
 
 val epoch : t -> Rfid_model.Types.epoch
 (** Epoch of the last processed observation; -1 initially. *)

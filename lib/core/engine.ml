@@ -94,13 +94,38 @@ let known_objects t =
   | Basic (f, _) -> Basic_filter.known_objects f
   | Factored f -> Factored_filter.known_objects f
 
+let iter_known t f =
+  match t.filter with
+  | Basic (fl, _) -> Basic_filter.iter_known fl f
+  | Factored fl -> Factored_filter.iter_known fl f
+
+let num_known t =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.num_known f
+  | Factored f -> Factored_filter.num_known f
+
+let changes_dirty_all t =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.changes_dirty_all f
+  | Factored f -> Factored_filter.changes_dirty_all f
+
+let iter_dirty_changes t f =
+  match t.filter with
+  | Basic (fl, _) -> Basic_filter.iter_dirty fl f
+  | Factored fl -> Factored_filter.iter_dirty fl f
+
+let clear_changes t =
+  match t.filter with
+  | Basic (f, _) -> Basic_filter.clear_changes f
+  | Factored f -> Factored_filter.clear_changes f
+
 let iter_estimates t f =
-  (* Sorted defensively: the filters return known objects in an
-     unspecified (discovery) order, and the query layer's answers must
-     not depend on it. *)
-  List.iter
-    (fun id -> match estimate t id with Some (m, c) -> f id m c | None -> ())
-    (List.sort Int.compare (known_objects t))
+  (* Ascending-id order without a per-call sort: both filters maintain
+     their known set in sorted form ([Factored_filter] an insertion-
+     sorted array, [Basic_filter] a flag scan of the declared
+     universe). *)
+  iter_known t (fun id ->
+      match estimate t id with Some (m, c) -> f id m c | None -> ())
 
 let epoch t =
   match t.filter with

@@ -84,9 +84,37 @@ val iter_estimates :
   t -> (int -> Rfid_geom.Vec3.t -> Rfid_prob.Linalg.mat -> unit) -> unit
 (** Visit every known object that has a posterior estimate, in
     ascending object-id order, with its current mean and covariance —
-    the query layer ([Rfid_serve.Query]) rebuilds its spatial index of
+    the query layer ([Rfid_serve.Query]) builds its spatial index of
     posterior bounding boxes through this without materializing an
-    intermediate list per object. *)
+    intermediate list per object. List- and sort-free: the filters
+    keep their known sets in sorted form. *)
+
+val iter_known : t -> (int -> unit) -> unit
+(** Visit every known object id, ascending, without building a list. *)
+
+val num_known : t -> int
+(** Number of known objects, O(1). *)
+
+(** {1 Change feed}
+
+    The filters record which objects' posteriors may have changed
+    since the consumer's last {!clear_changes}: each step's processed
+    scope, belief compressions, and — through {!changes_dirty_all} —
+    degraded-mode widening and {!restore}, which touch everything
+    (the Unfactorized variant reports everything changed on every
+    epoch, since the joint weights move). Conservative but complete:
+    an id the feed does not flag has a bitwise-unchanged estimate.
+    Single consumer — in the serving stack, [Rfid_serve.Query]. *)
+
+val changes_dirty_all : t -> bool
+(** Every object must be treated as changed. *)
+
+val iter_dirty_changes : t -> (int -> unit) -> unit
+(** Changed ids, ascending; yields nothing while {!changes_dirty_all}
+    holds — check it first. *)
+
+val clear_changes : t -> unit
+(** Consume the feed (empty the dirty set, lower the flag). *)
 
 val reader_estimate : t -> Rfid_geom.Vec3.t
 (** Weighted posterior mean of the reader's location. *)

@@ -115,6 +115,17 @@ type t = {
   mutable work_len : int;
   work_dummy : work_item;  (* fills unused [work] capacity *)
   mutable tmp_ids : int array;  (* missing shelf tags / index-flush members *)
+  (* Change feed for the query layer (DESIGN.md section 13): ids whose
+     posterior may have changed since the consumer's last
+     [clear_changes], plus the everything-changed escape hatch for
+     degraded-mode widening and restore. Written from the coordinator
+     only. *)
+  dirty : Bitset.t;
+  mutable dirty_all : bool;
+  (* Known ids as a sorted dense array: discovery inserts in place, so
+     [iter_known]/[known_objects] never sort or scan the hashtable. *)
+  mutable known_sorted : int array;
+  mutable known_len : int;
   mutable last_reported : Vec3.t option;
   mutable epoch : int;
   mutable newly_seen : int list;
@@ -268,6 +279,10 @@ let create ~world ~params ~config ~init_reader ~rng =
     work_len = 0;
     work_dummy = dummy_work_item ();
     tmp_ids = [||];
+    dirty = Bitset.create ();
+    dirty_all = false;
+    known_sorted = [||];
+    known_len = 0;
     last_reported = None;
     epoch = -1;
     newly_seen = [];
@@ -289,6 +304,23 @@ let ensure_tmp t n =
 let ensure_work t n =
   if Array.length t.work < n then
     t.work <- Array.make (Int.max n (2 * Array.length t.work)) t.work_dummy
+
+(* Insertion into the sorted known-id array. Ids arrive once each (at
+   discovery) and mostly in increasing order, so the shift is almost
+   always empty; re-discoveries never reach here. *)
+let note_known t id =
+  if Array.length t.known_sorted < t.known_len + 1 then begin
+    let bigger = Array.make (Int.max 8 (2 * Array.length t.known_sorted)) 0 in
+    Array.blit t.known_sorted 0 bigger 0 t.known_len;
+    t.known_sorted <- bigger
+  end;
+  let i = ref t.known_len in
+  while !i > 0 && t.known_sorted.(!i - 1) > id do
+    t.known_sorted.(!i) <- t.known_sorted.(!i - 1);
+    decr i
+  done;
+  t.known_sorted.(!i) <- id;
+  t.known_len <- t.known_len + 1
 
 let reader_weights_into t w =
   for i = 0 to Array.length w - 1 do
@@ -778,7 +810,13 @@ let compress_object t (obj : obj_state) =
       in
       if ok then begin
         Obs.incr c_compressions 1;
-        obj.belief <- Compressed g
+        obj.belief <- Compressed g;
+        (* The moment-matched Gaussian carries the same mean/cov the
+           particle fit reported, but the representation switch is
+           flagged anyway: compression can fire on objects outside the
+           current scope, and the change feed promises to cover every
+           belief mutation. *)
+        Bitset.add t.dirty obj.obj_id
       end
 
 let run_compression t e =
@@ -857,6 +895,9 @@ let step t (obs : Types.observation) =
   t.processed_last <- Bitset.cardinal scope;
   ensure_scope t t.processed_last;
   t.scope_len <- Bitset.fill_into scope t.scope_ids;
+  (* Every object the parallel pass may touch is exactly the scope;
+     feed it to the change set by word-wise OR — O(scope words). *)
+  Bitset.union_into ~into:t.dirty scope;
   (* 4. Coordinator pre-pass: the [objects] Hashtbl is not thread-safe,
      so discovery (insertion) and scope bookkeeping happen here, before
      any domain fans out. Newly read objects get a placeholder state;
@@ -878,6 +919,7 @@ let step t (obs : Types.observation) =
               last_read_reader = reported;
               in_scope = true;
             };
+          note_known t id;
           t.newly_seen <- id :: t.newly_seen
       | Some obj -> if not obj.in_scope then t.newly_seen <- id :: t.newly_seen);
   ensure_work t t.scope_len;
@@ -1068,6 +1110,7 @@ let dead_reckon ?(shelf_tags = []) t ~epoch:e =
   t.degraded_total <- t.degraded_total + 1;
   let w = t.config.Config.degraded_widen_sigma in
   if t.consecutive_degraded >= t.config.Config.degraded_widen_after && w > 0. then begin
+    t.dirty_all <- true;
     let wsigma = Vec3.make w w 0. in
     (* Widening visits every tracked object by evidence semantics (the
        whole posterior decays); the per-object generator is re-keyed
@@ -1123,7 +1166,27 @@ let reader_estimate t =
   !acc
 
 let newly_seen t = t.newly_seen
-let known_objects t = Hashtbl.fold (fun id _ acc -> id :: acc) t.objects []
+
+let known_objects t =
+  let out = ref [] in
+  for i = t.known_len - 1 downto 0 do
+    out := t.known_sorted.(i) :: !out
+  done;
+  !out
+
+let iter_known t f =
+  for i = 0 to t.known_len - 1 do
+    f t.known_sorted.(i)
+  done
+
+let num_known t = t.known_len
+let changes_dirty_all t = t.dirty_all
+let iter_dirty t f = if not t.dirty_all then Bitset.iter t.dirty f
+
+let clear_changes t =
+  Bitset.clear t.dirty;
+  t.dirty_all <- false
+
 let epoch t = t.epoch
 let objects_processed_last_step t = t.processed_last
 
@@ -1352,6 +1415,13 @@ let restore ~world ~params ~config s =
     work_len = 0;
     work_dummy = dummy_work_item ();
     tmp_ids = [||];
+    dirty = Bitset.create ();
+    (* A restored consumer has no valid cache to patch; everything is
+       changed as far as the feed is concerned. *)
+    dirty_all = true;
+    known_sorted =
+      Array.of_list (List.map (fun (o : obj_snapshot) -> o.so_id) s.fs_objects);
+    known_len = List.length s.fs_objects;
     last_reported = s.fs_last_reported;
     epoch = s.fs_epoch;
     newly_seen = s.fs_newly_seen;

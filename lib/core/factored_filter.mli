@@ -55,6 +55,38 @@ val newly_seen : t -> int list
 val known_objects : t -> int list
 (** Every object read so far, ascending. *)
 
+val iter_known : t -> (int -> unit) -> unit
+(** Visit every known object id in ascending order without building a
+    list — backed by a sorted array maintained at discovery, so no
+    per-call sort either. *)
+
+val num_known : t -> int
+(** Number of known objects, O(1). *)
+
+(** {1 Change feed}
+
+    The filter records which objects' posteriors may have changed
+    since the consumer's last {!clear_changes}: the processed scope of
+    every {!step} (word-wise bitset union, O(scope words)), belief
+    compressions, and — via the {!changes_dirty_all} escape hatch —
+    degraded-mode widening and {!restore}, which touch every object.
+    The feed is conservative (a flagged object's estimate may be
+    bitwise unchanged) but complete: an unflagged object's estimate is
+    exactly what it was. Single consumer: whoever calls
+    [clear_changes] owns the feed. *)
+
+val changes_dirty_all : t -> bool
+(** Every object must be treated as changed (widening or restore since
+    the last {!clear_changes}). *)
+
+val iter_dirty : t -> (int -> unit) -> unit
+(** Visit the changed ids, ascending. Yields nothing while
+    {!changes_dirty_all} holds — check it first. *)
+
+val clear_changes : t -> unit
+(** Consume the feed: empties the dirty set and lowers the
+    everything-changed flag. *)
+
 val epoch : t -> Rfid_model.Types.epoch
 (** Epoch of the last processed observation (-1 before the first). *)
 

@@ -1,0 +1,71 @@
+(** A dynamic spatial index over XY bounding boxes with stable entry
+    handles.
+
+    {!Rtree} fits the engine's sensing-region index, where entries are
+    only ever inserted; the serving layer's query index is different —
+    each tracked object owns exactly one box that {e moves} whenever
+    the posterior changes, so the index must support delete and
+    re-insert in place of the full rebuild an insert-only structure
+    forces. This is a uniform grid over packed cell keys: an entry's
+    box is registered in every grid cell it overlaps, removal pops it
+    back out of those cells, and a probe visits only the cells it
+    covers. The cell size self-tunes to twice the mean box extent
+    (rehashing all entries when the population drifts more than 4x
+    away), so occupancy stays O(1) per cell without the caller knowing
+    the world scale.
+
+    Handles are small ints, reused after {!remove}; each [insert]
+    returns the handle to later [remove]/[update] that entry. Queries
+    fill the same reusable {!Rtree.Hits} buffers the R-tree uses, and
+    a steady-state {!query_into} allocates nothing. Entries whose box
+    spans more than {!max_span_cells} cells are kept on an oversize
+    list probed by every query instead of bloating thousands of
+    buckets. Hit order is unspecified (grid visit order); callers
+    needing determinism sort, exactly as they must with {!Rtree}. *)
+
+type 'a t
+
+val create : dummy:'a -> unit -> 'a t
+(** Empty index. [dummy] fills unused entry slots so freed values are
+    not pinned for the GC. *)
+
+val insert : 'a t -> Box2.t -> 'a -> int
+(** Register a value under its box; returns the entry's handle. *)
+
+val remove : 'a t -> int -> unit
+(** Unregister an entry by handle; the handle becomes invalid (and may
+    be reused by a later {!insert}).
+    @raise Invalid_argument on a dead or out-of-range handle. *)
+
+val update : 'a t -> int -> Box2.t -> 'a -> unit
+(** [update t h box v] moves entry [h] to a new box (and value) in
+    place — the delete/re-insert pair without handle churn.
+    @raise Invalid_argument on a dead or out-of-range handle. *)
+
+val get : 'a t -> int -> Box2.t * 'a
+(** The live entry behind a handle.
+    @raise Invalid_argument on a dead or out-of-range handle. *)
+
+val size : 'a t -> int
+(** Number of live entries. *)
+
+val query_into : 'a t -> Box2.t -> 'a Rtree.Hits.t -> unit
+(** [query_into t probe hits] clears [hits] and appends every live
+    value whose box intersects [probe], each exactly once, in
+    unspecified order. Allocation-free once [hits] has grown to the
+    working size. A probe covering vastly more cells than there are
+    entries degrades gracefully to a full scan. *)
+
+val iter : 'a t -> (int -> Box2.t -> 'a -> unit) -> unit
+(** Visit every live entry as (handle, box, value), in ascending
+    handle order. *)
+
+val clear : 'a t -> unit
+(** Drop every entry; handles become invalid, capacity is retained. *)
+
+val max_span_cells : int
+(** Cell-coverage bound above which an entry lives on the oversize
+    list (64). *)
+
+val cell_size : 'a t -> float
+(** Current grid cell size — exposed for tests of the self-tuning. *)

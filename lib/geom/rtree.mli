@@ -44,6 +44,10 @@ module Hits : sig
   val clear : 'a t -> unit
   (** Empty the buffer, overwriting cleared slots with [dummy];
       capacity is retained. *)
+
+  val push : 'a t -> 'a -> unit
+  (** Append a hit, growing the backing array as needed — for sibling
+      index structures ({!Dyn_index}) that fill the same buffers. *)
 end
 
 val query_into : 'a t -> Box2.t -> 'a Hits.t -> unit

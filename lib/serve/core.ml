@@ -72,7 +72,8 @@ let preload_event t ev = Query.record_event t.query ev
 (* One queued observation through the guard into the engine. Epoch
    bookkeeping keys off the engine's own clock: a Rejected decision (or
    a duplicate the engine skips) advances nothing and must not count as
-   admitted, fire hooks, or dirty the query index. *)
+   admitted or fire hooks. The query layer needs no notification — it
+   drains the engine's change feed on its next query. *)
 let step_one t obs =
   let before = Engine.epoch t.engine in
   match Ingest.step_engine t.guard t.engine obs with
@@ -82,7 +83,6 @@ let step_one t obs =
       let after = Engine.epoch t.engine in
       if after > before then begin
         t.admitted <- t.admitted + 1;
-        Query.invalidate t.query;
         t.hooks.on_admitted after;
         if events <> [] then begin
           List.iter (Query.record_event t.query) events;
@@ -124,11 +124,12 @@ let drain t =
   if not t.draining then begin
     process_queue t;
     if t.halted = None then begin
+      (* [flush] emits pending reports but moves no posterior, so the
+         query cache stays valid as-is. *)
       let events = Engine.flush t.engine in
       if events <> [] then begin
         List.iter (Query.record_event t.query) events;
-        t.hooks.on_events events;
-        Query.invalidate t.query
+        t.hooks.on_events events
       end;
       t.hooks.on_flush_mark ();
       t.hooks.on_checkpoint t.engine
@@ -145,9 +146,6 @@ let err code msg = (Printf.sprintf "ERR %d %s\n" code msg, false)
 let ok body = (Printf.sprintf "OK %s\n" body, false)
 
 let halted_reply msg = err 500 (Printf.sprintf "halted: %s" msg)
-
-let sd_xy (cov : Rfid_prob.Linalg.mat) =
-  sqrt (Float.max 0. ((cov.(0).(0) +. cov.(1).(1)) /. 2.))
 
 let handle_put t rest =
   if t.draining then err 410 "draining"
@@ -178,14 +176,44 @@ let handle_at t rest =
   match int_of_string_opt (String.trim rest) with
   | None -> err 401 "bad-argument: AT takes one object id"
   | Some obj -> (
-      match Engine.estimate t.engine obj with
+      match Query.at t.query ~engine:t.engine obj with
       | None -> err 404 (Printf.sprintf "unknown-object %d" obj)
-      | Some (loc, cov) ->
+      | Some (loc, sd_xy) ->
           ok
             (Printf.sprintf "%d %d %s %s %s %s" obj (Engine.epoch t.engine)
                (fstr loc.Rfid_geom.Vec3.x) (fstr loc.Rfid_geom.Vec3.y)
-               (fstr loc.Rfid_geom.Vec3.z)
-               (fstr (sd_xy cov))))
+               (fstr loc.Rfid_geom.Vec3.z) (fstr sd_xy)))
+
+let handle_near t rest =
+  let fields =
+    String.split_on_char ' ' (String.trim rest) |> List.filter (fun s -> s <> "")
+  in
+  let parsed =
+    match fields with
+    | [ k; x; y ] -> (
+        match (int_of_string_opt k, float_of_string_opt x, float_of_string_opt y) with
+        | Some k, Some x, Some y -> Some (k, x, y)
+        | _ -> None)
+    | _ -> None
+  in
+  match parsed with
+  | None -> err 401 "bad-argument: NEAR takes k x y"
+  | Some (k, x, y) -> (
+      match Query.near t.query ~engine:t.engine ~k ~x ~y with
+      | exception Invalid_argument msg -> err 401 (Printf.sprintf "bad-argument: %s" msg)
+      | answers ->
+          let buf = Buffer.create (16 + (48 * List.length answers)) in
+          Buffer.add_string buf (Printf.sprintf "OK %d\n" (List.length answers));
+          List.iter
+            (fun (a : Query.near_answer) ->
+              Buffer.add_string buf (string_of_int a.Query.n_obj);
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf (fstr a.Query.n_dist);
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf a.Query.n_xyz;
+              Buffer.add_char buf '\n')
+            answers;
+          (Buffer.contents buf, false))
 
 let handle_range t rest =
   let fields =
@@ -217,17 +245,17 @@ let handle_range t rest =
       with
       | exception Invalid_argument msg -> err 401 (Printf.sprintf "bad-argument: %s" msg)
       | answers ->
-          let buf = Buffer.create 128 in
+          let buf = Buffer.create (16 + (48 * List.length answers)) in
           Buffer.add_string buf
             (Printf.sprintf "OK %d\n" (List.length answers));
           List.iter
             (fun (a : Query.answer) ->
-              Buffer.add_string buf
-                (Printf.sprintf "%d %s %s %s %s\n" a.Query.a_obj
-                   (fstr a.Query.a_mass)
-                   (fstr a.Query.a_loc.Rfid_geom.Vec3.x)
-                   (fstr a.Query.a_loc.Rfid_geom.Vec3.y)
-                   (fstr a.Query.a_loc.Rfid_geom.Vec3.z)))
+              Buffer.add_string buf (string_of_int a.Query.a_obj);
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf (fstr a.Query.a_mass);
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf a.Query.a_xyz;
+              Buffer.add_char buf '\n')
             answers;
           (Buffer.contents buf, false))
 
@@ -250,7 +278,7 @@ let handle_stats t =
   let kvs =
     [
       ("epoch", string_of_int (Engine.epoch t.engine));
-      ("known_objects", string_of_int (List.length (Engine.known_objects t.engine)));
+      ("known_objects", string_of_int (Engine.num_known t.engine));
       ("queue_depth", string_of_int (Admission.length t.queue));
       ("queue_capacity", string_of_int (Admission.capacity t.queue));
       ("admitted", string_of_int t.admitted);
@@ -308,6 +336,7 @@ let handle_line t line =
       | "SYNC" -> handle_sync t
       | "AT" -> handle_at t rest
       | "RANGE" -> handle_range t rest
+      | "NEAR" -> handle_near t rest
       | "EVENTS" -> handle_events t rest
       | "STATS" -> handle_stats t
       | "PAUSE" ->

@@ -1,24 +1,72 @@
 module Vec3 = Rfid_geom.Vec3
 module Box2 = Rfid_geom.Box2
 module Rtree = Rfid_geom.Rtree
+module Dyn_index = Rfid_geom.Dyn_index
 module Engine = Rfid_core.Engine
 module Event = Rfid_core.Event
 module G = Rfid_prob.Gaussian.Univariate
+module Obs = Rfid_obs.Metrics
+
+let sp_maintain = Obs.span Obs.global "stage.query_maintain"
+let c_fit_cache_hits = Obs.counter Obs.global "query.fit_cache_hits"
+let c_index_updates = Obs.counter Obs.global "query.index_updates"
+let c_full_rebuilds = Obs.counter Obs.global "query.full_rebuilds"
 
 let sigma_reach = 3.5
 let min_mass_floor = 0.001
 
-type entry = { e_obj : int; e_mu_x : float; e_sd_x : float; e_mu_y : float; e_sd_y : float; e_loc : Vec3.t }
+(* One cached moment-matched Gaussian fit, shared by RANGE (per-axis
+   mass), AT (mean + sd_xy) and NEAR (mean): recomputed only when the
+   engine's change feed flags the object. [f_stamp] is the global
+   refit stamp at the last recomputation — AT compares it across a
+   [maintain] to count cache hits. [f_handle] is the object's entry in
+   the dynamic spatial index. *)
+type fit = {
+  f_obj : int;
+  mutable f_mu_x : float;
+  mutable f_sd_x : float;
+  mutable f_mu_y : float;
+  mutable f_sd_y : float;
+  mutable f_loc : Vec3.t;
+  mutable f_sd_xy : float;
+  mutable f_handle : int;
+  mutable f_stamp : int;
+  mutable f_xyz : string;
+      (* rendered "x y z" of [f_loc], or "" when not yet rendered since
+         the last refit — shortest-round-trip float formatting is the
+         per-hit cost of a big RANGE reply, so it is paid once per fit,
+         not once per query. *)
+}
 
-let dummy_entry =
-  { e_obj = -1; e_mu_x = 0.; e_sd_x = 0.; e_mu_y = 0.; e_sd_y = 0.; e_loc = Vec3.make 0. 0. 0. }
+let dummy_fit =
+  {
+    f_obj = -1;
+    f_mu_x = 0.;
+    f_sd_x = 0.;
+    f_mu_y = 0.;
+    f_sd_y = 0.;
+    f_loc = Vec3.zero;
+    f_sd_xy = 0.;
+    f_handle = -1;
+    f_stamp = -1;
+    f_xyz = "";
+  }
 
-type answer = { a_obj : int; a_mass : float; a_loc : Vec3.t }
+type answer = { a_obj : int; a_mass : float; a_loc : Vec3.t; a_xyz : string }
+
+type near_answer = {
+  n_obj : int;
+  n_dist : float;
+  n_loc : Vec3.t;
+  n_xyz : string;
+}
 
 type t = {
-  index : entry Rtree.t;
-  hits : entry Rtree.Hits.t;
-  mutable dirty : bool;
+  index : fit Dyn_index.t;
+  hits : fit Rtree.Hits.t;
+  fits : (int, fit) Hashtbl.t;
+  mutable full_invalid : bool;
+  mutable stamp : int;  (* monotone; bumped per refit *)
   (* Event ring: [ring] is a circular buffer of the last [keep] events;
      [head] is the slot the next event lands in. *)
   ring : Event.t option array;
@@ -30,42 +78,99 @@ type t = {
 let create ?(events_keep = 4096) () =
   if events_keep < 1 then invalid_arg "Query.create: events_keep must be >= 1";
   {
-    index = Rtree.create ();
-    hits = Rtree.Hits.create ~dummy:dummy_entry;
-    dirty = true;
+    index = Dyn_index.create ~dummy:dummy_fit ();
+    hits = Rtree.Hits.create ~dummy:dummy_fit;
+    fits = Hashtbl.create 256;
+    full_invalid = true;
+    stamp = 0;
     ring = Array.make events_keep None;
     keep = events_keep;
     head = 0;
     seen = 0;
   }
 
-let invalidate t = t.dirty <- true
+let invalidate t = t.full_invalid <- true
 
 (* A posterior with a degenerate axis (all particles agreed exactly)
    still occupies a point; give its box a hair of width so the closed
    intersection test finds it, and treat its axis mass as a step
    function in [axis_mass]. *)
-let rebuild t ~engine =
-  Rtree.clear t.index;
-  Engine.iter_estimates engine (fun obj mean cov ->
-      let sd_x = sqrt (Float.max 0. cov.(0).(0)) in
-      let sd_y = sqrt (Float.max 0. cov.(1).(1)) in
-      let rx = Float.max (sigma_reach *. sd_x) 1e-9 in
-      let ry = Float.max (sigma_reach *. sd_y) 1e-9 in
-      let box =
-        Box2.make ~min_x:(mean.Vec3.x -. rx) ~min_y:(mean.Vec3.y -. ry)
-          ~max_x:(mean.Vec3.x +. rx) ~max_y:(mean.Vec3.y +. ry)
-      in
-      Rtree.insert t.index box
+let box_of ~mu_x ~sd_x ~mu_y ~sd_y =
+  let rx = Float.max (sigma_reach *. sd_x) 1e-9 in
+  let ry = Float.max (sigma_reach *. sd_y) 1e-9 in
+  Box2.make ~min_x:(mu_x -. rx) ~min_y:(mu_y -. ry) ~max_x:(mu_x +. rx)
+    ~max_y:(mu_y +. ry)
+
+(* Recompute one object's cached fit from a fresh engine estimate and
+   move its index entry — the only place fits are written. *)
+let refit t obj (mean : Vec3.t) (cov : Rfid_prob.Linalg.mat) =
+  let sd_x = sqrt (Float.max 0. cov.(0).(0)) in
+  let sd_y = sqrt (Float.max 0. cov.(1).(1)) in
+  let sd_xy = sqrt (Float.max 0. ((cov.(0).(0) +. cov.(1).(1)) /. 2.)) in
+  let box = box_of ~mu_x:mean.Vec3.x ~sd_x ~mu_y:mean.Vec3.y ~sd_y in
+  t.stamp <- t.stamp + 1;
+  Obs.incr c_index_updates 1;
+  match Hashtbl.find_opt t.fits obj with
+  | Some f ->
+      f.f_mu_x <- mean.Vec3.x;
+      f.f_sd_x <- sd_x;
+      f.f_mu_y <- mean.Vec3.y;
+      f.f_sd_y <- sd_y;
+      f.f_loc <- mean;
+      f.f_sd_xy <- sd_xy;
+      f.f_stamp <- t.stamp;
+      f.f_xyz <- "";
+      Dyn_index.update t.index f.f_handle box f
+  | None ->
+      let f =
         {
-          e_obj = obj;
-          e_mu_x = mean.Vec3.x;
-          e_sd_x = sd_x;
-          e_mu_y = mean.Vec3.y;
-          e_sd_y = sd_y;
-          e_loc = mean;
-        });
-  t.dirty <- false
+          f_obj = obj;
+          f_mu_x = mean.Vec3.x;
+          f_sd_x = sd_x;
+          f_mu_y = mean.Vec3.y;
+          f_sd_y = sd_y;
+          f_loc = mean;
+          f_sd_xy = sd_xy;
+          f_handle = -1;
+          f_stamp = t.stamp;
+          f_xyz = "";
+        }
+      in
+      f.f_handle <- Dyn_index.insert t.index box f;
+      Hashtbl.replace t.fits obj f
+
+(* Bring the cache and index up to date with the engine, visiting only
+   what changed: a wholesale rebuild on {!invalidate} (fresh query
+   layer, checkpoint restore), every object when the change feed says
+   everything moved (degraded widening, Unfactorized), and otherwise
+   exactly the dirty ids. Consumes the feed. *)
+let maintain t ~engine =
+  let t0 = Obs.start sp_maintain in
+  if t.full_invalid then begin
+    Obs.incr c_full_rebuilds 1;
+    Dyn_index.clear t.index;
+    Hashtbl.reset t.fits;
+    Engine.iter_estimates engine (fun obj mean cov -> refit t obj mean cov);
+    t.full_invalid <- false
+  end
+  else if Engine.changes_dirty_all engine then
+    Engine.iter_estimates engine (fun obj mean cov -> refit t obj mean cov)
+  else
+    Engine.iter_dirty_changes engine (fun obj ->
+        match Engine.estimate engine obj with
+        | Some (mean, cov) -> refit t obj mean cov
+        | None -> ());
+  Engine.clear_changes engine;
+  Obs.stop sp_maintain t0
+
+let xyz_str (f : fit) =
+  if String.length f.f_xyz = 0 then
+    f.f_xyz <-
+      Printf.sprintf "%s %s %s"
+        (Framing.float_str f.f_loc.Vec3.x)
+        (Framing.float_str f.f_loc.Vec3.y)
+        (Framing.float_str f.f_loc.Vec3.z);
+  f.f_xyz
 
 let axis_mass ~mu ~sd ~lo ~hi =
   if sd > 0. then
@@ -81,19 +186,80 @@ let range t ~engine ~min_x ~min_y ~max_x ~max_y ~min_mass =
   if min_x > max_x || min_y > max_y then
     invalid_arg "Query.range: min bound exceeds max bound";
   let min_mass = Float.max min_mass min_mass_floor in
-  if t.dirty then rebuild t ~engine;
+  maintain t ~engine;
   let probe = Box2.make ~min_x ~min_y ~max_x ~max_y in
-  Rtree.query_into t.index probe t.hits;
+  Dyn_index.query_into t.index probe t.hits;
   let out = ref [] in
   for i = 0 to Rtree.Hits.length t.hits - 1 do
-    let e = Rtree.Hits.get t.hits i in
-    let mx = axis_mass ~mu:e.e_mu_x ~sd:e.e_sd_x ~lo:min_x ~hi:max_x in
-    let my = axis_mass ~mu:e.e_mu_y ~sd:e.e_sd_y ~lo:min_y ~hi:max_y in
+    let f = Rtree.Hits.get t.hits i in
+    let mx = axis_mass ~mu:f.f_mu_x ~sd:f.f_sd_x ~lo:min_x ~hi:max_x in
+    let my = axis_mass ~mu:f.f_mu_y ~sd:f.f_sd_y ~lo:min_y ~hi:max_y in
     let mass = mx *. my in
     if mass >= min_mass then
-      out := { a_obj = e.e_obj; a_mass = mass; a_loc = e.e_loc } :: !out
+      out :=
+        { a_obj = f.f_obj; a_mass = mass; a_loc = f.f_loc; a_xyz = xyz_str f }
+        :: !out
   done;
   List.sort (fun a b -> Int.compare a.a_obj b.a_obj) !out
+
+let at t ~engine obj =
+  let stamp_before =
+    match Hashtbl.find_opt t.fits obj with Some f -> f.f_stamp | None -> -1
+  in
+  maintain t ~engine;
+  match Hashtbl.find_opt t.fits obj with
+  | None -> None
+  | Some f ->
+      (* Same record, same stamp: this lookup did zero fit_gaussian
+         work. (A full rebuild replaces the record and re-stamps, so
+         it can never masquerade as a hit.) *)
+      if f.f_stamp = stamp_before then Obs.incr c_fit_cache_hits 1;
+      Some (f.f_loc, f.f_sd_xy)
+
+let near t ~engine ~k ~x ~y =
+  if k < 1 then invalid_arg "Query.near: k must be >= 1";
+  if not (Float.is_finite x && Float.is_finite y) then
+    invalid_arg "Query.near: center must be finite";
+  maintain t ~engine;
+  let n = Dyn_index.size t.index in
+  if n = 0 then []
+  else begin
+    let dist (f : fit) = Float.hypot (f.f_mu_x -. x) (f.f_mu_y -. y) in
+    let collect () =
+      let cands = ref [] in
+      for i = 0 to Rtree.Hits.length t.hits - 1 do
+        let f = Rtree.Hits.get t.hits i in
+        cands := (dist f, f) :: !cands
+      done;
+      List.sort
+        (fun (da, fa) (db, fb) ->
+          match Float.compare da db with 0 -> Int.compare fa.f_obj fb.f_obj | c -> c)
+        !cands
+    in
+    (* Expanding square probe: any mean within Euclidean distance r of
+       the center lies inside the r-square, so its box intersects the
+       probe and it is among the candidates — once k candidates sit at
+       distance <= r, nothing outside can beat them. *)
+    let rec probe r =
+      Dyn_index.query_into t.index
+        (Box2.make ~min_x:(x -. r) ~min_y:(y -. r) ~max_x:(x +. r) ~max_y:(y +. r))
+        t.hits;
+      let m = Rtree.Hits.length t.hits in
+      if m >= n || r > 1e12 then collect ()
+      else if m >= k then begin
+        let cands = collect () in
+        let kth = List.nth cands (k - 1) in
+        if fst kth <= r then cands else probe (2. *. r)
+      end
+      else probe (2. *. r)
+    in
+    let cands = probe 1.0 in
+    List.filteri (fun i _ -> i < k) cands
+    |> List.map (fun (d, f) ->
+           { n_obj = f.f_obj; n_dist = d; n_loc = f.f_loc; n_xyz = xyz_str f })
+  end
+
+let fit_count t = Hashtbl.length t.fits
 
 let record_event t ev =
   t.ring.(t.head) <- Some ev;

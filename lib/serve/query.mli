@@ -1,19 +1,27 @@
 (** Probabilistic queries over live posteriors (PROTOCOL.md §5).
 
-    The query layer maintains a spatial index of the engine's current
-    per-object posteriors so [RANGE] does not scan every object per
-    request: each known object contributes the axis-aligned box of its
-    Gaussian fit at ±{!sigma_reach} standard deviations, and a probe box
-    only evaluates the objects whose boxes intersect it. At 3.5σ the
-    per-axis mass outside the box is ≈ 2.3e-4, below the [min-mass]
-    floor of 1e-3, so the pruning cannot drop a reportable answer.
+    The query layer keeps a per-object cache of moment-matched
+    Gaussian fits plus a dynamic spatial index
+    ({!Rfid_geom.Dyn_index}) of their ±{!sigma_reach} boxes, and keeps
+    both current {e incrementally}: before answering, it drains the
+    engine's change feed ({!Rfid_core.Engine.iter_dirty_changes}) and
+    recomputes only the flagged objects' fits, moving their index
+    entries in place. Post-epoch maintenance is therefore O(objects
+    that changed) — the sensing scope — rather than O(known objects),
+    and a [RANGE]/[AT]/[NEAR] burst against an un-stepped engine does
+    no fit work at all. Answers are byte-identical to a from-scratch
+    rebuild: an unflagged object's particle store is untouched, and
+    the fit is a deterministic function of the store.
 
-    The index is rebuilt lazily: {!invalidate} marks it dirty when the
-    engine steps, and the next [RANGE] rebuilds it through
-    {!Rfid_core.Engine.iter_estimates} ({!Rfid_geom.Rtree} has no
-    delete, and most epochs move most objects anyway). Probes
-    themselves are allocation-light, through [Rtree.query_into] into a
-    reusable hit buffer.
+    At 3.5σ the per-axis mass outside an index box is ≈ 2.3e-4, below
+    the [min-mass] floor of 1e-3, so box pruning cannot drop a
+    reportable [RANGE] answer. Probes are allocation-light, through
+    reusable hit buffers.
+
+    {!invalidate} requests a wholesale rebuild (counted in
+    [query.full_rebuilds]) — for checkpoint restore/[--recover] paths,
+    where the cache predates the state that replaced the engine. A
+    fresh query layer starts invalid.
 
     The module also keeps the bounded ring of emitted events that backs
     [EVENTS since-epoch] — bounded so a long-lived server does not
@@ -26,6 +34,17 @@ type answer = {
       (** posterior probability that the object lies in the probe box:
           the product of the marginal Gaussian masses along x and y *)
   a_loc : Rfid_geom.Vec3.t;  (** posterior mean *)
+  a_xyz : string;
+      (** [a_loc] pre-rendered as ["x y z"] with {!Framing.float_str},
+          cached in the fit record — reply formatting for a big [RANGE]
+          is paid per refit, not per query *)
+}
+
+type near_answer = {
+  n_obj : int;
+  n_dist : float;  (** Euclidean XY distance from the query point to the mean *)
+  n_loc : Rfid_geom.Vec3.t;  (** posterior mean *)
+  n_xyz : string;  (** [n_loc] pre-rendered as ["x y z"], as in {!answer} *)
 }
 
 type t
@@ -44,7 +63,15 @@ val create : ?events_keep:int -> unit -> t
     @raise Invalid_argument if [events_keep < 1]. *)
 
 val invalidate : t -> unit
-(** Mark the spatial index stale; the next {!range} rebuilds it. *)
+(** Mark the whole cache stale; the next query rebuilds fits and index
+    from scratch. Needed only when the engine behind the queries is
+    {e replaced} (checkpoint restore) — ordinary steps are picked up
+    incrementally via the change feed. *)
+
+val maintain : t -> engine:Rfid_core.Engine.t -> unit
+(** Bring the fit cache and index up to date, visiting only changed
+    objects, and consume the engine's change feed. Queries call this
+    themselves; exposed for tests and benches. *)
 
 val range :
   t ->
@@ -59,6 +86,29 @@ val range :
     (clamped to at least {!min_mass_floor}), in ascending object id.
     @raise Invalid_argument if a min bound exceeds its max or any bound
     is not finite. *)
+
+val at : t -> engine:Rfid_core.Engine.t -> int -> (Rfid_geom.Vec3.t * float) option
+(** Posterior mean and sd_xy (√ of the mean XY variance) of one
+    object, from the fit cache — repeated [AT] on an unchanged object
+    does zero fit work (counted in [query.fit_cache_hits]). [None] for
+    an unknown object. *)
+
+val near :
+  t ->
+  engine:Rfid_core.Engine.t ->
+  k:int ->
+  x:float ->
+  y:float ->
+  near_answer list
+(** The [k] known objects whose posterior means lie nearest (Euclidean
+    XY) to [(x, y)], nearest first, ties by ascending object id; fewer
+    than [k] when fewer objects are known. Found by expanding square
+    probes of the dynamic index, so the cost tracks the local density,
+    not the object count.
+    @raise Invalid_argument if [k < 1] or a coordinate is not finite. *)
+
+val fit_count : t -> int
+(** Objects currently held by the fit cache (= index entries). *)
 
 val record_event : t -> Rfid_core.Event.t -> unit
 (** Append to the ring, evicting the oldest entry when full. *)
